@@ -1,0 +1,30 @@
+//! Criterion benches for the paper's two figures.
+//!
+//! Each bench times the Quick-scale regeneration of its artifact (the
+//! figures are virtual-time experiments; the wall time measured here is
+//! the simulator's own cost, which keeps the harness honest about
+//! overhead). `cargo bench -p hl-bench --bench figures` also prints the
+//! artifact once, so the bench log doubles as a results record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hl_core::experiments::{fig1, fig2, Scale};
+
+fn bench_fig1(c: &mut Criterion) {
+    println!("{}", fig1::run(Scale::Quick));
+    c.bench_function("fig1_architecture_scan", |b| {
+        b.iter(|| std::hint::black_box(fig1::run(Scale::Quick)))
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    println!("{}", fig2::run(Scale::Quick));
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("fig2_locality_ablation", |b| {
+        b.iter(|| std::hint::black_box(fig2::run(Scale::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches for the narrative experiments N1–N8.
+//!
+//! Every claim in DESIGN.md's experiment index gets a bench that times its
+//! Quick-scale regeneration and prints the artifact once. The heavier
+//! drills (N6, N7) use small sample counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hl_core::experiments::{jummp, n1, n2, n3, n4, n5, n6, n7, n8, platforms, Scale};
+
+macro_rules! narrative_bench {
+    ($fn_name:ident, $module:ident, $bench_name:literal, $samples:expr) => {
+        fn $fn_name(c: &mut Criterion) {
+            println!("{}", $module::run(Scale::Quick));
+            let mut group = c.benchmark_group("narrative");
+            group.sample_size($samples);
+            group.bench_function($bench_name, |b| {
+                b.iter(|| std::hint::black_box($module::run(Scale::Quick)))
+            });
+            group.finish();
+        }
+    };
+}
+
+narrative_bench!(bench_n1, n1, "n1_combiner_tradeoff", 10);
+narrative_bench!(bench_n2, n2, "n2_monoid_variants", 10);
+narrative_bench!(bench_n3, n3, "n3_sidefile_access", 10);
+narrative_bench!(bench_n4, n4, "n4_serial_vs_cluster", 10);
+narrative_bench!(bench_n5, n5, "n5_staging_times", 10);
+narrative_bench!(bench_n6, n6, "n6_meltdown_recovery", 10);
+narrative_bench!(bench_n7, n7, "n7_myhadoop_provisioning", 10);
+narrative_bench!(bench_n8, n8, "n8_assignment1_runtimes", 10);
+narrative_bench!(bench_platforms, platforms, "platform_evolution", 10);
+narrative_bench!(bench_jummp, jummp, "jummp_maneuvering", 10);
+
+criterion_group!(
+    benches, bench_n1, bench_n2, bench_n3, bench_n4, bench_n5, bench_n6, bench_n7, bench_n8,
+    bench_platforms, bench_jummp
+);
+criterion_main!(benches);

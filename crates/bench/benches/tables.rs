@@ -1,0 +1,30 @@
+//! Criterion benches for Tables I–V.
+//!
+//! Table I–IV regeneration is the survey-synthesis + aggregation pipeline;
+//! Table V is the curriculum-map rendering. Each bench prints its artifact
+//! once so the bench log records the regenerated tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hl_core::course::CourseModule;
+use hl_core::experiments::{tables, Scale};
+use hl_datagen::survey;
+
+fn bench_tables_1_to_4(c: &mut Criterion) {
+    println!("{}", tables::run(Scale::Quick));
+    c.bench_function("tables_1_to_4_survey_pipeline", |b| {
+        b.iter(|| std::hint::black_box(tables::run(Scale::Quick)))
+    });
+    c.bench_function("survey_form_synthesis", |b| {
+        b.iter(|| std::hint::black_box(survey::generate(2014)))
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    println!("{}", CourseModule);
+    c.bench_function("table5_curriculum_render", |b| {
+        b.iter(|| std::hint::black_box(CourseModule.to_string()))
+    });
+}
+
+criterion_group!(benches, bench_tables_1_to_4, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,316 @@
+//! The two cluster architectures of the paper's Figure 1.
+//!
+//! * **Figure 1(a)** — a typical HPC cluster: diskless compute nodes reach
+//!   a parallel storage system through its *aggregate* bandwidth; every
+//!   byte of input crosses the network.
+//! * **Figure 1(b)** — a Hadoop cluster: each compute node carries its own
+//!   disks, so a data-local read touches no network at all.
+//!
+//! `ClusterNet` owns one FIFO [`PipeResource`] per node NIC, per node disk,
+//! per rack uplink, plus (HPC only) the shared-storage pipe, and charges
+//! store-and-forward transfers across them. The per-pipe byte counters are
+//! the raw data behind the Figure 1 experiment.
+
+use hl_common::prelude::*;
+use hl_common::units::ByteSize;
+
+use crate::node::ClusterSpec;
+use crate::resource::{Charge, PipeResource};
+
+/// Which Figure 1 architecture a cluster uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetArchitecture {
+    /// Figure 1(b): storage on the compute nodes (data locality possible).
+    HadoopLocalDisks {
+        /// Bandwidth of each rack's uplink into the core switch, bytes/s.
+        rack_uplink_bw: u64,
+    },
+    /// Figure 1(a): compute nodes share a parallel file system with a fixed
+    /// aggregate bandwidth, reached across the core network.
+    HpcParallelFs {
+        /// Aggregate parallel-FS bandwidth, bytes/s (shared by everyone).
+        storage_aggregate_bw: u64,
+        /// Rack uplink bandwidth, bytes/s.
+        rack_uplink_bw: u64,
+    },
+}
+
+impl NetArchitecture {
+    /// Hadoop layout with a 10 GbE-class rack uplink.
+    pub fn hadoop_local_disks() -> Self {
+        NetArchitecture::HadoopLocalDisks { rack_uplink_bw: 1170 * ByteSize::MIB }
+    }
+
+    /// HPC layout with the given parallel-storage aggregate bandwidth.
+    pub fn hpc_parallel_fs(storage_aggregate_bw: u64) -> Self {
+        NetArchitecture::HpcParallelFs {
+            storage_aggregate_bw,
+            rack_uplink_bw: 1170 * ByteSize::MIB,
+        }
+    }
+
+    fn rack_uplink_bw(&self) -> u64 {
+        match self {
+            NetArchitecture::HadoopLocalDisks { rack_uplink_bw } => *rack_uplink_bw,
+            NetArchitecture::HpcParallelFs { rack_uplink_bw, .. } => *rack_uplink_bw,
+        }
+    }
+}
+
+/// All bandwidth resources of one simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterNet {
+    topology: Topology,
+    nics: Vec<PipeResource>,
+    disks: Vec<PipeResource>,
+    uplinks: Vec<PipeResource>,
+    shared_storage: Option<PipeResource>,
+    remote_bytes: u64,
+}
+
+impl ClusterNet {
+    /// Build the resource graph for a cluster spec.
+    pub fn new(spec: &ClusterSpec) -> Self {
+        let topology = spec.topology.clone();
+        let nics = topology
+            .nodes()
+            .map(|n| PipeResource::new(format!("{n}.nic"), spec.node.nic_bw))
+            .collect();
+        let disks = topology
+            .nodes()
+            .map(|n| PipeResource::new(format!("{n}.disk"), spec.node.disk_bw))
+            .collect();
+        let uplink_bw = spec.architecture.rack_uplink_bw();
+        let uplinks = (0..topology.num_racks() as u32)
+            .map(|r| PipeResource::new(format!("{}.uplink", RackId(r)), uplink_bw))
+            .collect();
+        let shared_storage = match spec.architecture {
+            NetArchitecture::HpcParallelFs { storage_aggregate_bw, .. } => {
+                Some(PipeResource::new("parallel-fs", storage_aggregate_bw))
+            }
+            NetArchitecture::HadoopLocalDisks { .. } => None,
+        };
+        ClusterNet { topology, nics, disks, uplinks, shared_storage, remote_bytes: 0 }
+    }
+
+    /// The cluster's rack topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// True for Figure 1(a) clusters.
+    pub fn has_shared_storage(&self) -> bool {
+        self.shared_storage.is_some()
+    }
+
+    /// Sequential read from a node's local disk.
+    pub fn read_local_disk(&mut self, now: SimTime, node: NodeId, bytes: u64) -> Charge {
+        self.disks[node.0 as usize].charge(now, bytes)
+    }
+
+    /// Sequential write to a node's local disk.
+    pub fn write_local_disk(&mut self, now: SimTime, node: NodeId, bytes: u64) -> Charge {
+        self.disks[node.0 as usize].charge(now, bytes)
+    }
+
+    /// Node-to-node transfer: source NIC → (rack uplinks if cross-rack) →
+    /// destination NIC, store-and-forward.
+    pub fn transfer(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> Charge {
+        if src == dst {
+            // Loopback: no network resources touched.
+            return Charge { start: now, end: now };
+        }
+        self.remote_bytes += bytes;
+        let hop1 = self.nics[src.0 as usize].charge(now, bytes);
+        let mut at = hop1.end;
+        let (src_rack, dst_rack) = (self.topology.rack(src), self.topology.rack(dst));
+        if src_rack != dst_rack {
+            let up = self.uplinks[src_rack.0 as usize].charge(at, bytes);
+            let down = self.uplinks[dst_rack.0 as usize].charge(up.end, bytes);
+            at = down.end;
+        }
+        let hop2 = self.nics[dst.0 as usize].charge(at, bytes);
+        Charge { start: now, end: hop2.end }
+    }
+
+    /// Read `bytes` that physically live on `holder` from `reader`:
+    /// holder's disk, then the network if they differ.
+    pub fn read_remote(
+        &mut self,
+        now: SimTime,
+        reader: NodeId,
+        holder: NodeId,
+        bytes: u64,
+    ) -> Charge {
+        let disk = self.read_local_disk(now, holder, bytes);
+        if reader == holder {
+            return Charge { start: now, end: disk.end };
+        }
+        let net = self.transfer(disk.end, holder, reader, bytes);
+        Charge { start: now, end: net.end }
+    }
+
+    /// Read from the shared parallel FS (Figure 1(a) only): storage pipe,
+    /// rack uplink, then the reader's NIC.
+    ///
+    /// # Panics
+    /// Panics when called on a Hadoop-architecture cluster — that is a
+    /// wiring bug in the caller, not a modeled failure.
+    pub fn read_shared_storage(&mut self, now: SimTime, reader: NodeId, bytes: u64) -> Charge {
+        let storage = self
+            .shared_storage
+            .as_mut()
+            .expect("read_shared_storage on a local-disk cluster");
+        self.remote_bytes += bytes;
+        let s = storage.charge(now, bytes);
+        let rack = self.topology.rack(reader);
+        let up = self.uplinks[rack.0 as usize].charge(s.end, bytes);
+        let nic = self.nics[reader.0 as usize].charge(up.end, bytes);
+        Charge { start: now, end: nic.end }
+    }
+
+    /// Write to the shared parallel FS (Figure 1(a) only).
+    pub fn write_shared_storage(&mut self, now: SimTime, writer: NodeId, bytes: u64) -> Charge {
+        let nic = self.nics[writer.0 as usize].charge(now, bytes);
+        let rack = self.topology.rack(writer);
+        let up = self.uplinks[rack.0 as usize].charge(nic.end, bytes);
+        self.remote_bytes += bytes;
+        let storage = self
+            .shared_storage
+            .as_mut()
+            .expect("write_shared_storage on a local-disk cluster");
+        let s = storage.charge(up.end, bytes);
+        Charge { start: now, end: s.end }
+    }
+
+    /// Bytes that crossed any network link (the data-locality metric).
+    pub fn remote_bytes(&self) -> u64 {
+        self.remote_bytes
+    }
+
+    /// Bytes moved through a node's NIC.
+    pub fn nic_bytes(&self, node: NodeId) -> u64 {
+        self.nics[node.0 as usize].total_bytes()
+    }
+
+    /// Bytes served by the shared parallel FS (zero on Hadoop clusters).
+    pub fn shared_storage_bytes(&self) -> u64 {
+        self.shared_storage.as_ref().map_or(0, |s| s.total_bytes())
+    }
+
+    /// Utilization of the shared parallel FS pipe at `now`.
+    pub fn shared_storage_utilization(&self, now: SimTime) -> f64 {
+        self.shared_storage.as_ref().map_or(0.0, |s| s.utilization(now))
+    }
+
+    /// Reset byte/busy accounting on every pipe (between experiment runs).
+    pub fn reset_accounting(&mut self) {
+        for p in self
+            .nics
+            .iter_mut()
+            .chain(self.disks.iter_mut())
+            .chain(self.uplinks.iter_mut())
+            .chain(self.shared_storage.iter_mut())
+        {
+            p.reset_accounting();
+        }
+        self.remote_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ClusterSpec;
+
+    fn hadoop(nodes: usize, racks: usize) -> ClusterNet {
+        ClusterNet::new(&ClusterSpec::hadoop_racked(nodes, racks))
+    }
+
+    #[test]
+    fn local_read_touches_no_network() {
+        let mut net = hadoop(4, 1);
+        let c = net.read_remote(SimTime::ZERO, NodeId(0), NodeId(0), 120 * ByteSize::MIB);
+        assert_eq!(c.end, SimTime(1_000_000)); // 120 MiB at 120 MiB/s disk
+        assert_eq!(net.remote_bytes(), 0);
+        assert_eq!(net.nic_bytes(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn rack_local_read_crosses_two_nics_only() {
+        let mut net = hadoop(4, 1);
+        let bytes = 117 * ByteSize::MIB;
+        let c = net.read_remote(SimTime::ZERO, NodeId(0), NodeId(1), bytes);
+        // disk (117/120 s) + src nic (1 s) + dst nic (1 s), store-and-forward
+        let expect = SimDuration::for_transfer(bytes, 120 * ByteSize::MIB)
+            + SimDuration::from_secs(1)
+            + SimDuration::from_secs(1);
+        assert_eq!(c.end.since(SimTime::ZERO), expect);
+        assert_eq!(net.remote_bytes(), bytes);
+    }
+
+    #[test]
+    fn cross_rack_read_also_charges_uplinks() {
+        let mut net_flat = hadoop(4, 1);
+        let mut net_racked = hadoop(4, 2);
+        let bytes = 117 * ByteSize::MIB;
+        // node0 -> node2 is same-rack in both striped(4,2) and flat.
+        let same = net_flat.read_remote(SimTime::ZERO, NodeId(2), NodeId(0), bytes);
+        // node0 -> node1 is cross-rack when striped over 2 racks.
+        let cross = net_racked.read_remote(SimTime::ZERO, NodeId(1), NodeId(0), bytes);
+        assert!(cross.end > same.end, "cross-rack must be slower than in-rack");
+    }
+
+    #[test]
+    fn loopback_transfer_is_free() {
+        let mut net = hadoop(2, 1);
+        let c = net.transfer(SimTime(77), NodeId(1), NodeId(1), ByteSize::GIB);
+        assert_eq!(c.start, c.end);
+        assert_eq!(net.remote_bytes(), 0);
+    }
+
+    #[test]
+    fn shared_storage_serializes_the_whole_cluster() {
+        let spec = ClusterSpec::hpc_shared_storage(8, 200 * ByteSize::MIB);
+        let mut net = ClusterNet::new(&spec);
+        assert!(net.has_shared_storage());
+        // 8 nodes each read 200 MiB concurrently: aggregate pipe serves them
+        // one at a time, so the last finishes at ~8 s even though each
+        // node's NIC could take it in ~1.7 s.
+        let mut last = SimTime::ZERO;
+        for n in 0..8 {
+            let c = net.read_shared_storage(SimTime::ZERO, NodeId(n), 200 * ByteSize::MIB);
+            last = last.max(c.end);
+        }
+        assert!(last >= SimTime(8_000_000), "storage pipe must serialize: {last}");
+        assert_eq!(net.shared_storage_bytes(), 8 * 200 * ByteSize::MIB);
+    }
+
+    #[test]
+    fn hadoop_cluster_parallel_local_reads_dont_contend() {
+        let mut net = hadoop(8, 1);
+        let mut last = SimTime::ZERO;
+        for n in 0..8 {
+            let c = net.read_local_disk(SimTime::ZERO, NodeId(n), 120 * ByteSize::MIB);
+            last = last.max(c.end);
+        }
+        assert_eq!(last, SimTime(1_000_000), "independent disks work in parallel");
+    }
+
+    #[test]
+    #[should_panic(expected = "read_shared_storage on a local-disk cluster")]
+    fn shared_read_on_hadoop_is_a_bug() {
+        let mut net = hadoop(2, 1);
+        net.read_shared_storage(SimTime::ZERO, NodeId(0), 1);
+    }
+
+    #[test]
+    fn reset_accounting_zeroes_counters() {
+        let mut net = hadoop(2, 1);
+        net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 1000);
+        assert!(net.remote_bytes() > 0);
+        net.reset_accounting();
+        assert_eq!(net.remote_bytes(), 0);
+        assert_eq!(net.nic_bytes(NodeId(0)), 0);
+    }
+}

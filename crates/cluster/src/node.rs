@@ -1,0 +1,133 @@
+//! Node and cluster hardware specifications.
+//!
+//! The paper's dedicated cluster: 8 nodes, each dual 8-core, 64 GB RAM,
+//! 850 GB HDD, gigabit Ethernet. Presets here reproduce that box and the
+//! two cluster shapes of Figure 1.
+
+use hl_common::prelude::*;
+use hl_common::units::ByteSize;
+
+/// Hardware description of a single compute node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// CPU cores (the course configured 8 map slots on dual 8-core nodes).
+    pub cores: u32,
+    /// Physical RAM in bytes.
+    pub ram_bytes: u64,
+    /// Local disk capacity in bytes.
+    pub disk_bytes: u64,
+    /// Local disk sequential bandwidth, bytes/s.
+    pub disk_bw: u64,
+    /// NIC bandwidth, bytes/s.
+    pub nic_bw: u64,
+}
+
+impl NodeSpec {
+    /// The paper's dedicated-cluster node: dual 8-core, 64 GB RAM, 850 GB
+    /// HDD (~120 MB/s sequential), gigabit Ethernet (~117 MiB/s).
+    pub fn palmetto_2013() -> Self {
+        NodeSpec {
+            cores: 16,
+            ram_bytes: 64 * ByteSize::GIB,
+            disk_bytes: 850 * ByteSize::GIB,
+            disk_bw: 120 * ByteSize::MIB,
+            nic_bw: 117 * ByteSize::MIB,
+        }
+    }
+
+    /// A diskless HPC compute node (storage lives on the parallel FS).
+    pub fn hpc_compute_2013() -> Self {
+        NodeSpec { disk_bytes: 0, ..Self::palmetto_2013() }
+    }
+
+    /// The throttled virtual machine from the paper's Version-1 setup: the
+    /// supercomputer's virtualization limited the virtual NIC to ~1 MB/s.
+    pub fn throttled_vm() -> Self {
+        NodeSpec {
+            cores: 4,
+            ram_bytes: 8 * ByteSize::GIB,
+            disk_bytes: 100 * ByteSize::GIB,
+            disk_bw: 80 * ByteSize::MIB,
+            nic_bw: ByteSize::MIB, // the fatal 1 MB/s
+        }
+    }
+}
+
+/// A homogeneous cluster: node spec, topology, and the Figure 1
+/// architecture choice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Per-node hardware.
+    pub node: NodeSpec,
+    /// Rack layout.
+    pub topology: Topology,
+    /// Figure 1(a) vs 1(b).
+    pub architecture: crate::network::NetArchitecture,
+}
+
+impl ClusterSpec {
+    /// The course's 8-node dedicated Hadoop cluster (Figure 1(b), one rack).
+    pub fn course_hadoop(nodes: usize) -> Self {
+        ClusterSpec {
+            node: NodeSpec::palmetto_2013(),
+            topology: Topology::flat(nodes),
+            architecture: crate::network::NetArchitecture::hadoop_local_disks(),
+        }
+    }
+
+    /// A Hadoop-style cluster spread over `racks` racks.
+    pub fn hadoop_racked(nodes: usize, racks: usize) -> Self {
+        ClusterSpec {
+            node: NodeSpec::palmetto_2013(),
+            topology: Topology::striped(nodes, racks),
+            architecture: crate::network::NetArchitecture::hadoop_local_disks(),
+        }
+    }
+
+    /// A typical HPC cluster (Figure 1(a)): diskless compute nodes sharing
+    /// a parallel storage system with fixed aggregate bandwidth.
+    pub fn hpc_shared_storage(nodes: usize, storage_aggregate_bw: u64) -> Self {
+        ClusterSpec {
+            node: NodeSpec::hpc_compute_2013(),
+            topology: Topology::striped(nodes, (nodes / 16).max(1)),
+            architecture: crate::network::NetArchitecture::hpc_parallel_fs(storage_aggregate_bw),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.topology.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palmetto_matches_paper_hardware() {
+        let n = NodeSpec::palmetto_2013();
+        assert_eq!(n.cores, 16);
+        assert_eq!(n.ram_bytes, 64 * ByteSize::GIB);
+        assert_eq!(n.disk_bytes, 850 * ByteSize::GIB);
+    }
+
+    #[test]
+    fn throttled_vm_has_1mbs_nic() {
+        assert_eq!(NodeSpec::throttled_vm().nic_bw, ByteSize::MIB);
+    }
+
+    #[test]
+    fn course_cluster_is_8_flat_nodes() {
+        let c = ClusterSpec::course_hadoop(8);
+        assert_eq!(c.num_nodes(), 8);
+        assert_eq!(c.topology.num_racks(), 1);
+    }
+
+    #[test]
+    fn hpc_nodes_are_diskless() {
+        let c = ClusterSpec::hpc_shared_storage(32, 10 * ByteSize::GIB);
+        assert_eq!(c.node.disk_bytes, 0);
+        assert_eq!(c.topology.num_racks(), 2);
+    }
+}

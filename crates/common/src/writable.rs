@@ -1,0 +1,327 @@
+//! The `Writable` serialization protocol.
+//!
+//! Hadoop moves every key and value between mappers, the shuffle, and
+//! reducers as `Writable` objects; the course's second example and first
+//! assignment both hinge on students implementing a *custom value class*
+//! (a pair of partial sums for the averaging combiner, a
+//! `(count, genre-histogram)` record for the most-active-user question).
+//! This module is the Rust analog: a compact, explicit, versionless binary
+//! protocol with LEB128 varints, implemented for the primitives and
+//! composition forms (tuples, vectors, options) user types build on.
+
+use crate::error::{HlError, Result};
+
+/// A type that can serialize itself to bytes and back.
+///
+/// Implementations must round-trip: `read(&mut write(x)) == x`, consuming
+/// exactly the bytes they wrote (so values can be concatenated in streams,
+/// which is how spill files and shuffle segments are laid out).
+///
+/// ```
+/// use hl_common::writable::Writable;
+/// let pair = ("UA".to_string(), 42u64);
+/// let bytes = pair.to_bytes();
+/// assert_eq!(<(String, u64)>::from_bytes(&bytes).unwrap(), pair);
+/// ```
+pub trait Writable: Sized {
+    /// Append this value's encoding to `buf`.
+    fn write(&self, buf: &mut Vec<u8>);
+    /// Decode one value from the front of `buf`, advancing it.
+    fn read(buf: &mut &[u8]) -> Result<Self>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.write(&mut buf);
+        buf
+    }
+
+    /// Decode from a complete buffer, requiring full consumption.
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self> {
+        let v = Self::read(&mut bytes)?;
+        if !bytes.is_empty() {
+            return Err(HlError::Codec(format!("{} trailing bytes after value", bytes.len())));
+        }
+        Ok(v)
+    }
+}
+
+fn eof(what: &str) -> HlError {
+    HlError::Codec(format!("unexpected end of input reading {what}"))
+}
+
+/// Write an unsigned LEB128 varint.
+pub fn write_vu64(mut v: u64, buf: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint.
+pub fn read_vu64(buf: &mut &[u8]) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = buf.split_first().ok_or_else(|| eof("varint"))?;
+        *buf = rest;
+        if shift == 63 && byte > 1 {
+            return Err(HlError::Codec("varint overflows u64".into()));
+        }
+        value |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(HlError::Codec("varint longer than 10 bytes".into()));
+        }
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8]> {
+    if buf.len() < n {
+        return Err(eof(what));
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+macro_rules! fixed_int_writable {
+    ($($t:ty),*) => {$(
+        impl Writable for $t {
+            fn write(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_be_bytes());
+            }
+            fn read(buf: &mut &[u8]) -> Result<Self> {
+                let n = std::mem::size_of::<$t>();
+                let bytes = take(buf, n, stringify!($t))?;
+                Ok(<$t>::from_be_bytes(bytes.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+
+fixed_int_writable!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Writable for f64 {
+    fn write(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_be_bytes());
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(f64::from_be_bytes(take(buf, 8, "f64")?.try_into().unwrap()))
+    }
+}
+
+impl Writable for f32 {
+    fn write(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_be_bytes());
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(f32::from_be_bytes(take(buf, 4, "f32")?.try_into().unwrap()))
+    }
+}
+
+impl Writable for bool {
+    fn write(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        match take(buf, 1, "bool")?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(HlError::Codec(format!("invalid bool byte {b}"))),
+        }
+    }
+}
+
+/// `NullWritable`: a zero-byte placeholder for jobs that only care about
+/// keys (or only values).
+impl Writable for () {
+    fn write(&self, _buf: &mut Vec<u8>) {}
+    fn read(_buf: &mut &[u8]) -> Result<Self> {
+        Ok(())
+    }
+}
+
+impl Writable for String {
+    fn write(&self, buf: &mut Vec<u8>) {
+        write_vu64(self.len() as u64, buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        let len = read_vu64(buf)? as usize;
+        let bytes = take(buf, len, "string body")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| HlError::Codec(format!("invalid UTF-8 in Text: {e}")))
+    }
+}
+
+impl<T: Writable> Writable for Option<T> {
+    fn write(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.write(buf);
+            }
+        }
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        match take(buf, 1, "option tag")?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::read(buf)?)),
+            b => Err(HlError::Codec(format!("invalid Option tag {b}"))),
+        }
+    }
+}
+
+impl<A: Writable, B: Writable> Writable for (A, B) {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.0.write(buf);
+        self.1.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok((A::read(buf)?, B::read(buf)?))
+    }
+}
+
+impl<A: Writable, B: Writable, C: Writable> Writable for (A, B, C) {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.0.write(buf);
+        self.1.write(buf);
+        self.2.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok((A::read(buf)?, B::read(buf)?, C::read(buf)?))
+    }
+}
+
+impl<T: Writable> Writable for Vec<T> {
+    fn write(&self, buf: &mut Vec<u8>) {
+        write_vu64(self.len() as u64, buf);
+        for item in self {
+            item.write(buf);
+        }
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        let len = read_vu64(buf)? as usize;
+        // Guard against hostile lengths: cap the preallocation, let push grow.
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::read(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Convenience alias matching Hadoop's `Text` type name used throughout the
+/// course slides.
+pub type Text = String;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Writable + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(u64::MAX);
+        round_trip(i64::MIN);
+        round_trip(-1i32);
+        round_trip(3.25f64);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(true);
+        round_trip(());
+        round_trip("".to_string());
+        round_trip("naïve UTF-8 ☂".to_string());
+        round_trip(vec![1u8, 2, 3]);
+        round_trip(Option::<u32>::None);
+        round_trip(Some("x".to_string()));
+        round_trip(("carrier".to_string(), 42i64));
+        round_trip(("k".to_string(), 1u32, 2.5f64));
+        round_trip(vec![("a".to_string(), 1u64), ("b".to_string(), 2u64)]);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_vu64(v, &mut buf);
+            let mut slice = buf.as_slice();
+            assert_eq!(read_vu64(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+        // single-byte values really are single bytes
+        let mut buf = Vec::new();
+        write_vu64(5, &mut buf);
+        assert_eq!(buf, vec![5]);
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        let eleven = [0x80u8; 11];
+        assert!(read_vu64(&mut &eleven[..]).is_err());
+        // 10 bytes encoding > u64::MAX
+        let too_big = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        assert!(read_vu64(&mut &too_big[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_inputs_error_not_panic() {
+        let full = ("hello".to_string(), 123u64).to_bytes();
+        for cut in 0..full.len() {
+            let res = <(String, u64)>::from_bytes(&full[..cut]);
+            assert!(res.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_from_bytes() {
+        let mut bytes = 7u32.to_bytes();
+        bytes.push(0);
+        assert!(u32::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn stream_concatenation_parses_in_sequence() {
+        let mut buf = Vec::new();
+        for i in 0..10u32 {
+            (format!("k{i}"), i).write(&mut buf);
+        }
+        let mut slice = buf.as_slice();
+        for i in 0..10u32 {
+            let (k, v) = <(String, u32)>::read(&mut slice).unwrap();
+            assert_eq!((k, v), (format!("k{i}"), i));
+        }
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn invalid_utf8_is_codec_error() {
+        let mut buf = Vec::new();
+        write_vu64(2, &mut buf);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(String::from_bytes(&buf), Err(HlError::Codec(_))));
+    }
+
+    #[test]
+    fn hostile_vec_length_does_not_oom() {
+        // Claims u64::MAX elements with no bodies: must error, not allocate.
+        let mut buf = Vec::new();
+        write_vu64(u64::MAX, &mut buf);
+        assert!(Vec::<u64>::from_bytes(&buf).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! N6 — the Version-1 meltdown and recovery drill (Section II-A).
+//!
+//! The full story, replayed:
+//!
+//! 1. **Deadline storm** — students resubmit heap-leaking jobs; the leaks
+//!    crash TaskTracker *and* DataNode daemons.
+//! 2. **Under-replication** — the dead DataNodes stop heartbeating; blocks
+//!    fall under target replication; resubmissions keep piling on.
+//! 3. **Restart** — the staff restarts the cluster; every DataNode runs
+//!    its block-integrity scan before reporting, and the NameNode sits in
+//!    safe mode until the block census clears ("it typically took at
+//!    least fifteen minutes").
+//! 4. **Corruption** — if a block lost *every* replica, safe mode never
+//!    exits on its own and job submission stays refused: "a corrupted
+//!    Hadoop cluster that stopped all the new jobs".
+
+use std::fmt;
+
+use hl_cluster::node::ClusterSpec;
+use hl_common::prelude::*;
+use hl_common::units::ByteSize;
+use hl_datagen::corpus::CorpusGen;
+use hl_mapreduce::engine::MrCluster;
+use hl_workloads::wordcount;
+
+use super::Scale;
+
+/// The drill's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct N6Result {
+    /// Jobs submitted during the storm (including resubmissions).
+    pub storm_submissions: u32,
+    /// Jobs that failed outright.
+    pub storm_failures: u32,
+    /// Daemons (TaskTracker+DataNode pairs) dead at the end of the storm.
+    pub daemons_crashed: usize,
+    /// Under-replicated blocks observed after the heartbeat timeout.
+    pub under_replicated_peak: usize,
+    /// Blocks restored to full replication by the monitor before restart.
+    pub under_replicated_after_recovery: usize,
+    /// Per-node stored bytes at restart (drives the integrity-scan time).
+    pub bytes_per_node: u64,
+    /// Time from restart to safe-mode exit.
+    pub restart_to_safemode_exit: SimDuration,
+    /// After deliberately losing every replica of one block: does the
+    /// cluster refuse new jobs?
+    pub corrupted_cluster_refuses_jobs: bool,
+}
+
+/// Run the drill.
+pub fn run(scale: Scale) -> N6Result {
+    let mut config = Configuration::with_defaults();
+    config.set(
+        hl_common::config::keys::DFS_BLOCK_SIZE,
+        scale.pick(256 * ByteSize::KIB, 64 * ByteSize::MIB),
+    );
+    config.set(hl_common::config::keys::MAPRED_MAP_SLOTS, 4);
+    let mut c = MrCluster::new(ClusterSpec::course_hadoop(8), config).unwrap();
+
+    // Course data on the cluster: a small real corpus to run jobs against,
+    // plus the bulk datasets (synthetic payloads) that make the restart
+    // scan expensive — Google trace + Airline + Yahoo, 3x replicated.
+    c.dfs.namenode.mkdirs("/in").unwrap();
+    c.dfs.namenode.mkdirs("/data").unwrap();
+    let (text, _) = CorpusGen::new(6).with_vocab(300).generate(scale.pick(20_000, 200_000));
+    let t = c.now;
+    let put = c.dfs.put(&mut c.net, t, "/in/corpus.txt", text.as_bytes(), None).unwrap();
+    c.now = put.completed_at;
+    let bulk: u64 = scale.pick(512 * ByteSize::MIB, (171 + 12 + 10) * ByteSize::GIB);
+    let t = c.now;
+    let put = c.dfs.put_synthetic(&mut c.net, t, "/data/bulk", bulk, None).unwrap();
+    c.now = put.completed_at;
+
+    // ---- Phase 1: the deadline storm. Leaky jobs, instant resubmission
+    // on failure, until at least 3 of 8 nodes have lost their daemons.
+    let mut submissions = 0;
+    let mut failures = 0;
+    while c.live_tracker_nodes().len() > 5 && submissions < 60 {
+        submissions += 1;
+        let job = wordcount::wordcount(
+            "/in/corpus.txt",
+            &format!("/out/attempt{submissions}"),
+            2,
+        );
+        let mut job = job;
+        job.conf.leaks_memory = true;
+        job.conf.speculative = false;
+        if c.run_job(&job).is_err() {
+            failures += 1;
+        }
+    }
+    let daemons_crashed = 8 - c.live_tracker_nodes().len();
+
+    // ---- Phase 2: heartbeat timeout exposes under-replication; the
+    // replication monitor starts copying to the survivors.
+    let dead_after = SimDuration::from_secs(3 * 200) + SimDuration::from_mins(1);
+    let from = c.now;
+    c.dfs.run_protocol(&mut c.net, from, from + dead_after);
+    c.now = from + dead_after;
+    let under_replicated_peak = c.dfs.namenode.under_replicated().len()
+        + count_pending(&c);
+    // Let the monitor work for a while (paper: students kept resubmitting
+    // instead — we measure the clean path here; the stuck path is Phase 4).
+    let recover_window = SimDuration::from_mins(scale.pick(15, 120));
+    let from = c.now;
+    c.dfs.run_protocol(&mut c.net, from, from + recover_window);
+    c.now = from + recover_window;
+    let under_replicated_after_recovery = c.dfs.namenode.under_replicated().len();
+
+    // ---- Phase 3: full cluster restart; DataNodes scan before reporting.
+    c.restart_dead_trackers();
+    let bytes_per_node = c
+        .dfs
+        .datanode_ids()
+        .iter()
+        .map(|&n| c.dfs.datanode(n).unwrap().used_bytes())
+        .max()
+        .unwrap_or(0);
+    let t = c.now;
+    let restart = c.dfs.restart_all(&mut c.net, t).expect("all blocks held somewhere");
+    let restart_to_safemode_exit = restart.completed_at.since(t);
+    c.now = restart.completed_at;
+
+    // ---- Phase 4: corruption. With thousands of blocks, losing a single
+    // block still clears the 99.9% safe-mode threshold (exactly as in real
+    // HDFS) — the paper's terminal state needs *bulk* loss. Half the
+    // cluster's disks get wiped (the scheduler reimaging scratch, in course
+    // terms): ~7% of blocks lose every replica and safe mode pins.
+    for n in 0..4u32 {
+        c.dfs.datanode_mut(NodeId(n)).unwrap().wipe();
+    }
+    let t = c.now;
+    let stuck = c.dfs.restart_all(&mut c.net, t);
+    let corrupted_cluster_refuses_jobs = stuck.is_err()
+        && matches!(
+            c.run_job(&wordcount::wordcount("/in/corpus.txt", "/out/after", 1)),
+            Err(HlError::SafeMode(_))
+        );
+
+    N6Result {
+        storm_submissions: submissions,
+        storm_failures: failures,
+        daemons_crashed,
+        under_replicated_peak,
+        under_replicated_after_recovery,
+        bytes_per_node,
+        restart_to_safemode_exit,
+        corrupted_cluster_refuses_jobs,
+    }
+}
+
+fn count_pending(c: &MrCluster) -> usize {
+    // Under-replicated blocks already queued for copy are not in
+    // `under_replicated()`; count them via missing replicas instead.
+    0usize.max(c.dfs.namenode.missing_blocks().len())
+}
+
+impl fmt::Display for N6Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "N6 — the Version-1 meltdown drill (8-node shared cluster)")?;
+        writeln!(
+            f,
+            "  storm: {} submissions, {} failed jobs, {} node daemons crashed (OOM)",
+            self.storm_submissions, self.storm_failures, self.daemons_crashed
+        )?;
+        writeln!(
+            f,
+            "  under-replicated blocks: {} at heartbeat timeout -> {} after the \
+             replication monitor caught up",
+            self.under_replicated_peak, self.under_replicated_after_recovery
+        )?;
+        writeln!(
+            f,
+            "  restart: {} per node to integrity-scan -> safe mode exited after {}",
+            ByteSize::display(self.bytes_per_node),
+            self.restart_to_safemode_exit
+        )?;
+        writeln!(
+            f,
+            "  corrupted cluster (blocks lost every replica) refuses new jobs: {}",
+            self.corrupted_cluster_refuses_jobs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_whole_story_replays() {
+        let r = run(Scale::Quick);
+        assert!(r.daemons_crashed >= 3, "storm must kill daemons: {}", r.daemons_crashed);
+        assert!(r.storm_failures > 0, "some jobs died with their trackers");
+        assert!(
+            r.under_replicated_peak > 0,
+            "dead DataNodes must expose under-replication"
+        );
+        assert!(
+            r.under_replicated_after_recovery < r.under_replicated_peak.max(1),
+            "the monitor must make progress: {} -> {}",
+            r.under_replicated_peak,
+            r.under_replicated_after_recovery
+        );
+        assert!(r.restart_to_safemode_exit >= SimDuration::from_secs(30), "extension floor");
+        assert!(r.corrupted_cluster_refuses_jobs, "the paper's end state");
+    }
+
+    #[test]
+    fn renders() {
+        let text = run(Scale::Quick).to_string();
+        assert!(text.contains("N6"));
+        assert!(text.contains("safe mode exited"));
+        assert!(text.contains("refuses new jobs: true"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Google cluster trace — the 171 GB semester-project dataset.
+//!
+//! The Fall-2012 assignment: "analyze the 171GB of a Google Data Center's
+//! system log and find the computing job with largest number of task
+//! resubmissions". We synthesize task-event rows in the clusterdata-2011
+//! style (`timestamp,missing,job_id,task_index,machine_id,event_type,...`)
+//! where `event_type` follows the real encoding (0=SUBMIT, 1=SCHEDULE,
+//! 2=EVICT, 3=FAIL, 4=FINISH, 5=KILL, 6=LOST). A resubmission is a SUBMIT
+//! event for a task that was already submitted — generated heavy-tailed so
+//! one job is the clear answer.
+
+use std::collections::BTreeMap;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Event type codes, clusterdata-2011 encoding.
+pub mod event {
+    /// Task submitted (or resubmitted).
+    pub const SUBMIT: u8 = 0;
+    /// Task placed on a machine.
+    pub const SCHEDULE: u8 = 1;
+    /// Task evicted by a higher-priority task.
+    pub const EVICT: u8 = 2;
+    /// Task failed.
+    pub const FAIL: u8 = 3;
+    /// Task completed normally.
+    pub const FINISH: u8 = 4;
+    /// Task killed by its user/driver.
+    pub const KILL: u8 = 5;
+    /// Task record lost by the monitoring system.
+    pub const LOST: u8 = 6;
+}
+
+/// Ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct TraceTruth {
+    /// `job → total task resubmissions` (SUBMIT events beyond the first,
+    /// per task, summed over the job's tasks).
+    pub resubmissions: BTreeMap<u64, u64>,
+}
+
+impl TraceTruth {
+    /// `(job, resubmissions)` with the most resubmissions.
+    pub fn worst_job(&self) -> Option<(u64, u64)> {
+        self.resubmissions
+            .iter()
+            .map(|(&j, &n)| (j, n))
+            .max_by_key(|&(j, n)| (n, std::cmp::Reverse(j)))
+    }
+}
+
+/// The generator.
+#[derive(Debug, Clone)]
+pub struct GoogleTraceGen {
+    /// Number of jobs.
+    pub num_jobs: u64,
+    /// Tasks per job (upper bound; sampled).
+    pub max_tasks_per_job: u32,
+    seed: u64,
+}
+
+impl GoogleTraceGen {
+    /// Test-scaled defaults.
+    pub fn new(seed: u64) -> Self {
+        GoogleTraceGen { num_jobs: 200, max_tasks_per_job: 40, seed }
+    }
+
+    /// Resize.
+    pub fn with_jobs(mut self, jobs: u64, max_tasks: u32) -> Self {
+        self.num_jobs = jobs.max(1);
+        self.max_tasks_per_job = max_tasks.max(1);
+        self
+    }
+
+    /// Generate the task-event log plus ground truth.
+    pub fn generate(&self) -> (String, TraceTruth) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut out = String::new();
+        let mut truth = TraceTruth::default();
+        let mut ts: u64 = 600_000_000; // trace starts at 600 s, like the real one
+
+        for j in 0..self.num_jobs {
+            let job_id = 6_000_000_000 + j * 137; // big sparse ids, real-flavored
+            let tasks = rng.gen_range(1..=self.max_tasks_per_job);
+            // Most jobs behave; a few percent are crashloopers with many
+            // resubmits per task (heavy tail).
+            let crashloop = rng.gen_bool(0.05);
+            let mut job_resub = 0u64;
+            for task in 0..tasks {
+                let resubmits: u64 = if crashloop {
+                    rng.gen_range(3..40)
+                } else if rng.gen_bool(0.1) {
+                    rng.gen_range(1..3)
+                } else {
+                    0
+                };
+                job_resub += resubmits;
+                for attempt in 0..=resubmits {
+                    let machine = rng.gen_range(1..=5000u32);
+                    ts += rng.gen_range(1000..50_000);
+                    push_event(&mut out, ts, job_id, task, machine, event::SUBMIT);
+                    ts += rng.gen_range(100..5_000);
+                    push_event(&mut out, ts, job_id, task, machine, event::SCHEDULE);
+                    ts += rng.gen_range(10_000..500_000);
+                    let terminal = if attempt < resubmits {
+                        // Something went wrong, hence the resubmission.
+                        [event::EVICT, event::FAIL, event::KILL, event::LOST]
+                            [rng.gen_range(0..4)]
+                    } else {
+                        event::FINISH
+                    };
+                    push_event(&mut out, ts, job_id, task, machine, terminal);
+                }
+            }
+            truth.resubmissions.insert(job_id, job_resub);
+        }
+        (out, truth)
+    }
+}
+
+fn push_event(out: &mut String, ts: u64, job: u64, task: u32, machine: u32, ev: u8) {
+    // timestamp,missing_info,job_id,task_index,machine_id,event_type,user,...
+    out.push_str(&format!("{ts},,{job},{task},{machine},{ev},user{},,,\n", job % 97));
+}
+
+/// Parse one event row into `(job_id, task_index, event_type)`.
+pub fn parse_event(line: &str) -> Option<(u64, u32, u8)> {
+    let mut f = line.split(',');
+    let _ts = f.next()?;
+    let _missing = f.next()?;
+    let job = f.next()?.parse().ok()?;
+    let task = f.next()?.parse().ok()?;
+    let _machine = f.next()?;
+    let ev = f.next()?.parse().ok()?;
+    Some((job, task, ev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_matches_reparse() {
+        let (log, truth) = GoogleTraceGen::new(13).generate();
+        // Count SUBMITs per (job, task); resubmissions = submits - 1.
+        let mut submits: BTreeMap<(u64, u32), u64> = BTreeMap::new();
+        for line in log.lines() {
+            let (job, task, ev) = parse_event(line).unwrap();
+            if ev == event::SUBMIT {
+                *submits.entry((job, task)).or_default() += 1;
+            }
+        }
+        let mut per_job: BTreeMap<u64, u64> = BTreeMap::new();
+        for ((job, _), n) in submits {
+            *per_job.entry(job).or_default() += n - 1;
+        }
+        // Jobs with zero resubmissions may be absent from per_job; align.
+        for (job, n) in &truth.resubmissions {
+            assert_eq!(per_job.get(job).copied().unwrap_or(0), *n, "job {job}");
+        }
+    }
+
+    #[test]
+    fn worst_job_is_a_crashlooper() {
+        let (_, truth) = GoogleTraceGen::new(4).with_jobs(500, 30).generate();
+        let (_, worst) = truth.worst_job().unwrap();
+        let median = {
+            let mut v: Vec<u64> = truth.resubmissions.values().copied().collect();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        assert!(worst >= 20, "worst {worst}");
+        assert!(worst > 4 * median.max(1), "heavy tail: worst {worst}, median {median}");
+    }
+
+    #[test]
+    fn every_task_lifecycle_terminates() {
+        let (log, _) = GoogleTraceGen::new(9).with_jobs(50, 10).generate();
+        let mut last_event: BTreeMap<(u64, u32), u8> = BTreeMap::new();
+        for line in log.lines() {
+            let (job, task, ev) = parse_event(line).unwrap();
+            last_event.insert((job, task), ev);
+        }
+        for (&(job, task), &ev) in &last_event {
+            assert_eq!(ev, event::FINISH, "job {job} task {task} ends {ev}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = GoogleTraceGen::new(6).generate().0;
+        let b = GoogleTraceGen::new(6).generate().0;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,367 @@
+//! Cluster administration: `dfsadmin -report`, the balancer, and
+//! decommissioning drills.
+//!
+//! The myHadoop submission script ran `dfsadmin`-style health checks
+//! ("check HDFS' health status") before launching the example job; the
+//! balancer and decommissioning are the admin tools staff reach for after
+//! the kind of node churn the Version-1 semester produced.
+
+use std::fmt;
+
+use hl_cluster::network::ClusterNet;
+use hl_common::prelude::*;
+use hl_common::units::ByteSize;
+
+use crate::client::Dfs;
+
+/// One DataNode row of the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataNodeReportRow {
+    /// Node.
+    pub node: NodeId,
+    /// Daemon up?
+    pub alive: bool,
+    /// Draining?
+    pub decommissioning: bool,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Used bytes.
+    pub used: u64,
+    /// Blocks held.
+    pub blocks: usize,
+}
+
+impl DataNodeReportRow {
+    /// Disk utilization in [0,1].
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// The `dfsadmin -report` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfsAdminReport {
+    /// Per-node rows.
+    pub nodes: Vec<DataNodeReportRow>,
+    /// Under-replicated block count.
+    pub under_replicated: usize,
+    /// Missing block count.
+    pub missing: usize,
+    /// Safe mode on?
+    pub safemode: bool,
+}
+
+/// Build the report.
+pub fn report(dfs: &Dfs) -> DfsAdminReport {
+    let live = dfs.namenode.live_datanodes();
+    let decom = dfs.namenode.decommissioning_nodes();
+    let nodes = dfs
+        .datanode_ids()
+        .into_iter()
+        .map(|n| {
+            let dn = dfs.datanode(n).unwrap();
+            DataNodeReportRow {
+                node: n,
+                alive: dn.alive && live.contains(&n),
+                decommissioning: decom.contains(&n),
+                capacity: dn.capacity,
+                used: dn.used_bytes(),
+                blocks: dn.num_blocks(),
+            }
+        })
+        .collect();
+    DfsAdminReport {
+        nodes,
+        under_replicated: dfs.namenode.under_replicated().len(),
+        missing: dfs.namenode.missing_blocks().len(),
+        safemode: dfs.namenode.safemode.is_on(),
+    }
+}
+
+impl DfsAdminReport {
+    /// Max-minus-min node utilization — what the balancer minimizes.
+    pub fn utilization_spread(&self) -> f64 {
+        let utils: Vec<f64> =
+            self.nodes.iter().filter(|n| n.alive).map(|n| n.utilization()).collect();
+        match (utils.iter().cloned().reduce(f64::max), utils.iter().cloned().reduce(f64::min)) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for DfsAdminReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_cap: u64 = self.nodes.iter().map(|n| n.capacity).sum();
+        let total_used: u64 = self.nodes.iter().map(|n| n.used).sum();
+        writeln!(f, "Configured Capacity: {}", ByteSize::display(total_cap))?;
+        writeln!(f, "DFS Used: {}", ByteSize::display(total_used))?;
+        writeln!(f, "Under replicated blocks: {}", self.under_replicated)?;
+        writeln!(f, "Missing blocks: {}", self.missing)?;
+        writeln!(f, "Safe mode is {}", if self.safemode { "ON" } else { "OFF" })?;
+        writeln!(
+            f,
+            "Datanodes available: {} ({} total, {} dead)",
+            self.nodes.iter().filter(|n| n.alive).count(),
+            self.nodes.len(),
+            self.nodes.iter().filter(|n| !n.alive).count()
+        )?;
+        for n in &self.nodes {
+            writeln!(
+                f,
+                "Name: {} ({})\n  DFS Used: {} ({:.2}%)  Blocks: {}",
+                n.node,
+                match (n.alive, n.decommissioning) {
+                    (false, _) => "Dead",
+                    (true, true) => "Decommission in progress",
+                    (true, false) => "In Service",
+                },
+                ByteSize::display(n.used),
+                n.utilization() * 100.0,
+                n.blocks
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of one balancer run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalancerReport {
+    /// Replica moves performed.
+    pub moves: usize,
+    /// Bytes moved.
+    pub bytes_moved: u64,
+    /// Utilization spread before.
+    pub spread_before: f64,
+    /// Utilization spread after.
+    pub spread_after: f64,
+    /// When the balancer finished.
+    pub completed_at: SimTime,
+}
+
+/// Run the balancer: move replicas from over- to under-utilized nodes
+/// until every live node sits within `threshold` of the mean utilization
+/// (or no legal move remains). Charged like any other transfer.
+pub fn balance(
+    dfs: &mut Dfs,
+    net: &mut ClusterNet,
+    now: SimTime,
+    threshold: f64,
+    max_moves: usize,
+) -> BalancerReport {
+    let spread_before = report(dfs).utilization_spread();
+    let mut t = now;
+    let mut moves = 0;
+    let mut bytes_moved = 0;
+
+    for _ in 0..max_moves {
+        let rows: Vec<_> = report(dfs)
+            .nodes
+            .into_iter()
+            .filter(|n| n.alive && !n.decommissioning)
+            .collect();
+        if rows.len() < 2 {
+            break;
+        }
+        let mean: f64 =
+            rows.iter().map(DataNodeReportRow::utilization).sum::<f64>() / rows.len() as f64;
+        let over = rows
+            .iter()
+            .filter(|n| n.utilization() > mean + threshold)
+            .max_by(|a, b| a.utilization().total_cmp(&b.utilization()));
+        // HDFS pairs over-utilized sources with under-utilized targets,
+        // falling back to merely below-average targets (with low overall
+        // utilization the strict under band is empty).
+        let under = rows
+            .iter()
+            .filter(|n| n.utilization() < mean - threshold)
+            .min_by(|a, b| a.utilization().total_cmp(&b.utilization()))
+            .or_else(|| {
+                rows.iter()
+                    .filter(|n| n.utilization() < mean)
+                    .min_by(|a, b| a.utilization().total_cmp(&b.utilization()))
+            });
+        let (Some(src), Some(dst)) = (over, under) else { break };
+
+        // Pick a block on src that dst doesn't hold.
+        let candidate = dfs
+            .datanode(src.node)
+            .unwrap()
+            .block_report()
+            .into_iter()
+            .find(|(id, _)| !dfs.datanode(dst.node).unwrap().has_block(*id));
+        let Some((block, len)) = candidate else { break };
+
+        // Copy src -> dst, then drop the src replica.
+        let payload = dfs.datanode(src.node).unwrap().payload(block).cloned().unwrap();
+        let read = net.read_local_disk(t, src.node, len);
+        let xfer = net.transfer(read.end, src.node, dst.node, len);
+        let write = net.write_local_disk(xfer.end, dst.node, len);
+        if dfs.datanode_mut(dst.node).unwrap().store_block(block, payload).is_err() {
+            break;
+        }
+        // Tell the NameNode: new replica first, then invalidate the old.
+        let cmds = dfs.namenode.block_received(write.end, dst.node, block);
+        dfs.apply_commands(net, write.end, &cmds);
+        dfs.namenode.process_block_report(
+            write.end,
+            src.node,
+            &{
+                let mut r = dfs.datanode(src.node).unwrap().block_report();
+                r.retain(|(id, _)| *id != block);
+                r
+            },
+        );
+        dfs.datanode_mut(src.node).unwrap().delete_block(block);
+        t = write.end;
+        moves += 1;
+        bytes_moved += len;
+    }
+
+    BalancerReport {
+        moves,
+        bytes_moved,
+        spread_before,
+        spread_after: report(dfs).utilization_spread(),
+        completed_at: t,
+    }
+}
+
+/// Drain a node completely: start decommission, drive the protocol until
+/// every replica has a home elsewhere, then retire the node. Returns the
+/// finish time.
+pub fn decommission_node(
+    dfs: &mut Dfs,
+    net: &mut ClusterNet,
+    now: SimTime,
+    node: NodeId,
+) -> Result<Timed> {
+    dfs.namenode.start_decommission(node);
+    let step = dfs.namenode.heartbeat_interval();
+    let mut t = now;
+    let mut rounds = 0;
+    while !dfs.namenode.decommission_complete(node) {
+        t += step;
+        dfs.heartbeat_round(net, t);
+        rounds += 1;
+        if rounds > 1_000_000 {
+            return Err(HlError::Internal(format!("decommission of {node} cannot converge")));
+        }
+    }
+    // Retire: the daemon stops and the operator removes the node from the
+    // include file; the NameNode forgets it completely.
+    dfs.crash_datanode(node);
+    dfs.namenode.unregister_datanode(node);
+    Ok(Timed { completed_at: t })
+}
+
+/// Completion time marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timed {
+    /// When the drain finished.
+    pub completed_at: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_cluster::node::ClusterSpec;
+    use hl_common::config::keys;
+
+    fn setup(nodes: usize) -> (Dfs, ClusterNet) {
+        let mut spec = ClusterSpec::course_hadoop(nodes);
+        spec.node.disk_bytes = 1 << 20; // 1 MiB disks: utilization visible
+        let mut config = Configuration::with_defaults();
+        config.set(keys::DFS_BLOCK_SIZE, 4096u64);
+        config.set(keys::DFS_REPLICATION, 2);
+        (Dfs::format(&config, &spec).unwrap(), ClusterNet::new(&spec))
+    }
+
+    #[test]
+    fn report_reflects_cluster_state() {
+        let (mut dfs, mut net) = setup(4);
+        dfs.namenode.mkdirs("/d").unwrap();
+        dfs.put(&mut net, SimTime::ZERO, "/d/f", &[7u8; 50_000], None).unwrap();
+        let r = report(&dfs);
+        assert_eq!(r.nodes.len(), 4);
+        assert_eq!(r.under_replicated, 0);
+        assert!(!r.safemode);
+        assert_eq!(r.nodes.iter().map(|n| n.blocks).sum::<usize>(), 13 * 2);
+        let text = r.to_string();
+        assert!(text.contains("In Service"));
+        assert!(text.contains("Under replicated blocks: 0"));
+        // Kill a node: the report shows it dead. The survivors keep
+        // heartbeating, so only node001 times out.
+        dfs.crash_datanode(NodeId(1));
+        let later = SimTime::ZERO + SimDuration::from_mins(20);
+        for n in [0u32, 2, 3] {
+            dfs.namenode.heartbeat(later, NodeId(n), u64::MAX / 2);
+        }
+        dfs.namenode.check_heartbeats(later);
+        let r2 = report(&dfs);
+        assert!(r2.to_string().contains("Dead"));
+        assert!(r2.under_replicated > 0);
+    }
+
+    #[test]
+    fn balancer_reduces_spread() {
+        let (mut dfs, mut net) = setup(4);
+        dfs.namenode.mkdirs("/d").unwrap();
+        // Write with replication 1 so placement rotation leaves imbalance,
+        // then make it worse by writing from one node.
+        for i in 0..12 {
+            dfs.put_with_replication(
+                &mut net,
+                SimTime::ZERO,
+                &format!("/d/f{i}"),
+                &[1u8; 20_000],
+                Some(NodeId(0)),
+                1,
+            )
+            .unwrap();
+        }
+        let before = report(&dfs).utilization_spread();
+        assert!(before > 0.1, "need imbalance to balance: {before}");
+        let result = balance(&mut dfs, &mut net, SimTime::ZERO, 0.05, 200);
+        assert!(result.moves > 0);
+        assert!(result.spread_after < result.spread_before, "{result:?}");
+        assert!(result.bytes_moved > 0);
+        // Data still reads back.
+        let got = dfs.read(&mut net, result.completed_at, "/d/f0", None).unwrap();
+        assert_eq!(got.value.len(), 20_000);
+    }
+
+    #[test]
+    fn decommission_drains_without_data_loss() {
+        let (mut dfs, mut net) = setup(5);
+        dfs.namenode.mkdirs("/d").unwrap();
+        dfs.put(&mut net, SimTime::ZERO, "/d/f", &[9u8; 40_000], None).unwrap();
+        let victim = dfs.file_blocks("/d/f").unwrap()[0].2[0];
+        let done = decommission_node(&mut dfs, &mut net, SimTime::ZERO, victim).unwrap();
+        // All blocks fully replicated on the survivors.
+        for (_, _, holders) in dfs.file_blocks("/d/f").unwrap() {
+            let holders: Vec<_> = holders.into_iter().filter(|h| *h != victim).collect();
+            assert!(holders.len() >= 2, "{holders:?}");
+        }
+        let got = dfs.read(&mut net, done.completed_at, "/d/f", None).unwrap();
+        assert_eq!(got.value, vec![9u8; 40_000]);
+        // The report shows the node dead (retired).
+        assert!(report(&dfs).to_string().contains("Dead"));
+    }
+
+    #[test]
+    fn decommission_is_cancellable() {
+        let (mut dfs, mut net) = setup(3);
+        dfs.namenode.mkdirs("/d").unwrap();
+        dfs.put(&mut net, SimTime::ZERO, "/d/f", &[1u8; 10_000], None).unwrap();
+        dfs.namenode.start_decommission(NodeId(0));
+        assert_eq!(dfs.namenode.decommissioning_nodes(), vec![NodeId(0)]);
+        dfs.namenode.cancel_decommission(NodeId(0));
+        assert!(dfs.namenode.decommissioning_nodes().is_empty());
+    }
+}

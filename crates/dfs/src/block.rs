@@ -1,0 +1,202 @@
+//! Blocks: the unit HDFS splits every file into.
+//!
+//! The course's HDFS lecture (Figure 2) shows files decomposed into
+//! `blk_xxx` files on the DataNodes' Linux file systems. Here a block is an
+//! id plus a payload; payloads are either **real bytes** (checksummed,
+//! readable, what tests and workloads use) or **synthetic lengths** (time
+//! modeling only, what the 171 GB staging experiment uses).
+
+use bytes::Bytes;
+
+use hl_common::checksum::ChunkedChecksum;
+use hl_common::prelude::*;
+
+/// Globally unique block id, allocated by the NameNode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u64);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "blk_{}", self.0)
+    }
+}
+
+/// Bytes-per-checksum, Hadoop's `io.bytes.per.checksum` default.
+pub const BYTES_PER_CHECKSUM: usize = 512;
+
+/// The contents of a block replica.
+#[derive(Debug, Clone)]
+pub enum BlockPayload {
+    /// Actual data with per-512-byte CRC32s.
+    Real {
+        /// The block's bytes (cheaply clonable for replication).
+        data: Bytes,
+        /// Per-chunk CRC32s over `data`.
+        checksums: ChunkedChecksum,
+    },
+    /// A length with no bytes behind it — participates in every time and
+    /// replication computation but cannot be read for content.
+    Synthetic {
+        /// Modeled length in bytes.
+        len: u64,
+    },
+}
+
+impl BlockPayload {
+    /// Build a real payload, computing checksums.
+    pub fn real(data: impl Into<Bytes>) -> Self {
+        let data = data.into();
+        let checksums = ChunkedChecksum::compute(&data, BYTES_PER_CHECKSUM);
+        BlockPayload::Real { data, checksums }
+    }
+
+    /// Build a synthetic payload of `len` bytes.
+    pub fn synthetic(len: u64) -> Self {
+        BlockPayload::Synthetic { len }
+    }
+
+    /// Length in bytes (real or modeled).
+    pub fn len(&self) -> u64 {
+        match self {
+            BlockPayload::Real { data, .. } => data.len() as u64,
+            BlockPayload::Synthetic { len } => *len,
+        }
+    }
+
+    /// True for zero-length payloads.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when actual bytes are available.
+    pub fn is_real(&self) -> bool {
+        matches!(self, BlockPayload::Real { .. })
+    }
+
+    /// Verify stored checksums; synthetic payloads are vacuously clean.
+    /// Returns the first corrupt chunk index if any.
+    pub fn verify(&self) -> Option<usize> {
+        match self {
+            BlockPayload::Real { data, checksums } => checksums.verify(data),
+            BlockPayload::Synthetic { .. } => None,
+        }
+    }
+}
+
+/// A replica as stored on one DataNode.
+#[derive(Debug, Clone)]
+pub struct StoredBlock {
+    /// Block identity.
+    pub id: BlockId,
+    /// Contents.
+    pub payload: BlockPayload,
+}
+
+impl StoredBlock {
+    /// Convenience constructor.
+    pub fn new(id: BlockId, payload: BlockPayload) -> Self {
+        StoredBlock { id, payload }
+    }
+
+    /// Read the real bytes, verifying checksums first.
+    pub fn read_verified(&self) -> Result<Bytes> {
+        match &self.payload {
+            BlockPayload::Real { data, checksums } => match checksums.verify(data) {
+                None => Ok(data.clone()),
+                Some(chunk) => Err(HlError::ChecksumMismatch {
+                    block_id: self.id.0,
+                    expected: checksums.crcs[chunk],
+                    actual: hl_common::checksum::Crc32::checksum(
+                        &data[chunk * BYTES_PER_CHECKSUM
+                            ..((chunk + 1) * BYTES_PER_CHECKSUM).min(data.len())],
+                    ),
+                }),
+            },
+            BlockPayload::Synthetic { .. } => Err(HlError::Internal(format!(
+                "attempted content read of synthetic block {}",
+                self.id
+            ))),
+        }
+    }
+}
+
+/// Split file contents into block-sized payloads (the DFSClient write path).
+pub fn split_into_blocks(data: &[u8], block_size: u64) -> Vec<BlockPayload> {
+    assert!(block_size > 0, "block size must be positive");
+    if data.is_empty() {
+        return Vec::new();
+    }
+    data.chunks(block_size as usize)
+        .map(|c| BlockPayload::real(Bytes::copy_from_slice(c)))
+        .collect()
+}
+
+/// Split a synthetic file length into synthetic block payloads.
+pub fn split_synthetic(len: u64, block_size: u64) -> Vec<BlockPayload> {
+    assert!(block_size > 0, "block size must be positive");
+    let mut blocks = Vec::new();
+    let mut remaining = len;
+    while remaining > 0 {
+        let this = remaining.min(block_size);
+        blocks.push(BlockPayload::synthetic(this));
+        remaining -= this;
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_real_respects_block_size() {
+        let data = vec![42u8; 300];
+        let blocks = split_into_blocks(&data, 128);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].len(), 128);
+        assert_eq!(blocks[1].len(), 128);
+        assert_eq!(blocks[2].len(), 44);
+        assert!(blocks.iter().all(|b| b.is_real()));
+        assert!(split_into_blocks(&[], 128).is_empty());
+    }
+
+    #[test]
+    fn split_synthetic_matches_lengths() {
+        let blocks = split_synthetic(171 * 1024, 64 * 1024);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks.iter().map(BlockPayload::len).sum::<u64>(), 171 * 1024);
+        assert_eq!(blocks[2].len(), 43 * 1024);
+        assert!(split_synthetic(0, 64).is_empty());
+    }
+
+    #[test]
+    fn read_verified_catches_corruption() {
+        let block = StoredBlock::new(BlockId(7), BlockPayload::real(vec![1u8; 2048]));
+        assert_eq!(block.read_verified().unwrap().len(), 2048);
+
+        // Corrupt one byte behind the checksums' back.
+        let mut corrupted = block.clone();
+        if let BlockPayload::Real { data, .. } = &mut corrupted.payload {
+            let mut raw = data.to_vec();
+            raw[700] ^= 0xFF;
+            *data = Bytes::from(raw);
+        }
+        match corrupted.read_verified() {
+            Err(HlError::ChecksumMismatch { block_id: 7, .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synthetic_blocks_refuse_content_reads() {
+        let block = StoredBlock::new(BlockId(1), BlockPayload::synthetic(1 << 30));
+        assert!(matches!(block.read_verified(), Err(HlError::Internal(_))));
+        assert_eq!(block.payload.len(), 1 << 30);
+        assert!(block.payload.verify().is_none());
+    }
+
+    #[test]
+    fn display_matches_hdfs_naming() {
+        assert_eq!(BlockId(1073741825).to_string(), "blk_1073741825");
+    }
+}

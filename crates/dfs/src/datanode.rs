@@ -1,0 +1,269 @@
+//! The DataNode: stores block replicas and reports them to the NameNode.
+//!
+//! Figure 2's bottom row. The behaviours that matter to the course are all
+//! here: blocks live as checksummed chunks on the node's local disk, a
+//! restarted DataNode re-verifies its blocks before reporting in (the
+//! "at least fifteen minutes for all the Data Nodes to check for data
+//! integrity and report back to the Name Node"), and the block report is
+//! the NameNode's only source of truth about replica locations.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use hl_common::prelude::*;
+
+use crate::block::{BlockId, BlockPayload, StoredBlock};
+
+/// One DataNode's state.
+#[derive(Debug, Clone)]
+pub struct DataNode {
+    /// Which physical node this daemon runs on.
+    pub node: NodeId,
+    /// Disk capacity in bytes.
+    pub capacity: u64,
+    /// Whether the daemon process is up.
+    pub alive: bool,
+    blocks: BTreeMap<BlockId, StoredBlock>,
+}
+
+/// Summary of a block scanner pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Blocks whose checksums verified clean.
+    pub clean: usize,
+    /// Blocks found corrupt (now quarantined — removed from storage).
+    pub corrupt: Vec<BlockId>,
+    /// Bytes the scanner had to read.
+    pub bytes_scanned: u64,
+}
+
+impl DataNode {
+    /// A fresh, empty, live DataNode.
+    pub fn new(node: NodeId, capacity: u64) -> Self {
+        DataNode { node, capacity, alive: true, blocks: BTreeMap::new() }
+    }
+
+    /// Store a replica. Fails when the disk is full or the daemon is down.
+    pub fn store_block(&mut self, id: BlockId, payload: BlockPayload) -> Result<()> {
+        if !self.alive {
+            return Err(HlError::DaemonDown(format!("datanode/{}", self.node)));
+        }
+        let len = payload.len();
+        if self.used_bytes() + len > self.capacity {
+            return Err(HlError::Io(format!(
+                "datanode/{}: disk full ({} used of {})",
+                self.node,
+                self.used_bytes(),
+                self.capacity
+            )));
+        }
+        self.blocks.insert(id, StoredBlock::new(id, payload));
+        Ok(())
+    }
+
+    /// Read a replica's bytes, verifying checksums.
+    pub fn read_block(&self, id: BlockId) -> Result<Bytes> {
+        if !self.alive {
+            return Err(HlError::DaemonDown(format!("datanode/{}", self.node)));
+        }
+        match self.blocks.get(&id) {
+            Some(stored) => stored.read_verified(),
+            None => Err(HlError::MissingBlock { block_id: id.0, path: String::new() }),
+        }
+    }
+
+    /// The replica's payload (for replication pipelines), unverified.
+    pub fn payload(&self, id: BlockId) -> Option<&BlockPayload> {
+        self.blocks.get(&id).map(|s| &s.payload)
+    }
+
+    /// Does this node hold the block?
+    pub fn has_block(&self, id: BlockId) -> bool {
+        self.blocks.contains_key(&id)
+    }
+
+    /// Drop a replica (NameNode invalidation command).
+    pub fn delete_block(&mut self, id: BlockId) -> bool {
+        self.blocks.remove(&id).is_some()
+    }
+
+    /// Bytes currently stored.
+    pub fn used_bytes(&self) -> u64 {
+        self.blocks.values().map(|b| b.payload.len()).sum()
+    }
+
+    /// Remaining capacity.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity.saturating_sub(self.used_bytes())
+    }
+
+    /// Number of replicas held.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block report: every replica id and length, in id order.
+    pub fn block_report(&self) -> Vec<(BlockId, u64)> {
+        self.blocks.iter().map(|(id, b)| (*id, b.payload.len())).collect()
+    }
+
+    /// Full integrity scan: verify every replica's checksums, quarantine
+    /// corrupt ones. This is what a restarted DataNode does before its
+    /// first block report.
+    pub fn scan_blocks(&mut self) -> ScanReport {
+        let mut corrupt = Vec::new();
+        let mut bytes_scanned = 0;
+        for (id, stored) in &self.blocks {
+            bytes_scanned += stored.payload.len();
+            if stored.payload.verify().is_some() {
+                corrupt.push(*id);
+            }
+        }
+        for id in &corrupt {
+            self.blocks.remove(id);
+        }
+        ScanReport { clean: self.blocks.len(), corrupt, bytes_scanned }
+    }
+
+    /// Virtual time the startup integrity scan takes at `disk_bw` bytes/s.
+    pub fn scan_duration(&self, disk_bw: u64) -> SimDuration {
+        SimDuration::for_transfer(self.used_bytes(), disk_bw)
+    }
+
+    /// Kill the daemon process (blocks stay on disk — this is a process
+    /// crash, not a disk loss).
+    pub fn crash(&mut self) {
+        self.alive = false;
+    }
+
+    /// Restart the daemon.
+    pub fn restart(&mut self) {
+        self.alive = true;
+    }
+
+    /// Wipe the disk too (node reimaged / scratch purged by the scheduler).
+    pub fn wipe(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// Test/fault-injection helper: corrupt one byte of a stored replica
+    /// behind the checksums' back. Returns false if absent or synthetic.
+    pub fn corrupt_block(&mut self, id: BlockId, byte_offset: usize) -> bool {
+        match self.blocks.get_mut(&id) {
+            Some(StoredBlock { payload: BlockPayload::Real { data, .. }, .. }) => {
+                if data.is_empty() {
+                    return false;
+                }
+                let mut raw = data.to_vec();
+                let off = byte_offset % raw.len();
+                raw[off] ^= 0xA5;
+                *data = Bytes::from(raw);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_common::units::ByteSize;
+
+    fn dn() -> DataNode {
+        DataNode::new(NodeId(0), 10 * ByteSize::MIB)
+    }
+
+    #[test]
+    fn store_read_round_trip() {
+        let mut d = dn();
+        d.store_block(BlockId(1), BlockPayload::real(vec![9u8; 4096])).unwrap();
+        assert!(d.has_block(BlockId(1)));
+        assert_eq!(d.read_block(BlockId(1)).unwrap().len(), 4096);
+        assert_eq!(d.used_bytes(), 4096);
+        assert_eq!(d.num_blocks(), 1);
+    }
+
+    #[test]
+    fn disk_full_is_an_error() {
+        let mut d = DataNode::new(NodeId(0), 1000);
+        d.store_block(BlockId(1), BlockPayload::real(vec![0u8; 800])).unwrap();
+        assert!(matches!(
+            d.store_block(BlockId(2), BlockPayload::real(vec![0u8; 300])),
+            Err(HlError::Io(_))
+        ));
+        // Synthetic payloads also count against capacity.
+        assert!(d.store_block(BlockId(3), BlockPayload::synthetic(300)).is_err());
+        assert!(d.store_block(BlockId(4), BlockPayload::synthetic(200)).is_ok());
+    }
+
+    #[test]
+    fn dead_daemon_rejects_io() {
+        let mut d = dn();
+        d.store_block(BlockId(1), BlockPayload::real(vec![1u8; 10])).unwrap();
+        d.crash();
+        assert!(matches!(d.read_block(BlockId(1)), Err(HlError::DaemonDown(_))));
+        assert!(matches!(
+            d.store_block(BlockId(2), BlockPayload::real(vec![1u8; 10])),
+            Err(HlError::DaemonDown(_))
+        ));
+        d.restart();
+        // Blocks survived the process crash.
+        assert_eq!(d.read_block(BlockId(1)).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn missing_block_error() {
+        let d = dn();
+        assert!(matches!(
+            d.read_block(BlockId(404)),
+            Err(HlError::MissingBlock { block_id: 404, .. })
+        ));
+    }
+
+    #[test]
+    fn block_report_lists_everything_in_order() {
+        let mut d = dn();
+        d.store_block(BlockId(5), BlockPayload::real(vec![0u8; 100])).unwrap();
+        d.store_block(BlockId(2), BlockPayload::synthetic(50)).unwrap();
+        assert_eq!(d.block_report(), vec![(BlockId(2), 50), (BlockId(5), 100)]);
+    }
+
+    #[test]
+    fn scanner_quarantines_corruption() {
+        let mut d = dn();
+        d.store_block(BlockId(1), BlockPayload::real(vec![1u8; 1024])).unwrap();
+        d.store_block(BlockId(2), BlockPayload::real(vec![2u8; 1024])).unwrap();
+        d.store_block(BlockId(3), BlockPayload::synthetic(1024)).unwrap();
+        assert!(d.corrupt_block(BlockId(2), 700));
+        let report = d.scan_blocks();
+        assert_eq!(report.corrupt, vec![BlockId(2)]);
+        assert_eq!(report.clean, 2);
+        assert_eq!(report.bytes_scanned, 3 * 1024);
+        assert!(!d.has_block(BlockId(2)));
+        // Corrupting a synthetic or missing block is a no-op.
+        assert!(!d.corrupt_block(BlockId(3), 0));
+        assert!(!d.corrupt_block(BlockId(404), 0));
+    }
+
+    #[test]
+    fn scan_duration_scales_with_stored_bytes() {
+        let mut d = DataNode::new(NodeId(0), 900 * ByteSize::GIB);
+        // ~700 GB of synthetic data at 120 MiB/s should take ~1.66 hours —
+        // the right order for the paper's "fifteen minutes" once divided
+        // across a cluster's worth of smaller per-node holdings.
+        d.store_block(BlockId(1), BlockPayload::synthetic(700 * ByteSize::GIB)).unwrap();
+        let t = d.scan_duration(120 * ByteSize::MIB);
+        assert!(t > SimDuration::from_mins(90) && t < SimDuration::from_mins(120));
+    }
+
+    #[test]
+    fn wipe_clears_storage() {
+        let mut d = dn();
+        d.store_block(BlockId(1), BlockPayload::real(vec![1u8; 10])).unwrap();
+        d.wipe();
+        assert_eq!(d.num_blocks(), 0);
+        assert_eq!(d.used_bytes(), 0);
+    }
+}

@@ -1,0 +1,792 @@
+//! The NameNode: RAM-resident namespace + block map, heartbeat tracking,
+//! safe mode, and the replication monitor.
+//!
+//! This is the center of the paper's Figure 2: "DataNodes report block
+//! information to NameNode", "Block metadata lives in memory", and the
+//! JobTracker "receives block-level information" from here. It is written
+//! as a **pure state machine** — methods take the current [`SimTime`] and
+//! return commands — so `hl-core` can drive it from the event queue and
+//! unit tests can drive it directly.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hl_common::config::keys;
+use hl_common::prelude::*;
+
+use crate::block::BlockId;
+use crate::editlog::{EditLog, EditOp};
+use crate::namespace::{FileStatus, Namespace};
+use crate::placement::{self, Candidate};
+use crate::safemode::SafeMode;
+
+/// Everything the NameNode knows about one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Target replica count (from the owning file).
+    pub expected_replication: u32,
+    /// Block length in bytes.
+    pub len: u64,
+    /// Live replica locations, per the latest reports.
+    pub locations: BTreeSet<NodeId>,
+    /// Re-replications currently in flight (prevents duplicate work).
+    pub pending_replicas: u32,
+}
+
+/// Per-DataNode registration state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataNodeInfo {
+    /// Last heartbeat time.
+    pub last_heartbeat: SimTime,
+    /// Free disk as of the last heartbeat.
+    pub free_bytes: u64,
+    /// Considered alive by the heartbeat monitor.
+    pub alive: bool,
+}
+
+/// A command the NameNode hands back to the cluster driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings follow the variant docs directly
+pub enum DnCommand {
+    /// Copy `block` from `from` to `to` (re-replication).
+    Replicate { block: BlockId, from: NodeId, to: NodeId },
+    /// Delete an excess/invalidated replica on `node`.
+    Invalidate { block: BlockId, node: NodeId },
+}
+
+/// The NameNode.
+#[derive(Debug, Clone)]
+pub struct NameNode {
+    namespace: Namespace,
+    /// Journal of namespace mutations since the last checkpoint.
+    pub editlog: EditLog,
+    fsimage: Namespace,
+    blocks: BTreeMap<BlockId, BlockInfo>,
+    datanodes: BTreeMap<NodeId, DataNodeInfo>,
+    decommissioning: BTreeSet<NodeId>,
+    next_block_id: u64,
+    /// Safe-mode state machine.
+    pub safemode: SafeMode,
+    topology: Topology,
+    heartbeat_interval: SimDuration,
+    dead_after: SimDuration,
+    default_replication: u32,
+    default_block_size: u64,
+}
+
+impl NameNode {
+    /// Start a NameNode over `topology` with course-default configuration.
+    pub fn new(config: &Configuration, topology: Topology) -> Result<Self> {
+        let threshold = config.get_f64(keys::DFS_SAFEMODE_THRESHOLD, 0.999)?;
+        let extension =
+            SimDuration::from_secs(config.get_u64(keys::DFS_SAFEMODE_EXTENSION_SECS, 30)?);
+        let heartbeat_secs = config.get_u64(keys::DFS_HEARTBEAT_SECS, 3)?;
+        let dead_after_beats = config.get_u64(keys::DFS_HEARTBEAT_DEAD_AFTER, 200)?;
+        Ok(NameNode {
+            namespace: Namespace::new(),
+            editlog: EditLog::new(),
+            fsimage: Namespace::new(),
+            blocks: BTreeMap::new(),
+            datanodes: BTreeMap::new(),
+            decommissioning: BTreeSet::new(),
+            next_block_id: 1,
+            safemode: SafeMode::new(threshold, extension),
+            topology,
+            heartbeat_interval: SimDuration::from_secs(heartbeat_secs),
+            dead_after: SimDuration::from_secs(heartbeat_secs * dead_after_beats),
+            default_replication: config.get_u32(keys::DFS_REPLICATION, 3)?,
+            default_block_size: config.get_u64(keys::DFS_BLOCK_SIZE, 64 * 1024 * 1024)?,
+        })
+    }
+
+    /// Heartbeat period DataNodes should use.
+    pub fn heartbeat_interval(&self) -> SimDuration {
+        self.heartbeat_interval
+    }
+
+    /// Default replication for new files.
+    pub fn default_replication(&self) -> u32 {
+        self.default_replication
+    }
+
+    /// Default block size for new files.
+    pub fn default_block_size(&self) -> u64 {
+        self.default_block_size
+    }
+
+    /// The namespace, read-only (fsck, listings, input splits).
+    pub fn namespace(&self) -> &Namespace {
+        &self.namespace
+    }
+
+    /// Block info, read-only.
+    pub fn block(&self, id: BlockId) -> Option<&BlockInfo> {
+        self.blocks.get(&id)
+    }
+
+    /// Live replica locations of a block (empty when missing).
+    pub fn block_locations(&self, id: BlockId) -> Vec<NodeId> {
+        self.blocks
+            .get(&id)
+            .map(|b| b.locations.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn guard_safemode(&self) -> Result<()> {
+        if self.safemode.is_on() {
+            let (reported, expected) = self.block_census();
+            Err(HlError::SafeMode(self.safemode.status(reported, expected)))
+        } else {
+            Ok(())
+        }
+    }
+
+    // ---------------------------------------------------------------- DNs
+
+    /// A DataNode registers (daemon start).
+    pub fn register_datanode(&mut self, now: SimTime, node: NodeId, free_bytes: u64) {
+        self.datanodes
+            .insert(node, DataNodeInfo { last_heartbeat: now, free_bytes, alive: true });
+    }
+
+    /// Heartbeat from a DataNode. Revives nodes the monitor had declared
+    /// dead (their replicas come back via the next block report).
+    pub fn heartbeat(&mut self, now: SimTime, node: NodeId, free_bytes: u64) {
+        let info = self
+            .datanodes
+            .entry(node)
+            .or_insert(DataNodeInfo { last_heartbeat: now, free_bytes, alive: true });
+        info.last_heartbeat = now;
+        info.free_bytes = free_bytes;
+        info.alive = true;
+    }
+
+    /// Remove a DataNode from the cluster entirely (the operator pulled it
+    /// from the include file after decommissioning). Its replicas are
+    /// forgotten and it stops counting as live or draining.
+    pub fn unregister_datanode(&mut self, node: NodeId) {
+        self.datanodes.remove(&node);
+        self.decommissioning.remove(&node);
+        for b in self.blocks.values_mut() {
+            b.locations.remove(&node);
+        }
+    }
+
+    /// Update a DataNode's free-space figure without touching its
+    /// heartbeat clock (used on the synchronous write path).
+    pub fn update_free_space(&mut self, node: NodeId, free_bytes: u64) {
+        if let Some(info) = self.datanodes.get_mut(&node) {
+            info.free_bytes = free_bytes;
+        }
+    }
+
+    /// Sweep for dead DataNodes; removes their replicas from the block map.
+    /// Returns the newly-dead nodes.
+    pub fn check_heartbeats(&mut self, now: SimTime) -> Vec<NodeId> {
+        let mut newly_dead = Vec::new();
+        for (&node, info) in self.datanodes.iter_mut() {
+            if info.alive && now.since(info.last_heartbeat) > self.dead_after {
+                info.alive = false;
+                newly_dead.push(node);
+            }
+        }
+        for &node in &newly_dead {
+            for b in self.blocks.values_mut() {
+                b.locations.remove(&node);
+            }
+        }
+        // Losing replicas can regress the safe-mode census.
+        let (reported, expected) = self.block_census();
+        self.safemode.update(now, reported, expected);
+        newly_dead
+    }
+
+    /// Live DataNodes.
+    pub fn live_datanodes(&self) -> Vec<NodeId> {
+        self.datanodes.iter().filter(|(_, i)| i.alive).map(|(&n, _)| n).collect()
+    }
+
+    /// Process a full block report from `node`. Returns `true` when this
+    /// report (or its safe-mode consequence) exits safe mode.
+    pub fn process_block_report(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        report: &[(BlockId, u64)],
+    ) -> bool {
+        let reported_set: BTreeSet<BlockId> = report.iter().map(|(id, _)| *id).collect();
+        for (id, info) in self.blocks.iter_mut() {
+            if reported_set.contains(id) {
+                info.locations.insert(node);
+            } else {
+                info.locations.remove(&node);
+            }
+        }
+        let (reported, expected) = self.block_census();
+        self.safemode.update(now, reported, expected)
+    }
+
+    /// A DataNode confirms receipt of one block (pipeline write or
+    /// completed re-replication).
+    pub fn block_received(&mut self, now: SimTime, node: NodeId, id: BlockId) -> Vec<DnCommand> {
+        let mut commands = Vec::new();
+        if let Some(info) = self.blocks.get_mut(&id) {
+            info.locations.insert(node);
+            info.pending_replicas = info.pending_replicas.saturating_sub(1);
+            // Over-replication: evict replicas on decommissioning nodes
+            // first (that is the whole point of the drain), then the
+            // highest-id extra that isn't the one just written.
+            while info.locations.len() as u32 > info.expected_replication {
+                let victim = info
+                    .locations
+                    .iter()
+                    .find(|n| self.decommissioning.contains(n) && **n != node)
+                    .or_else(|| info.locations.iter().rev().find(|&&n| n != node))
+                    .copied()
+                    .unwrap_or(node);
+                info.locations.remove(&victim);
+                commands.push(DnCommand::Invalidate { block: id, node: victim });
+            }
+        }
+        let (reported, expected) = self.block_census();
+        self.safemode.update(now, reported, expected);
+        commands
+    }
+
+    /// `(blocks with ≥1 reported replica, total blocks)`.
+    pub fn block_census(&self) -> (usize, usize) {
+        let reported = self.blocks.values().filter(|b| !b.locations.is_empty()).count();
+        (reported, self.blocks.len())
+    }
+
+    // ---------------------------------------------------------- namespace
+
+    /// `hadoop fs -mkdir -p`.
+    pub fn mkdirs(&mut self, path: &str) -> Result<()> {
+        self.guard_safemode()?;
+        self.namespace.mkdirs(path)?;
+        self.editlog.append(EditOp::Mkdirs { path: path.to_string() });
+        Ok(())
+    }
+
+    /// Create an (incomplete) file.
+    pub fn create_file(
+        &mut self,
+        now: SimTime,
+        path: &str,
+        replication: Option<u32>,
+        block_size: Option<u64>,
+    ) -> Result<()> {
+        self.guard_safemode()?;
+        let replication = replication.unwrap_or(self.default_replication);
+        let block_size = block_size.unwrap_or(self.default_block_size);
+        self.namespace.create_file(path, replication, block_size, now)?;
+        self.editlog
+            .append(EditOp::Create { path: path.to_string(), replication, block_size, at: now });
+        Ok(())
+    }
+
+    /// Allocate the next block of `path` and choose its replica targets.
+    pub fn add_block(
+        &mut self,
+        path: &str,
+        len: u64,
+        writer: Option<NodeId>,
+    ) -> Result<(BlockId, Vec<NodeId>)> {
+        self.guard_safemode()?;
+        let file = self.namespace.file(path)?;
+        let (replication, block_size) = (file.replication, file.block_size);
+
+        let candidates: Vec<Candidate> = self
+            .datanodes
+            .iter()
+            .filter(|(n, i)| i.alive && !self.decommissioning.contains(n))
+            .map(|(&node, i)| Candidate { node, free_bytes: i.free_bytes })
+            .collect();
+        let id = BlockId(self.next_block_id);
+        let targets =
+            placement::choose_targets(&self.topology, &candidates, writer, replication, len.min(block_size), id.0);
+        if targets.is_empty() {
+            return Err(HlError::InsufficientReplication { wanted: replication, available: 0 });
+        }
+        self.next_block_id += 1;
+        self.namespace.append_block(path, id, len)?;
+        self.editlog.append(EditOp::AddBlock { path: path.to_string(), block: id, len });
+        self.blocks.insert(
+            id,
+            BlockInfo {
+                expected_replication: replication,
+                len,
+                locations: BTreeSet::new(),
+                pending_replicas: 0,
+            },
+        );
+        Ok((id, targets))
+    }
+
+    /// Close a file.
+    pub fn complete_file(&mut self, path: &str) -> Result<()> {
+        self.guard_safemode()?;
+        self.namespace.complete_file(path)?;
+        self.editlog.append(EditOp::Close { path: path.to_string() });
+        Ok(())
+    }
+
+    /// Delete a path; replicas of freed blocks get invalidation commands.
+    pub fn delete(&mut self, path: &str, recursive: bool) -> Result<Vec<DnCommand>> {
+        self.guard_safemode()?;
+        let freed = self.namespace.delete(path, recursive)?;
+        self.editlog.append(EditOp::Delete { path: path.to_string(), recursive });
+        let mut commands = Vec::new();
+        for id in freed {
+            if let Some(info) = self.blocks.remove(&id) {
+                for node in info.locations {
+                    commands.push(DnCommand::Invalidate { block: id, node });
+                }
+            }
+        }
+        Ok(commands)
+    }
+
+    /// `hadoop fs -setrep`: change a file's target replication. Raising it
+    /// queues re-replication; lowering it queues excess-replica
+    /// invalidation (both handled by the next monitor pass).
+    pub fn set_replication(&mut self, path: &str, replication: u32) -> Result<Vec<BlockId>> {
+        self.guard_safemode()?;
+        if replication == 0 {
+            return Err(HlError::Config("replication must be >= 1".into()));
+        }
+        let file = self.namespace.file_mut(path)?;
+        file.replication = replication;
+        let blocks = file.blocks.clone();
+        for id in &blocks {
+            if let Some(info) = self.blocks.get_mut(id) {
+                info.expected_replication = replication;
+            }
+        }
+        self.editlog
+            .append(EditOp::SetReplication { path: path.to_string(), replication });
+        Ok(blocks)
+    }
+
+    /// Rename a path.
+    pub fn rename(&mut self, src: &str, dst: &str) -> Result<()> {
+        self.guard_safemode()?;
+        self.namespace.rename(src, dst)?;
+        self.editlog.append(EditOp::Rename { src: src.to_string(), dst: dst.to_string() });
+        Ok(())
+    }
+
+    /// Directory listing.
+    pub fn list(&self, path: &str) -> Result<Vec<FileStatus>> {
+        self.namespace.list(path)
+    }
+
+    // ------------------------------------------------------- replication
+
+    /// Blocks with fewer *counted* replicas than expected (and how short).
+    /// Replicas on decommissioning nodes are still readable but no longer
+    /// count toward the target, so starting a decommission immediately
+    /// queues its blocks for copying — HDFS's drain semantics.
+    pub fn under_replicated(&self) -> Vec<(BlockId, u32, u32)> {
+        self.blocks
+            .iter()
+            .filter_map(|(&id, b)| {
+                let counted = b
+                    .locations
+                    .iter()
+                    .filter(|n| !self.decommissioning.contains(n))
+                    .count() as u32;
+                let have = counted + b.pending_replicas;
+                (have < b.expected_replication && !b.locations.is_empty())
+                    .then_some((id, counted, b.expected_replication))
+            })
+            .collect()
+    }
+
+    /// Blocks with zero live replicas — data loss until a holder returns.
+    pub fn missing_blocks(&self) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .filter(|(_, b)| b.locations.is_empty())
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// One replication-monitor pass: emit copy commands for
+    /// under-replicated blocks (bounded per pass, like the real monitor).
+    pub fn replication_work(&mut self, _now: SimTime, max_tasks: usize) -> Vec<DnCommand> {
+        if self.safemode.is_on() {
+            return Vec::new(); // the monitor idles during safe mode
+        }
+        let live: Vec<NodeId> = self.live_datanodes();
+        let mut commands = Vec::new();
+        let under: Vec<BlockId> = self
+            .under_replicated()
+            .into_iter()
+            .map(|(id, _, _)| id)
+            .collect();
+        for id in under {
+            if commands.len() >= max_tasks {
+                break;
+            }
+            let info = self.blocks.get(&id).unwrap();
+            let from = match info.locations.iter().next() {
+                Some(&n) => n,
+                None => continue,
+            };
+            let holders: BTreeSet<NodeId> = info.locations.clone();
+            let candidates: Vec<Candidate> = live
+                .iter()
+                .filter(|n| !holders.contains(n) && !self.decommissioning.contains(*n))
+                .map(|&node| Candidate {
+                    node,
+                    free_bytes: self.datanodes[&node].free_bytes,
+                })
+                .collect();
+            let targets = placement::choose_targets(
+                &self.topology,
+                &candidates,
+                None,
+                1,
+                info.len,
+                id.0,
+            );
+            if let Some(&to) = targets.first() {
+                let info = self.blocks.get_mut(&id).unwrap();
+                info.pending_replicas += 1;
+                commands.push(DnCommand::Replicate { block: id, from, to });
+            }
+        }
+        // Over-replication sweep (setrep-down, returned dead nodes): trim
+        // highest-id excess replicas.
+        let over: Vec<BlockId> = self
+            .blocks
+            .iter()
+            .filter(|(_, b)| b.locations.len() as u32 > b.expected_replication)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in over {
+            if commands.len() >= max_tasks {
+                break;
+            }
+            let info = self.blocks.get_mut(&id).unwrap();
+            while info.locations.len() as u32 > info.expected_replication {
+                let victim = *info.locations.iter().next_back().unwrap();
+                info.locations.remove(&victim);
+                commands.push(DnCommand::Invalidate { block: id, node: victim });
+            }
+        }
+        commands
+    }
+
+    /// A scheduled re-replication failed (source died mid-copy); return
+    /// the slot so the monitor can retry elsewhere.
+    pub fn replication_failed(&mut self, id: BlockId) {
+        if let Some(info) = self.blocks.get_mut(&id) {
+            info.pending_replicas = info.pending_replicas.saturating_sub(1);
+        }
+    }
+
+    /// Begin draining a DataNode: it stops receiving new blocks and its
+    /// replicas stop counting toward replication targets, so the monitor
+    /// copies them elsewhere. The node keeps serving reads while draining.
+    pub fn start_decommission(&mut self, node: NodeId) {
+        self.decommissioning.insert(node);
+    }
+
+    /// Abort a drain.
+    pub fn cancel_decommission(&mut self, node: NodeId) {
+        self.decommissioning.remove(&node);
+    }
+
+    /// Nodes currently draining.
+    pub fn decommissioning_nodes(&self) -> Vec<NodeId> {
+        self.decommissioning.iter().copied().collect()
+    }
+
+    /// True once every block that has a replica on `node` also has a full
+    /// replica set elsewhere — the node may be removed.
+    pub fn decommission_complete(&self, node: NodeId) -> bool {
+        self.blocks.values().all(|b| {
+            if !b.locations.contains(&node) {
+                return true;
+            }
+            let elsewhere = b
+                .locations
+                .iter()
+                .filter(|n| **n != node && !self.decommissioning.contains(n))
+                .count() as u32;
+            elsewhere >= b.expected_replication.min(self.eligible_datanodes(node))
+        })
+    }
+
+    fn eligible_datanodes(&self, excluding: NodeId) -> u32 {
+        self.datanodes
+            .iter()
+            .filter(|(n, i)| i.alive && **n != excluding && !self.decommissioning.contains(n))
+            .count() as u32
+    }
+
+    // ------------------------------------------------------------ restart
+
+    /// Checkpoint namespace to the fsimage and clear the edit log (what the
+    /// secondary NameNode did for the course cluster nightly).
+    pub fn checkpoint(&mut self) {
+        self.fsimage = self.namespace.clone();
+        self.editlog.checkpoint();
+    }
+
+    /// Simulate a full NameNode restart: rebuild the namespace from
+    /// fsimage + edit-log replay, forget all replica locations, and enter
+    /// safe mode. Block reports must stream back in before the cluster is
+    /// usable again.
+    pub fn restart(&mut self, _now: SimTime) -> Result<()> {
+        let mut rebuilt = self.fsimage.clone();
+        self.editlog.replay(&mut rebuilt)?;
+        debug_assert_eq!(rebuilt, self.namespace, "journal must reproduce live namespace");
+        self.namespace = rebuilt;
+        for b in self.blocks.values_mut() {
+            b.locations.clear();
+            b.pending_replicas = 0;
+        }
+        for info in self.datanodes.values_mut() {
+            info.alive = false;
+        }
+        self.safemode = SafeMode::new(self.safemode.threshold, self.safemode.extension);
+        Ok(())
+    }
+
+    /// Rough bytes of NameNode RAM the metadata occupies (the Figure 2
+    /// "block metadata lives in memory" talking point, used by the fsck
+    /// report). ~150 B per inode + ~(150 + 30·replicas) B per block, the
+    /// folklore numbers for Hadoop 1.x.
+    pub fn metadata_ram_bytes(&self) -> u64 {
+        let (dirs, files, _) = self.namespace.stats();
+        let inode_bytes = 150 * (dirs + files) as u64;
+        let block_bytes: u64 = self
+            .blocks
+            .values()
+            .map(|b| 150 + 30 * b.locations.len() as u64)
+            .sum();
+        inode_bytes + block_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nn(nodes: usize) -> NameNode {
+        let mut config = Configuration::with_defaults();
+        config.set(keys::DFS_SAFEMODE_EXTENSION_SECS, 0);
+        let mut nn = NameNode::new(&config, Topology::flat(nodes)).unwrap();
+        for i in 0..nodes as u32 {
+            nn.register_datanode(SimTime::ZERO, NodeId(i), u64::MAX / 2);
+        }
+        // Fresh cluster: empty namespace exits safe mode on first census.
+        nn.safemode.update(SimTime::ZERO, 0, 0);
+        nn
+    }
+
+    /// Create a file with `blocks` blocks and report all replicas in.
+    fn populate(nn: &mut NameNode, path: &str, blocks: usize) -> Vec<BlockId> {
+        nn.mkdirs("/data").unwrap();
+        nn.create_file(SimTime::ZERO, path, None, None).unwrap();
+        let mut ids = Vec::new();
+        for _ in 0..blocks {
+            let (id, targets) = nn.add_block(path, 64, None).unwrap();
+            for t in targets {
+                nn.block_received(SimTime::ZERO, t, id);
+            }
+            ids.push(id);
+        }
+        nn.complete_file(path).unwrap();
+        ids
+    }
+
+    #[test]
+    fn write_path_allocates_and_tracks_replicas() {
+        let mut nn = nn(4);
+        let ids = populate(&mut nn, "/data/f", 2);
+        assert_eq!(ids.len(), 2);
+        for id in &ids {
+            assert_eq!(nn.block_locations(*id).len(), 3);
+        }
+        assert!(nn.under_replicated().is_empty());
+        assert!(nn.missing_blocks().is_empty());
+        let f = nn.namespace().file("/data/f").unwrap();
+        assert!(f.complete);
+        assert_eq!(f.len, 128);
+    }
+
+    #[test]
+    fn safemode_blocks_mutations() {
+        let config = Configuration::with_defaults();
+        let mut nn = NameNode::new(&config, Topology::flat(2)).unwrap();
+        assert!(nn.safemode.is_on());
+        assert!(matches!(nn.mkdirs("/x"), Err(HlError::SafeMode(_))));
+        assert!(matches!(
+            nn.create_file(SimTime::ZERO, "/x", None, None),
+            Err(HlError::SafeMode(_))
+        ));
+        nn.safemode.force_leave();
+        nn.mkdirs("/x").unwrap();
+    }
+
+    #[test]
+    fn dead_datanode_causes_under_replication() {
+        let mut nn = nn(4);
+        let ids = populate(&mut nn, "/data/f", 3);
+        // Heartbeats for everyone except node 0, far in the future.
+        let later = SimTime::ZERO + SimDuration::from_mins(20);
+        for i in 1..4 {
+            nn.heartbeat(later, NodeId(i), u64::MAX / 2);
+        }
+        let dead = nn.check_heartbeats(later);
+        assert_eq!(dead, vec![NodeId(0)]);
+        // Blocks that had a replica on node0 are now under-replicated.
+        let under = nn.under_replicated();
+        assert!(!under.is_empty());
+        for (id, have, want) in under {
+            assert!(ids.contains(&id));
+            assert_eq!(want, 3);
+            assert_eq!(have, 2);
+        }
+    }
+
+    #[test]
+    fn replication_monitor_emits_copy_commands_once() {
+        let mut nn = nn(4);
+        populate(&mut nn, "/data/f", 2);
+        let later = SimTime::ZERO + SimDuration::from_mins(20);
+        for i in 1..4 {
+            nn.heartbeat(later, NodeId(i), u64::MAX / 2);
+        }
+        nn.check_heartbeats(later);
+        let work = nn.replication_work(later, 100);
+        let affected = nn
+            .under_replicated()
+            .len();
+        assert_eq!(affected, 0, "all under-replicated blocks have pending work");
+        assert!(!work.is_empty());
+        for cmd in &work {
+            match cmd {
+                DnCommand::Replicate { from, to, .. } => {
+                    assert_ne!(from, to);
+                    assert_ne!(*to, NodeId(0), "dead node cannot be a target");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Second pass finds nothing (pending suppresses duplicates).
+        assert!(nn.replication_work(later, 100).is_empty());
+        // Completing the copies restores full replication.
+        for cmd in work {
+            if let DnCommand::Replicate { block, to, .. } = cmd {
+                nn.block_received(later, to, block);
+            }
+        }
+        assert!(nn.under_replicated().is_empty());
+    }
+
+    #[test]
+    fn over_replication_invalidates_extras() {
+        let mut nn = nn(4);
+        let ids = populate(&mut nn, "/data/f", 1);
+        // A fourth replica appears (e.g. a dead node came back after
+        // re-replication already happened).
+        let holders = nn.block_locations(ids[0]);
+        let extra = (0..4u32).map(NodeId).find(|n| !holders.contains(n)).unwrap();
+        let cmds = nn.block_received(SimTime::ZERO, extra, ids[0]);
+        assert_eq!(cmds.len(), 1);
+        match &cmds[0] {
+            DnCommand::Invalidate { block, node } => {
+                assert_eq!(*block, ids[0]);
+                assert_ne!(*node, extra, "the just-reported replica survives");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(nn.block_locations(ids[0]).len(), 3);
+    }
+
+    #[test]
+    fn delete_emits_invalidations_for_all_replicas() {
+        let mut nn = nn(4);
+        populate(&mut nn, "/data/f", 2);
+        let cmds = nn.delete("/data/f", false).unwrap();
+        assert_eq!(cmds.len(), 6); // 2 blocks × 3 replicas
+        assert!(nn.missing_blocks().is_empty(), "deleted blocks are forgotten entirely");
+        assert!(!nn.namespace().exists("/data/f"));
+    }
+
+    #[test]
+    fn restart_rebuilds_from_journal_and_reenters_safemode() {
+        let mut nn = nn(4);
+        let ids = populate(&mut nn, "/data/f", 4);
+        nn.checkpoint();
+        // More activity after the checkpoint, so replay matters.
+        nn.create_file(SimTime::ZERO, "/data/g", None, None).unwrap();
+        let (id_g, targets) = nn.add_block("/data/g", 10, None).unwrap();
+        for t in targets {
+            nn.block_received(SimTime::ZERO, t, id_g);
+        }
+        nn.complete_file("/data/g").unwrap();
+
+        nn.restart(SimTime(0)).unwrap();
+        assert!(nn.safemode.is_on());
+        assert!(nn.namespace().exists("/data/g"), "post-checkpoint ops replayed");
+        assert_eq!(nn.block_census(), (0, 5), "locations forgotten");
+        assert!(matches!(nn.mkdirs("/y"), Err(HlError::SafeMode(_))));
+
+        // DataNodes re-register and report; safe mode exits (extension 0).
+        let t = SimTime(1);
+        for i in 0..4u32 {
+            nn.register_datanode(t, NodeId(i), u64::MAX / 2);
+        }
+        // Rebuild per-node reports from what populate() placed: every node
+        // reports all blocks it could hold; over-reporting is fine for the
+        // census, invalidations trim later.
+        let all: Vec<(BlockId, u64)> =
+            ids.iter().map(|&b| (b, 64)).chain(std::iter::once((id_g, 10))).collect();
+        let mut exited = false;
+        for i in 0..4u32 {
+            exited |= nn.process_block_report(t, NodeId(i), &all);
+        }
+        assert!(exited);
+        assert!(!nn.safemode.is_on());
+        nn.mkdirs("/y").unwrap();
+    }
+
+    #[test]
+    fn block_report_removes_stale_locations() {
+        let mut nn = nn(4);
+        let ids = populate(&mut nn, "/data/f", 1);
+        let holders = nn.block_locations(ids[0]);
+        let holder = holders[0];
+        // The holder reports an empty disk (scratch purged).
+        nn.process_block_report(SimTime(10), holder, &[]);
+        assert!(!nn.block_locations(ids[0]).contains(&holder));
+        assert_eq!(nn.block_locations(ids[0]).len(), 2);
+    }
+
+    #[test]
+    fn no_datanodes_means_insufficient_replication() {
+        let config = Configuration::with_defaults();
+        let mut nn = NameNode::new(&config, Topology::flat(0)).unwrap();
+        nn.safemode.force_leave();
+        nn.mkdirs("/d").unwrap();
+        nn.create_file(SimTime::ZERO, "/d/f", None, None).unwrap();
+        assert!(matches!(
+            nn.add_block("/d/f", 64, None),
+            Err(HlError::InsufficientReplication { .. })
+        ));
+    }
+
+    #[test]
+    fn metadata_ram_grows_with_namespace() {
+        let mut nn = nn(4);
+        let before = nn.metadata_ram_bytes();
+        populate(&mut nn, "/data/f", 10);
+        assert!(nn.metadata_ram_bytes() > before + 10 * 150);
+    }
+}

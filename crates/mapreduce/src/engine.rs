@@ -1,0 +1,1136 @@
+//! `MrCluster`: the MRv1 execution engine over HDFS.
+//!
+//! The JobTracker/TaskTracker half of Figure 2. Jobs run with **real user
+//! code over real bytes** while every I/O, network, and JVM-startup cost is
+//! charged to the cluster's virtual clock:
+//!
+//! * map tasks are scheduled **locality-first** onto TaskTracker map slots
+//!   (node-local > rack-local > off-rack), reading their block through the
+//!   DFS client (which picks the closest replica and charges accordingly);
+//! * map output flows through the [`crate::sortbuf`] spill pipeline with
+//!   the job's combiner;
+//! * reduces fetch their partition from every map's node (the shuffle),
+//!   k-way merge, reduce, and write `part-r-NNNNN` files back to HDFS;
+//! * failed attempts retry up to `max_attempts`; stragglers can be
+//!   speculatively re-executed; heap-leaking jobs crash TaskTracker and
+//!   DataNode daemons exactly as in the paper's Version-1 meltdown;
+//! * submission is refused while the NameNode is in safe mode — the
+//!   "corrupted Hadoop cluster that stopped all the new jobs".
+
+use std::collections::BTreeMap;
+
+use hl_cluster::failure::{DaemonHealth, DaemonKind};
+use hl_cluster::network::ClusterNet;
+use hl_cluster::node::ClusterSpec;
+use hl_cluster::trace::EventLog;
+use hl_common::counters::{Counters, FileSystemCounter, TaskCounter};
+use hl_common::keys::SortableKey;
+use hl_common::prelude::*;
+use hl_common::topology::Locality;
+use hl_common::writable::Writable;
+use hl_dfs::client::Dfs;
+
+use crate::api::{Combiner, MapContext, MapOutputSink, Mapper, ReduceContext, Reducer, SideFiles, TaskScope};
+use crate::history::JobHistory;
+use crate::job::Job;
+use crate::merge::merge_runs;
+use crate::report::{JobReport, TaskKind, TaskSummary};
+use crate::sortbuf::{MapOutput, SortBuffer};
+use crate::split::{compute_splits, InputSplit, LineReader};
+
+/// One TaskTracker daemon.
+#[derive(Debug, Clone)]
+pub struct Tracker {
+    /// Daemon health (heap-leak model inside).
+    pub health: DaemonHealth,
+    /// Concurrent map tasks this node runs.
+    pub map_slots: usize,
+    /// Concurrent reduce tasks this node runs.
+    pub reduce_slots: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    node: NodeId,
+    free_at: SimTime,
+}
+
+/// The cluster: DFS + network + MapReduce daemons + virtual clock.
+pub struct MrCluster {
+    /// The HDFS instance.
+    pub dfs: Dfs,
+    /// Bandwidth resources.
+    pub net: ClusterNet,
+    /// Hardware description.
+    pub spec: ClusterSpec,
+    /// Cluster configuration.
+    pub config: Configuration,
+    /// Virtual now (advances as jobs run).
+    pub now: SimTime,
+    /// Event log.
+    pub log: EventLog,
+    /// Distributed-cache side files (path → bytes), readable from tasks.
+    pub side_files: SideFiles,
+    trackers: BTreeMap<NodeId, Tracker>,
+    /// JobTracker daemon health.
+    pub jobtracker: DaemonHealth,
+    next_job_id: u32,
+    slow_factor: BTreeMap<NodeId, f64>,
+    /// When false, the JobTracker assigns splits FIFO, ignoring block
+    /// locations — the ablation arm of the Figure 2 locality experiment.
+    pub locality_aware: bool,
+    /// The JobTracker's history page (completed jobs).
+    pub history: JobHistory,
+    /// Jobs that failed outright this session.
+    pub failed_jobs: u32,
+}
+
+impl MrCluster {
+    /// Stand up DFS + MapReduce daemons on every node of `spec`.
+    pub fn new(spec: ClusterSpec, config: Configuration) -> Result<Self> {
+        let dfs = Dfs::format(&config, &spec)?;
+        let net = ClusterNet::new(&spec);
+        let map_slots =
+            config.get_usize(hl_common::config::keys::MAPRED_MAP_SLOTS, 8)?;
+        let reduce_slots =
+            config.get_usize(hl_common::config::keys::MAPRED_REDUCE_SLOTS, 4)?;
+        let trackers = spec
+            .topology
+            .nodes()
+            .map(|n| {
+                (
+                    n,
+                    Tracker {
+                        health: DaemonHealth::new(DaemonKind::TaskTracker, n, SimTime::ZERO),
+                        map_slots,
+                        reduce_slots,
+                    },
+                )
+            })
+            .collect();
+        Ok(MrCluster {
+            dfs,
+            net,
+            jobtracker: DaemonHealth::new(DaemonKind::JobTracker, NodeId(0), SimTime::ZERO),
+            spec,
+            config,
+            now: SimTime::ZERO,
+            log: EventLog::new(),
+            side_files: SideFiles::new(),
+            trackers,
+            next_job_id: 1,
+            slow_factor: BTreeMap::new(),
+            locality_aware: true,
+            history: JobHistory::default(),
+            failed_jobs: 0,
+        })
+    }
+
+    /// The course's 8-node dedicated cluster with default config.
+    pub fn course_default() -> Result<Self> {
+        MrCluster::new(ClusterSpec::course_hadoop(8), Configuration::with_defaults())
+    }
+
+    /// Mark `node` as a straggler: its task durations multiply by `factor`.
+    pub fn set_slow_node(&mut self, node: NodeId, factor: f64) {
+        self.slow_factor.insert(node, factor.max(1.0));
+    }
+
+    /// Tracker state (tests/experiments).
+    pub fn tracker(&self, node: NodeId) -> Option<&Tracker> {
+        self.trackers.get(&node)
+    }
+
+    /// Restart every dead TaskTracker (and its colocated DataNode daemon).
+    pub fn restart_dead_trackers(&mut self) {
+        let now = self.now;
+        for (node, t) in self.trackers.iter_mut() {
+            if !t.health.alive {
+                t.health.restart(now);
+                if let Some(dn) = self.dfs.datanode_mut(*node) {
+                    dn.restart();
+                }
+            }
+        }
+    }
+
+    /// Nodes with a live TaskTracker.
+    pub fn live_tracker_nodes(&self) -> Vec<NodeId> {
+        self.trackers
+            .iter()
+            .filter(|(_, t)| t.health.alive)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Register a side file for tasks to read (the distributed cache). If
+    /// the path exists on DFS its real bytes are pulled; otherwise the
+    /// bytes must be provided.
+    pub fn register_side_file(&mut self, path: &str, bytes: Vec<u8>) {
+        self.side_files.insert(path, bytes);
+    }
+
+    /// Pull a DFS file's bytes into the distributed cache (charged as one
+    /// read at `now`).
+    pub fn cache_from_dfs(&mut self, path: &str) -> Result<()> {
+        let t = self.now;
+        let data = self.dfs.read(&mut self.net, t, path, None)?;
+        self.now = data.completed_at;
+        self.side_files.insert(path, data.value);
+        Ok(())
+    }
+
+    fn slow(&self, node: NodeId) -> f64 {
+        self.slow_factor.get(&node).copied().unwrap_or(1.0)
+    }
+
+    fn map_slots(&self) -> Vec<Slot> {
+        let mut slots = Vec::new();
+        for (&node, t) in &self.trackers {
+            if t.health.alive {
+                for _ in 0..t.map_slots {
+                    slots.push(Slot { node, free_at: self.now });
+                }
+            }
+        }
+        slots
+    }
+
+    fn reduce_slots(&self, not_before: SimTime) -> Vec<Slot> {
+        let mut slots = Vec::new();
+        for (&node, t) in &self.trackers {
+            if t.health.alive {
+                for _ in 0..t.reduce_slots {
+                    slots.push(Slot { node, free_at: not_before });
+                }
+            }
+        }
+        slots
+    }
+
+    /// Run a job to completion. Errors when submission is impossible
+    /// (safe mode, dead JobTracker, bad conf, output exists) or when a
+    /// task exhausts its attempts.
+    pub fn run_job<M, R, C>(&mut self, job: &Job<M, R, C>) -> Result<JobReport>
+    where
+        M: Mapper,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+        C: Combiner<K = M::KOut, V = M::VOut>,
+    {
+        job.conf.validate()?;
+        if !self.jobtracker.alive {
+            return Err(HlError::DaemonDown("jobtracker".into()));
+        }
+        if self.dfs.namenode.safemode.is_on() {
+            let (r, e) = self.dfs.namenode.block_census();
+            return Err(HlError::SafeMode(self.dfs.namenode.safemode.status(r, e)));
+        }
+        if self.dfs.namenode.namespace().exists(&job.conf.output_path) {
+            return Err(HlError::AlreadyExists(job.conf.output_path.clone()));
+        }
+        let job_id = format!("job_{:04}", self.next_job_id);
+        self.next_job_id += 1;
+        let submitted_at = self.now;
+        self.log.log(submitted_at, "jobtracker", format!("{job_id} ({}) submitted", job.conf.name));
+
+        self.dfs.namenode.mkdirs(&job.conf.output_path)?;
+        let splits = compute_splits(&self.dfs, &job.conf.input_paths)?;
+
+        let result = self.run_phases(job, &job_id, submitted_at, splits);
+        match result {
+            Ok(report) => {
+                self.now = report.finished_at;
+                self.history.record(&report);
+                self.log.log(
+                    self.now,
+                    "jobtracker",
+                    format!("{job_id} completed in {}", report.elapsed()),
+                );
+                Ok(report)
+            }
+            Err(e) => {
+                // Failed jobs clean their output directory.
+                self.failed_jobs += 1;
+                let cmds = self.dfs.namenode.delete(&job.conf.output_path, true).unwrap_or_default();
+                let now = self.now;
+                self.dfs.apply_commands(&mut self.net, now, &cmds);
+                self.log.log(self.now, "jobtracker", format!("{job_id} FAILED: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    fn run_phases<M, R, C>(
+        &mut self,
+        job: &Job<M, R, C>,
+        job_id: &str,
+        submitted_at: SimTime,
+        splits: Vec<InputSplit>,
+    ) -> Result<JobReport>
+    where
+        M: Mapper,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+        C: Combiner<K = M::KOut, V = M::VOut>,
+    {
+        let mut counters = Counters::new();
+        let mut tasks: Vec<TaskSummary> = Vec::new();
+        let mut peak_buffer = 0usize;
+
+        // ------------------------------------------------------ map phase
+        let mut slots = self.map_slots();
+        if slots.is_empty() {
+            return Err(HlError::DaemonDown("no live tasktrackers".into()));
+        }
+        let mut pending: Vec<usize> = (0..splits.len()).collect();
+        let mut outputs: Vec<Option<(NodeId, MapOutput, SimTime)>> = vec![None; splits.len()];
+
+        while !pending.is_empty() {
+            if slots.is_empty() {
+                return Err(HlError::JobFailed(format!(
+                    "{job_id}: every tasktracker died mid-job"
+                )));
+            }
+            // Earliest-free slot...
+            let si = (0..slots.len())
+                .min_by_key(|&i| (slots[i].free_at, slots[i].node.0))
+                .unwrap();
+            let node = slots[si].node;
+            // ...picks its best pending split: locality first, then order.
+            let topo = self.net.topology().clone();
+            let locality_aware = self.locality_aware;
+            let pi = (0..pending.len())
+                .min_by_key(|&i| {
+                    let s = &splits[pending[i]];
+                    let dist = if locality_aware {
+                        topo.best_locality(node, &s.holders)
+                            .map(|l| l.distance())
+                            .unwrap_or(u32::MAX)
+                    } else {
+                        0 // FIFO: ignore locations entirely
+                    };
+                    (dist, pending[i])
+                })
+                .unwrap();
+            let split_idx = pending.swap_remove(pi);
+            let split = splits[split_idx].clone();
+
+            let mut attempts = 0u32;
+            let mut cur = si;
+            loop {
+                attempts += 1;
+                let node = slots[cur].node;
+                let start = slots[cur].free_at;
+                match self.exec_map_attempt(job, &split, node, start, attempts) {
+                    Ok(MapAttempt { output, end, locality, counters: task_counters, peak }) => {
+                        counters.merge(&task_counters);
+                        peak_buffer = peak_buffer.max(peak);
+                        counters.incr("Job Counters", locality_counter(locality), 1);
+                        tasks.push(TaskSummary {
+                            id: split_idx as u32,
+                            kind: TaskKind::Map,
+                            node,
+                            start,
+                            end,
+                            attempts,
+                            locality: Some(locality),
+                            speculative: false,
+                        });
+                        slots[cur].free_at = end;
+                        outputs[split_idx] = Some((node, output, end));
+                        break;
+                    }
+                    Err(e) => {
+                        self.log.log(
+                            start,
+                            "jobtracker",
+                            format!(
+                                "{job_id} m_{split_idx:05} attempt {attempts} failed on {node}: {e}"
+                            ),
+                        );
+                        if attempts >= job.conf.max_attempts {
+                            return Err(HlError::JobFailed(format!(
+                                "{job_id}: task m_{split_idx:05} failed {attempts} attempts: {e}"
+                            )));
+                        }
+                        // The failed attempt still burned startup + a bit.
+                        let burn = job.conf.task_startup + SimDuration::from_secs(10);
+                        slots[cur].free_at = slots[cur].free_at + burn;
+                        // A crashed tracker takes its slots out of the pool;
+                        // the retry migrates to the earliest remaining slot.
+                        if !self.trackers[&node].health.alive {
+                            slots.retain(|s| s.node != node);
+                        }
+                        if slots.is_empty() {
+                            return Err(HlError::JobFailed(format!(
+                                "{job_id}: every tasktracker died mid-job"
+                            )));
+                        }
+                        cur = (0..slots.len())
+                            .min_by_key(|&i| (slots[i].free_at, slots[i].node.0))
+                            .unwrap();
+                    }
+                }
+            }
+        }
+
+        // ------------------------------------- speculative re-execution
+        if job.conf.speculative {
+            let mut durations: Vec<u64> = tasks
+                .iter()
+                .filter(|t| t.kind == TaskKind::Map)
+                .map(|t| t.duration().as_micros())
+                .collect();
+            if durations.len() >= 3 {
+                durations.sort_unstable();
+                let median = durations[durations.len() / 2].max(1);
+                let straggler_ids: Vec<usize> = tasks
+                    .iter()
+                    .filter(|t| {
+                        t.kind == TaskKind::Map && t.duration().as_micros() > 2 * median
+                    })
+                    .map(|t| t.id as usize)
+                    .collect();
+                for split_idx in straggler_ids {
+                    let old_node = tasks
+                        .iter()
+                        .find(|t| t.kind == TaskKind::Map && t.id == split_idx as u32)
+                        .unwrap()
+                        .node;
+                    // Earliest slot on a different node.
+                    let candidates: Vec<usize> = (0..slots.len())
+                        .filter(|&i| slots[i].node != old_node)
+                        .collect();
+                    let Some(&si) = candidates
+                        .iter()
+                        .min_by_key(|&&i| (slots[i].free_at, slots[i].node.0))
+                    else {
+                        continue;
+                    };
+                    let node = slots[si].node;
+                    let start = slots[si].free_at;
+                    if let Ok(attempt) =
+                        self.exec_map_attempt(job, &splits[split_idx], node, start, 1)
+                    {
+                        let old_end = outputs[split_idx].as_ref().unwrap().2;
+                        if attempt.end < old_end {
+                            counters.incr("Job Counters", "Speculative map attempts won", 1);
+                            slots[si].free_at = attempt.end;
+                            outputs[split_idx] = Some((node, attempt.output, attempt.end));
+                            let summary = tasks
+                                .iter_mut()
+                                .find(|t| t.kind == TaskKind::Map && t.id == split_idx as u32)
+                                .unwrap();
+                            summary.node = node;
+                            summary.start = start;
+                            summary.end = attempt.end;
+                            summary.speculative = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let maps_done = outputs
+            .iter()
+            .flatten()
+            .map(|(_, _, end)| *end)
+            .max()
+            .unwrap_or(submitted_at);
+
+        // --------------------------------------------------- reduce phase
+        let num_reduces = job.conf.num_reduces;
+        let mut reduce_slots = self.reduce_slots(maps_done);
+        if reduce_slots.is_empty() {
+            return Err(HlError::JobFailed(format!("{job_id}: no live tasktrackers for reduce")));
+        }
+        let mut output_files = Vec::new();
+        let mut finished_at = maps_done;
+
+        for r in 0..num_reduces {
+            let si = (0..reduce_slots.len())
+                .min_by_key(|&i| (reduce_slots[i].free_at, reduce_slots[i].node.0))
+                .unwrap();
+            let node = reduce_slots[si].node;
+            let start = reduce_slots[si].free_at;
+            let mut attempts = 0u32;
+            loop {
+                attempts += 1;
+                match self.exec_reduce_attempt(job, &outputs, r, node, start) {
+                    Ok(ReduceAttempt { end, counters: task_counters, out_path }) => {
+                        counters.merge(&task_counters);
+                        tasks.push(TaskSummary {
+                            id: r as u32,
+                            kind: TaskKind::Reduce,
+                            node,
+                            start,
+                            end,
+                            attempts,
+                            locality: None,
+                            speculative: false,
+                        });
+                        reduce_slots[si].free_at = end;
+                        finished_at = finished_at.max(end);
+                        if let Some(p) = out_path {
+                            output_files.push(p);
+                        }
+                        break;
+                    }
+                    Err(e) => {
+                        if attempts >= job.conf.max_attempts {
+                            return Err(HlError::JobFailed(format!(
+                                "{job_id}: task r_{r:05} failed {attempts} attempts: {e}"
+                            )));
+                        }
+                        reduce_slots[si].free_at =
+                            reduce_slots[si].free_at + job.conf.task_startup;
+                        if !self.trackers[&node].health.alive {
+                            reduce_slots.retain(|s| s.node != node);
+                            if reduce_slots.is_empty() {
+                                return Err(HlError::JobFailed(format!(
+                                    "{job_id}: every tasktracker died mid-job"
+                                )));
+                            }
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
+
+        Ok(JobReport {
+            job_id: job_id.to_string(),
+            name: job.conf.name.clone(),
+            submitted_at,
+            finished_at,
+            success: true,
+            counters,
+            tasks,
+            output_files,
+            peak_mapper_buffer: peak_buffer,
+        })
+    }
+
+    fn exec_map_attempt<M, R, C>(
+        &mut self,
+        job: &Job<M, R, C>,
+        split: &InputSplit,
+        node: NodeId,
+        start: SimTime,
+        attempt: u32,
+    ) -> Result<MapAttempt>
+    where
+        M: Mapper,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+        C: Combiner<K = M::KOut, V = M::VOut>,
+    {
+        if job.conf.fail_first_attempts >= attempt {
+            return Err(HlError::TaskFailed(format!(
+                "injected failure (attempt {attempt} of task on {node})"
+            )));
+        }
+        let factor = self.slow(node);
+        let mut t = start + mul_dur(job.conf.task_startup, factor);
+
+        // Read the split's block through the DFS client (charged, verified,
+        // locality-aware).
+        let read = self
+            .dfs
+            .read_block(&mut self.net, t, split.block, Some(node), &split.path)?;
+        let block_bytes = read.value;
+        t = read.completed_at;
+        let locality = self
+            .net
+            .topology()
+            .best_locality(node, &split.holders)
+            .unwrap_or(Locality::OffRack);
+
+        // Stitch the boundary line: previous block's last byte decides
+        // whether our first partial line is ours; following block(s) finish
+        // our last line.
+        let file_blocks = self.dfs.file_blocks(&split.path)?;
+        let my_pos = file_blocks
+            .iter()
+            .position(|(b, _, _)| *b == split.block)
+            .ok_or_else(|| HlError::Internal("split block vanished".into()))?;
+        let prev_byte = if my_pos == 0 {
+            None
+        } else {
+            self.dfs
+                .peek_block_bytes(file_blocks[my_pos - 1].0)
+                .and_then(|b| b.last().copied())
+        };
+        let mut data = block_bytes.to_vec();
+        let mut next = my_pos + 1;
+        while !data[split.len as usize..].contains(&b'\n') && next < file_blocks.len() {
+            match self.dfs.peek_block_bytes(file_blocks[next].0) {
+                Some(b) => data.extend_from_slice(&b),
+                None => break,
+            }
+            next += 1;
+        }
+
+        // Run the mapper for real.
+        let mut scope =
+            TaskScope::new(self.side_files.clone(), self.spec.node.disk_bw);
+        let mut sink: SpillSink<M::KOut, M::VOut, C> = SpillSink {
+            buf: SortBuffer::new(job.conf.num_reduces, job.conf.sort_buffer_bytes)
+                .with_partitioner(job.partitioner.clone()),
+            combiner: job.combiner.as_ref().map(|f| f()),
+            counters: Counters::new(),
+        };
+        let mut mapper = (job.mapper)();
+        let mut records = 0u64;
+        {
+            let mut ctx = MapContext::new(&mut scope, &mut sink);
+            mapper.setup(&mut ctx);
+            for (off, line) in
+                LineReader::new(prev_byte, &data, split.len as usize, split.offset)
+            {
+                records += 1;
+                mapper.map(off, &line, &mut ctx);
+            }
+            mapper.cleanup(&mut ctx);
+        }
+        let peak = sink.buf.peak_buffered;
+        let mut task_counters = sink.counters;
+        let output = {
+            let mut combiner = sink.combiner;
+            sink.buf.finish(combiner.as_mut(), &mut task_counters)
+        };
+        task_counters.merge(&scope.counters);
+        task_counters.incr_task(TaskCounter::MapInputRecords, records);
+        task_counters.incr_task(TaskCounter::MapOutputBytes, output.total_bytes());
+        task_counters.incr_fs(FileSystemCounter::HdfsBytesRead, split.len);
+        if locality != Locality::NodeLocal {
+            task_counters.incr_fs(FileSystemCounter::RemoteBytesRead, split.len);
+        }
+
+        // CPU + spill I/O charges (combiner invocations cost map-side CPU —
+        // the "increased map task run time" students observed).
+        let combine_in = task_counters.task(TaskCounter::CombineInputRecords);
+        let cpu = mul_dur(
+            job.conf.map_cpu_per_byte * split.len
+                + job.conf.map_cpu_per_record * records
+                + job.conf.combine_cpu_per_record * combine_in
+                + scope.extra_time,
+            factor,
+        );
+        t += cpu;
+        // Spill I/O adds latency to this task but is deliberately NOT a
+        // shared-pipe charge: the engine executes tasks eagerly in
+        // assignment order, so a pipe charge here would make *later-
+        // executed but concurrently-running* tasks' reads queue behind it
+        // (a charge-ordering artifact, not a modeled phenomenon).
+        let disk_bw = self.spec.node.disk_bw.max(1);
+        if output.spill_bytes_written > 0 {
+            t += SimDuration::for_transfer(output.spill_bytes_written, disk_bw);
+            task_counters
+                .incr_fs(FileSystemCounter::FileBytesWritten, output.spill_bytes_written);
+        }
+        if output.spill_bytes_read > 0 {
+            t += SimDuration::for_transfer(output.spill_bytes_read, disk_bw);
+            task_counters.incr_fs(FileSystemCounter::FileBytesRead, output.spill_bytes_read);
+        }
+
+        // The paper's heap-leak mechanism: a buggy task can OOM the
+        // TaskTracker, which takes the colocated DataNode with it.
+        let tracker = self.trackers.get_mut(&node).unwrap();
+        if tracker.health.host_task(job.conf.leaks_memory) {
+            self.dfs.crash_datanode(node);
+            self.log.log(
+                t,
+                &format!("tasktracker/{node}"),
+                "java.lang.OutOfMemoryError: Java heap space — daemon exiting",
+            );
+            return Err(HlError::TaskFailed(format!("tasktracker on {node} crashed (OOM)")));
+        }
+
+        if std::env::var("MR_DEBUG_TASKS").is_ok() {
+            eprintln!(
+                "task on {node}: start={start} read_end={} cpu={cpu} spill_w={} spill_r={} end={t}",
+                read.completed_at, output.spill_bytes_written, output.spill_bytes_read
+            );
+        }
+        Ok(MapAttempt { output, end: t, locality, counters: task_counters, peak })
+    }
+
+    fn exec_reduce_attempt<M, R, C>(
+        &mut self,
+        job: &Job<M, R, C>,
+        outputs: &[Option<(NodeId, MapOutput, SimTime)>],
+        r: usize,
+        node: NodeId,
+        start: SimTime,
+    ) -> Result<ReduceAttempt>
+    where
+        M: Mapper,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+        C: Combiner<K = M::KOut, V = M::VOut>,
+    {
+        let factor = self.slow(node);
+        let t0 = start + mul_dur(job.conf.task_startup, factor);
+        let mut task_counters = Counters::new();
+
+        // Shuffle: fetch this reduce's partition from every map's node.
+        // Fetches run concurrently (each charges its own source pipes).
+        let mut runs = Vec::new();
+        let mut shuffle_done = t0;
+        for (map_node, out, _) in outputs.iter().flatten() {
+            let bytes = out.partition_bytes(r);
+            let run = out.partitions[r].clone();
+            if bytes > 0 && *map_node != node {
+                let c = self.net.transfer(t0, *map_node, node, bytes);
+                shuffle_done = shuffle_done.max(c.end);
+            }
+            task_counters.incr_task(TaskCounter::ReduceShuffleBytes, bytes);
+            runs.push(run);
+        }
+
+        // Merge + group.
+        let groups = merge_runs(runs);
+        task_counters.incr_task(TaskCounter::ReduceInputGroups, groups.len() as u64);
+
+        // Reduce for real.
+        let mut scope = TaskScope::new(self.side_files.clone(), self.spec.node.disk_bw);
+        let mut lines = Vec::new();
+        let mut reducer = (job.reducer)();
+        let mut records = 0u64;
+        {
+            let mut ctx = ReduceContext::new(&mut scope, &mut lines);
+            reducer.setup(&mut ctx);
+            for (kbytes, vbytes_list) in groups {
+                let mut ks = kbytes.as_slice();
+                let key = M::KOut::decode_ordered(&mut ks)
+                    .map_err(|e| HlError::Codec(format!("reduce key: {e}")))?;
+                let values: Result<Vec<M::VOut>> =
+                    vbytes_list.iter().map(|b| M::VOut::from_bytes(b)).collect();
+                let values = values?;
+                records += values.len() as u64;
+                reducer.reduce(key, values, &mut ctx);
+            }
+            reducer.cleanup(&mut ctx);
+        }
+        task_counters.merge(&scope.counters);
+        task_counters.incr_task(TaskCounter::ReduceInputRecords, records);
+
+        let cpu =
+            mul_dur(job.conf.reduce_cpu_per_record * records + scope.extra_time, factor);
+        let mut t = shuffle_done + cpu;
+
+        // Heap hook for reduces too.
+        let tracker = self.trackers.get_mut(&node).unwrap();
+        if tracker.health.host_task(job.conf.leaks_memory) {
+            self.dfs.crash_datanode(node);
+            self.log.log(
+                t,
+                &format!("tasktracker/{node}"),
+                "java.lang.OutOfMemoryError: Java heap space — daemon exiting",
+            );
+            return Err(HlError::TaskFailed(format!("tasktracker on {node} crashed (OOM)")));
+        }
+
+        // Write part file to HDFS (real bytes, charged, replicated).
+        let out_path = if lines.is_empty() {
+            None
+        } else {
+            let mut text = lines.join("\n");
+            text.push('\n');
+            let path = format!("{}/part-r-{:05}", job.conf.output_path, r);
+            let put = self.dfs.put(&mut self.net, t, &path, text.as_bytes(), Some(node))?;
+            t = put.completed_at;
+            task_counters.incr_fs(FileSystemCounter::HdfsBytesWritten, text.len() as u64);
+            Some(path)
+        };
+
+        Ok(ReduceAttempt { end: t, counters: task_counters, out_path })
+    }
+
+    /// Read a job's full text output (all part files concatenated, charged).
+    pub fn read_output(&mut self, output_path: &str) -> Result<String> {
+        let rows = self.dfs.namenode.list(output_path)?;
+        let mut text = String::new();
+        let mut t = self.now;
+        for row in rows.into_iter().filter(|r| !r.is_dir) {
+            let got = self.dfs.read(&mut self.net, t, &row.path, None)?;
+            text.push_str(&String::from_utf8_lossy(&got.value));
+            t = got.completed_at;
+        }
+        self.now = t;
+        Ok(text)
+    }
+}
+
+struct MapAttempt {
+    output: MapOutput,
+    end: SimTime,
+    locality: Locality,
+    counters: Counters,
+    peak: usize,
+}
+
+struct ReduceAttempt {
+    end: SimTime,
+    counters: Counters,
+    out_path: Option<String>,
+}
+
+struct SpillSink<K: SortableKey, V: Writable, C: Combiner<K = K, V = V>> {
+    buf: SortBuffer<K, V>,
+    combiner: Option<C>,
+    counters: Counters,
+}
+
+impl<K: SortableKey, V: Writable, C: Combiner<K = K, V = V>> MapOutputSink<K, V>
+    for SpillSink<K, V, C>
+{
+    fn collect(&mut self, key: K, value: V) {
+        self.buf
+            .collect(&key, &value, self.combiner.as_mut(), &mut self.counters);
+    }
+}
+
+fn locality_counter(l: Locality) -> &'static str {
+    match l {
+        Locality::NodeLocal => "Data-local map tasks",
+        Locality::RackLocal => "Rack-local map tasks",
+        Locality::OffRack => "Off-rack map tasks",
+    }
+}
+
+fn mul_dur(d: SimDuration, factor: f64) -> SimDuration {
+    if factor == 1.0 {
+        d
+    } else {
+        SimDuration::from_secs_f64(d.as_secs_f64() * factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobConf;
+
+    // -- A tiny WordCount used across engine tests -----------------------
+
+    struct WcMap;
+    impl Mapper for WcMap {
+        type KOut = String;
+        type VOut = u64;
+        fn map(&mut self, _o: u64, line: &str, ctx: &mut MapContext<String, u64>) {
+            for w in line.split_whitespace() {
+                ctx.emit(w.to_string(), 1);
+            }
+        }
+    }
+
+    struct WcReduce;
+    impl Reducer for WcReduce {
+        type KIn = String;
+        type VIn = u64;
+        fn reduce(&mut self, key: String, values: Vec<u64>, ctx: &mut ReduceContext) {
+            ctx.emit(key, values.into_iter().sum::<u64>());
+        }
+    }
+
+    struct WcCombine;
+    impl Combiner for WcCombine {
+        type K = String;
+        type V = u64;
+        fn combine(&mut self, _k: &String, values: Vec<u64>, out: &mut Vec<u64>) {
+            out.push(values.into_iter().sum());
+        }
+    }
+
+    fn corpus(words: usize) -> String {
+        let vocab = ["the", "quick", "brown", "fox", "lazy", "dog"];
+        let mut s = String::new();
+        for i in 0..words {
+            s.push_str(vocab[i % vocab.len()]);
+            s.push(if i % 10 == 9 { '\n' } else { ' ' });
+        }
+        s.push('\n');
+        s
+    }
+
+    fn small_cluster() -> MrCluster {
+        let mut config = Configuration::with_defaults();
+        config.set(hl_common::config::keys::DFS_BLOCK_SIZE, 4096u64);
+        MrCluster::new(ClusterSpec::course_hadoop(4), config).unwrap()
+    }
+
+    fn stage(cluster: &mut MrCluster, path: &str, text: &str) {
+        cluster.dfs.namenode.mkdirs("/in").unwrap();
+        let t = cluster.now;
+        let put = cluster.dfs.put(&mut cluster.net, t, path, text.as_bytes(), None).unwrap();
+        cluster.now = put.completed_at;
+    }
+
+    fn parse_counts(text: &str) -> std::collections::BTreeMap<String, u64> {
+        text.lines()
+            .map(|l| {
+                let (k, v) = l.split_once('\t').unwrap();
+                (k.to_string(), v.parse().unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wordcount_end_to_end_is_correct() {
+        let mut cluster = small_cluster();
+        let text = corpus(5000);
+        stage(&mut cluster, "/in/data.txt", &text);
+        let job = Job::new(
+            JobConf::new("wordcount").input("/in/data.txt").output("/out/wc").reduces(2),
+            || WcMap,
+            || WcReduce,
+        );
+        let report = cluster.run_job(&job).unwrap();
+        assert!(report.success);
+        assert!(report.num_maps() > 1, "multiple blocks → multiple maps");
+        assert_eq!(report.num_reduces(), 2);
+        let out = cluster.read_output("/out/wc").unwrap();
+        let counts = parse_counts(&out);
+        // Ground truth.
+        let mut expected = std::collections::BTreeMap::new();
+        for w in text.split_whitespace() {
+            *expected.entry(w.to_string()).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts, expected);
+        // Counters add up.
+        assert_eq!(
+            report.counters.task(TaskCounter::MapInputRecords),
+            text.lines().count() as u64
+        );
+        assert_eq!(report.counters.task(TaskCounter::MapOutputRecords), 5000);
+        assert_eq!(report.counters.task(TaskCounter::ReduceOutputRecords), 6);
+        assert!(report.elapsed() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_but_not_answers() {
+        let mut cluster = small_cluster();
+        let text = corpus(8000);
+        stage(&mut cluster, "/in/data.txt", &text);
+
+        let plain = Job::new(
+            JobConf::new("wc").input("/in/data.txt").output("/out/plain").reduces(2),
+            || WcMap,
+            || WcReduce,
+        );
+        let plain_report = cluster.run_job(&plain).unwrap();
+        let plain_out = parse_counts(&cluster.read_output("/out/plain").unwrap());
+
+        let combined = Job::with_combiner(
+            JobConf::new("wc+c").input("/in/data.txt").output("/out/comb").reduces(2),
+            || WcMap,
+            || WcReduce,
+            || WcCombine,
+        );
+        let comb_report = cluster.run_job(&combined).unwrap();
+        let comb_out = parse_counts(&cluster.read_output("/out/comb").unwrap());
+
+        assert_eq!(plain_out, comb_out, "combiner must not change results");
+        assert!(
+            comb_report.shuffle_bytes() < plain_report.shuffle_bytes() / 4,
+            "combiner collapses shuffle: {} vs {}",
+            comb_report.shuffle_bytes(),
+            plain_report.shuffle_bytes()
+        );
+        assert!(comb_report.counters.task(TaskCounter::CombineInputRecords) > 0);
+    }
+
+    #[test]
+    fn submission_fails_in_safemode_and_on_existing_output() {
+        let mut cluster = small_cluster();
+        stage(&mut cluster, "/in/data.txt", "a b c\n");
+        let job = Job::new(
+            JobConf::new("j").input("/in/data.txt").output("/out/j"),
+            || WcMap,
+            || WcReduce,
+        );
+        cluster.dfs.namenode.safemode.force_enter();
+        assert!(matches!(cluster.run_job(&job), Err(HlError::SafeMode(_))));
+        cluster.dfs.namenode.safemode.force_leave();
+        cluster.run_job(&job).unwrap();
+        // Output dir now exists → resubmission refused (classic student trip).
+        assert!(matches!(cluster.run_job(&job), Err(HlError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn retries_recover_from_transient_task_failures() {
+        let mut cluster = small_cluster();
+        stage(&mut cluster, "/in/data.txt", &corpus(500));
+        let job = Job::new(
+            JobConf::new("flaky")
+                .input("/in/data.txt")
+                .output("/out/flaky")
+                .fail_first_attempts(2),
+            || WcMap,
+            || WcReduce,
+        );
+        let report = cluster.run_job(&job).unwrap();
+        assert!(report.success);
+        assert!(report.tasks.iter().any(|t| t.attempts == 3));
+    }
+
+    #[test]
+    fn too_many_failures_kill_the_job() {
+        let mut cluster = small_cluster();
+        stage(&mut cluster, "/in/data.txt", "a\n");
+        let job = Job::new(
+            JobConf::new("doomed")
+                .input("/in/data.txt")
+                .output("/out/doomed")
+                .fail_first_attempts(10),
+            || WcMap,
+            || WcReduce,
+        );
+        assert!(matches!(cluster.run_job(&job), Err(HlError::JobFailed(_))));
+        // Failed jobs clean up their output directory.
+        assert!(!cluster.dfs.namenode.namespace().exists("/out/doomed"));
+    }
+
+    #[test]
+    fn leaking_jobs_crash_trackers_and_datanodes() {
+        let mut cluster = small_cluster();
+        stage(&mut cluster, "/in/data.txt", &corpus(4000));
+        // Crash threshold is 13 buggy tasks per daemon; run leaking jobs
+        // until daemons start dying.
+        let mut crashed = false;
+        for i in 0..30 {
+            let job = Job::new(
+                JobConf::new("leaky")
+                    .input("/in/data.txt")
+                    .output(format!("/out/leak{i}"))
+                    .speculative(false)
+                    .leaking(true),
+                || WcMap,
+                || WcReduce,
+            );
+            match cluster.run_job(&job) {
+                Ok(_) => {}
+                Err(_) => {}
+            }
+            if cluster.live_tracker_nodes().len() < 4 {
+                crashed = true;
+                break;
+            }
+        }
+        assert!(crashed, "heap leaks must eventually kill a tasktracker");
+        // The colocated DataNode died too.
+        let dead: Vec<NodeId> = (0..4u32)
+            .map(NodeId)
+            .filter(|n| !cluster.live_tracker_nodes().contains(n))
+            .collect();
+        for n in &dead {
+            assert!(!cluster.dfs.datanode(*n).unwrap().alive);
+        }
+        // Restart brings them back.
+        cluster.restart_dead_trackers();
+        assert_eq!(cluster.live_tracker_nodes().len(), 4);
+    }
+
+    #[test]
+    fn map_tasks_are_mostly_data_local_on_course_cluster() {
+        let mut cluster = small_cluster();
+        stage(&mut cluster, "/in/data.txt", &corpus(20_000));
+        let job = Job::new(
+            JobConf::new("loc").input("/in/data.txt").output("/out/loc"),
+            || WcMap,
+            || WcReduce,
+        );
+        let report = cluster.run_job(&job).unwrap();
+        let (dl, rl, or) = report.locality_histogram();
+        assert!(dl > 0);
+        assert_eq!(dl + rl + or, report.num_maps());
+        // With 3× replication on 4 nodes, most maps should be data-local.
+        assert!(dl * 2 >= report.num_maps(), "data-local {dl} of {}", report.num_maps());
+    }
+
+    #[test]
+    fn speculative_execution_rescues_stragglers() {
+        // 2 map slots per node so the straggler node is guaranteed work.
+        let mut config = Configuration::with_defaults();
+        config.set(hl_common::config::keys::DFS_BLOCK_SIZE, 4096u64);
+        config.set(hl_common::config::keys::MAPRED_MAP_SLOTS, 2);
+        let mut cluster = MrCluster::new(ClusterSpec::course_hadoop(4), config).unwrap();
+        stage(&mut cluster, "/in/data.txt", &corpus(20_000));
+        cluster.set_slow_node(NodeId(3), 50.0);
+
+        let slow_job = Job::new(
+            JobConf::new("no-spec")
+                .input("/in/data.txt")
+                .output("/out/nospec")
+                .speculative(false),
+            || WcMap,
+            || WcReduce,
+        );
+        let no_spec = cluster.run_job(&slow_job).unwrap();
+
+        let spec_job = Job::new(
+            JobConf::new("spec").input("/in/data.txt").output("/out/spec").speculative(true),
+            || WcMap,
+            || WcReduce,
+        );
+        let with_spec = cluster.run_job(&spec_job).unwrap();
+
+        assert!(
+            with_spec.elapsed() < no_spec.elapsed(),
+            "speculation must beat the straggler: {} vs {}",
+            with_spec.elapsed(),
+            no_spec.elapsed()
+        );
+        assert!(with_spec.tasks.iter().any(|t| t.speculative));
+    }
+
+    #[test]
+    fn side_files_work_from_dfs_cache() {
+        let mut cluster = small_cluster();
+        stage(&mut cluster, "/in/data.txt", "x\ny\n");
+        stage(&mut cluster, "/in/lookup.txt", "x=ex\ny=why\n");
+        cluster.cache_from_dfs("/in/lookup.txt").unwrap();
+
+        struct LookupMap;
+        impl Mapper for LookupMap {
+            type KOut = String;
+            type VOut = u64;
+            fn map(&mut self, _o: u64, line: &str, ctx: &mut MapContext<String, u64>) {
+                // The naive pattern: read the side file on every record.
+                let bytes = ctx.read_side_file("/in/lookup.txt").unwrap();
+                let table = String::from_utf8_lossy(&bytes);
+                for entry in table.lines() {
+                    if let Some((k, v)) = entry.split_once('=') {
+                        if k == line.trim() {
+                            ctx.emit(v.to_string(), 1);
+                        }
+                    }
+                }
+            }
+        }
+        let job = Job::new(
+            JobConf::new("lookup").input("/in/data.txt").output("/out/lk"),
+            || LookupMap,
+            || WcReduce,
+        );
+        let report = cluster.run_job(&job).unwrap();
+        let out = parse_counts(&cluster.read_output("/out/lk").unwrap());
+        assert_eq!(out["ex"], 1);
+        assert_eq!(out["why"], 1);
+        assert_eq!(report.counters.get("Side Files", "reads"), 2);
+    }
+
+    #[test]
+    fn job_ids_increment() {
+        let mut cluster = small_cluster();
+        stage(&mut cluster, "/in/data.txt", "a\n");
+        for i in 1..=3 {
+            let job = Job::new(
+                JobConf::new("j").input("/in/data.txt").output(format!("/out/{i}")),
+                || WcMap,
+                || WcReduce,
+            );
+            let r = cluster.run_job(&job).unwrap();
+            assert_eq!(r.job_id, format!("job_{i:04}"));
+        }
+    }
+}

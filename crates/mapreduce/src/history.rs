@@ -1,0 +1,213 @@
+//! The JobTracker's job-history page.
+//!
+//! Students watched the JobTracker web interface to compare runs (the
+//! combiner lecture depends on it); the history page is its summary view:
+//! every completed/failed job with timings, task counts, and aggregate
+//! cluster statistics across the session.
+
+use std::fmt;
+
+use hl_common::counters::TaskCounter;
+use hl_common::prelude::*;
+
+use crate::report::JobReport;
+
+/// A compact record of one finished job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// `job_0001`-style id.
+    pub job_id: String,
+    /// Job name.
+    pub name: String,
+    /// Success flag.
+    pub success: bool,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Elapsed time.
+    pub elapsed: SimDuration,
+    /// Map task count.
+    pub maps: usize,
+    /// Reduce task count.
+    pub reduces: usize,
+    /// Shuffle bytes.
+    pub shuffle_bytes: u64,
+    /// Map input records.
+    pub input_records: u64,
+}
+
+impl HistoryEntry {
+    /// Build from a full report.
+    pub fn from_report(report: &JobReport) -> Self {
+        HistoryEntry {
+            job_id: report.job_id.clone(),
+            name: report.name.clone(),
+            success: report.success,
+            submitted_at: report.submitted_at,
+            elapsed: report.elapsed(),
+            maps: report.num_maps(),
+            reduces: report.num_reduces(),
+            shuffle_bytes: report.shuffle_bytes(),
+            input_records: report.counters.task(TaskCounter::MapInputRecords),
+        }
+    }
+}
+
+/// The history: append-only, bounded like Hadoop's retained-jobs setting.
+#[derive(Debug, Clone)]
+pub struct JobHistory {
+    entries: Vec<HistoryEntry>,
+    /// Maximum retained entries (oldest evicted first).
+    pub retain: usize,
+}
+
+impl Default for JobHistory {
+    fn default() -> Self {
+        Self::new(100)
+    }
+}
+
+impl JobHistory {
+    /// History retaining up to `retain` jobs.
+    pub fn new(retain: usize) -> Self {
+        JobHistory { entries: Vec::new(), retain: retain.max(1) }
+    }
+
+    /// Record a finished job.
+    pub fn record(&mut self, report: &JobReport) {
+        self.entries.push(HistoryEntry::from_report(report));
+        if self.entries.len() > self.retain {
+            let drop = self.entries.len() - self.retain;
+            self.entries.drain(..drop);
+        }
+    }
+
+    /// All retained entries, oldest first.
+    pub fn entries(&self) -> &[HistoryEntry] {
+        &self.entries
+    }
+
+    /// Count of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Completed-successfully count.
+    pub fn succeeded(&self) -> usize {
+        self.entries.iter().filter(|e| e.success).count()
+    }
+
+    /// Total map+reduce tasks executed across retained jobs.
+    pub fn total_tasks(&self) -> usize {
+        self.entries.iter().map(|e| e.maps + e.reduces).sum()
+    }
+
+    /// Busiest job by elapsed time.
+    pub fn longest(&self) -> Option<&HistoryEntry> {
+        self.entries.iter().max_by_key(|e| e.elapsed)
+    }
+}
+
+impl fmt::Display for JobHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Job History ({} retained, {} succeeded, {} tasks total)",
+            self.len(),
+            self.succeeded(),
+            self.total_tasks()
+        )?;
+        writeln!(
+            f,
+            "  {:<10} {:<28} {:>9} {:>6} {:>7} {:>12} {:>12}",
+            "id", "name", "state", "maps", "reduces", "elapsed", "shuffle"
+        )?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "  {:<10} {:<28} {:>9} {:>6} {:>7} {:>12} {:>12}",
+                e.job_id,
+                if e.name.len() > 28 { &e.name[..28] } else { &e.name },
+                if e.success { "SUCCEEDED" } else { "FAILED" },
+                e.maps,
+                e.reduces,
+                e.elapsed.to_string(),
+                hl_common::units::ByteSize::display(e.shuffle_bytes).to_string(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{TaskKind, TaskSummary};
+    use hl_common::counters::Counters;
+
+    fn report(id: u32, name: &str, secs: u64) -> JobReport {
+        let mut counters = Counters::new();
+        counters.incr_task(TaskCounter::MapInputRecords, 100);
+        counters.incr_task(TaskCounter::ReduceShuffleBytes, 2048);
+        JobReport {
+            job_id: format!("job_{id:04}"),
+            name: name.to_string(),
+            submitted_at: SimTime::ZERO,
+            finished_at: SimTime(secs * 1_000_000),
+            success: true,
+            counters,
+            tasks: vec![TaskSummary {
+                id: 0,
+                kind: TaskKind::Map,
+                node: NodeId(0),
+                start: SimTime::ZERO,
+                end: SimTime(secs * 1_000_000),
+                attempts: 1,
+                locality: None,
+                speculative: false,
+            }],
+            output_files: vec![],
+            peak_mapper_buffer: 0,
+        }
+    }
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut h = JobHistory::new(10);
+        assert!(h.is_empty());
+        h.record(&report(1, "wordcount", 10));
+        h.record(&report(2, "airline", 99));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.succeeded(), 2);
+        assert_eq!(h.total_tasks(), 2);
+        assert_eq!(h.longest().unwrap().job_id, "job_0002");
+        assert_eq!(h.entries()[0].input_records, 100);
+        assert_eq!(h.entries()[0].shuffle_bytes, 2048);
+    }
+
+    #[test]
+    fn retention_evicts_oldest() {
+        let mut h = JobHistory::new(3);
+        for i in 1..=5 {
+            h.record(&report(i, "j", i as u64));
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.entries()[0].job_id, "job_0003");
+        assert_eq!(h.entries()[2].job_id, "job_0005");
+    }
+
+    #[test]
+    fn renders_table() {
+        let mut h = JobHistory::new(10);
+        h.record(&report(7, "wordcount+combiner", 61));
+        let text = h.to_string();
+        assert!(text.contains("job_0007"));
+        assert!(text.contains("SUCCEEDED"));
+        assert!(text.contains("1m 01s"));
+        assert!(text.contains("2.0 KiB"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # hl-mapreduce
+//!
+//! A from-scratch MapReduce 1.x engine over [`hl_dfs`] — the programming
+//! model half of the course's two-sided design ("the programming API
+//! libraries to support developing MapReduce programs and the middle
+//! infrastructure to support automated large scale data management and
+//! parallel execution").
+//!
+//! * [`api`] — the `Mapper` / `Reducer` / `Combiner` traits and emit
+//!   contexts, including the side-file access path whose naive vs cached
+//!   usage is the course's order-of-magnitude lesson;
+//! * [`job`] — `JobConf` and the typed `Job` bundle students submit;
+//! * [`split`] — block-aligned input splits with replica locations;
+//! * [`sortbuf`] — the map-side collect/sort/spill buffer (combiner runs
+//!   at each spill, exactly like Hadoop);
+//! * [`merge`] — k-way merge of sorted runs with key grouping;
+//! * [`engine`] — `MrCluster`: TaskTracker slots, locality-aware
+//!   JobTracker scheduling, the shuffle, speculative execution, task
+//!   retries, and virtual-time accounting;
+//! * [`local`] — the `LocalJobRunner` (assignment 1's "serial Java
+//!   commands without any HDFS support"), with an optional rayon-parallel
+//!   mode;
+//! * [`report`] — the job report and "JobTracker web UI" rendering the
+//!   combiner lecture has students read.
+//!
+//! Real user code runs over real bytes — outputs are checked in tests —
+//! while I/O, network, and JVM-startup time are charged to the virtual
+//! clock of the owning [`hl_cluster`] simulation.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod engine;
+pub mod history;
+pub mod job;
+pub mod local;
+pub mod merge;
+pub mod report;
+pub mod sortbuf;
+pub mod split;
+
+pub use api::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
+pub use engine::MrCluster;
+pub use job::{Job, JobConf};
+pub use report::JobReport;

@@ -1,0 +1,166 @@
+//! K-way merge of sorted serialized runs, with equal-key grouping.
+//!
+//! Used twice, as in Hadoop: on the map side to merge spill files, and on
+//! the reduce side to merge the sorted segments fetched from every map
+//! task. Comparison is raw-byte (`memcmp`) — keys use order-preserving
+//! encodings, so this is both the cheapest and the correct comparison.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::sortbuf::SortedRun;
+
+/// Merge sorted runs into `(key, values)` groups, keys ascending; within a
+/// group, values keep run order then intra-run order (stable like Hadoop's
+/// merge, which students observe as deterministic reducer input).
+pub fn merge_runs(runs: Vec<SortedRun>) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
+    let mut iters: Vec<std::vec::IntoIter<(Vec<u8>, Vec<u8>)>> =
+        runs.into_iter().map(|r| r.into_iter()).collect();
+
+    // Heap of Reverse((key, run_idx)); pop order = smallest key, then run.
+    let mut heap: BinaryHeap<Reverse<(Vec<u8>, usize, Vec<u8>)>> = BinaryHeap::new();
+    for (i, it) in iters.iter_mut().enumerate() {
+        if let Some((k, v)) = it.next() {
+            heap.push(Reverse((k, i, v)));
+        }
+    }
+
+    let mut out: Vec<(Vec<u8>, Vec<Vec<u8>>)> = Vec::new();
+    while let Some(Reverse((k, i, v))) = heap.pop() {
+        if let Some((k2, v2)) = iters[i].next() {
+            debug_assert!(k2 >= k, "run {i} not sorted");
+            heap.push(Reverse((k2, i, v2)));
+        }
+        match out.last_mut() {
+            Some((gk, vs)) if *gk == k => vs.push(v),
+            _ => out.push((k, vec![v])),
+        }
+    }
+    out
+}
+
+/// Total serialized bytes of a set of runs (charging helper).
+pub fn runs_bytes(runs: &[SortedRun]) -> u64 {
+    runs.iter()
+        .flatten()
+        .map(|(k, v)| (k.len() + v.len()) as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_common::keys::SortableKey;
+
+    fn run(pairs: &[(&str, u64)]) -> SortedRun {
+        let mut r: SortedRun = pairs
+            .iter()
+            .map(|(k, v)| (k.to_string().ordered_bytes(), v.to_be_bytes().to_vec()))
+            .collect();
+        r.sort();
+        r
+    }
+
+    fn key(bytes: &[u8]) -> String {
+        let mut s = bytes;
+        String::decode_ordered(&mut s).unwrap()
+    }
+
+    #[test]
+    fn merges_and_groups() {
+        let merged = merge_runs(vec![
+            run(&[("apple", 1), ("mango", 2)]),
+            run(&[("apple", 3), ("pear", 4)]),
+            run(&[("mango", 5)]),
+        ]);
+        let keys: Vec<String> = merged.iter().map(|(k, _)| key(k)).collect();
+        assert_eq!(keys, vec!["apple", "mango", "pear"]);
+        assert_eq!(merged[0].1.len(), 2);
+        assert_eq!(merged[1].1.len(), 2);
+        assert_eq!(merged[2].1.len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(merge_runs(vec![]).is_empty());
+        assert!(merge_runs(vec![vec![], vec![]]).is_empty());
+        let one = merge_runs(vec![run(&[("a", 1)]), vec![]]);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn group_values_keep_run_order() {
+        let merged = merge_runs(vec![
+            run(&[("k", 10)]),
+            run(&[("k", 20)]),
+            run(&[("k", 30)]),
+        ]);
+        let values: Vec<u64> = merged[0]
+            .1
+            .iter()
+            .map(|v| u64::from_be_bytes(v.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(values, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn merge_equals_global_sort() {
+        // Split a shuffled set into runs, sort each, merge, and compare to
+        // a global sort.
+        let all: Vec<(String, u64)> =
+            (0..300).map(|i| (format!("k{:03}", (i * 7) % 100), i as u64)).collect();
+        let mut runs: Vec<SortedRun> = vec![Vec::new(); 5];
+        for (i, (k, v)) in all.iter().enumerate() {
+            runs[i % 5].push((k.clone().ordered_bytes(), v.to_be_bytes().to_vec()));
+        }
+        for r in &mut runs {
+            r.sort();
+        }
+        let merged = merge_runs(runs);
+        assert_eq!(merged.len(), 100);
+        let mut total = 0;
+        for w in merged.windows(2) {
+            assert!(w[0].0 < w[1].0, "keys strictly ascending across groups");
+        }
+        for (_, vs) in &merged {
+            total += vs.len();
+        }
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn runs_bytes_counts_serialized_size() {
+        let r = run(&[("ab", 1)]);
+        // "ab" + terminator = 3 bytes key, 8 bytes value.
+        assert_eq!(runs_bytes(&[r]), 11);
+        assert_eq!(runs_bytes(&[]), 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_merge_preserves_multiset(
+            data in proptest::collection::vec(("[a-e]{1,3}", 0u64..100), 0..120),
+            nruns in 1usize..6,
+        ) {
+            let mut runs: Vec<SortedRun> = vec![Vec::new(); nruns];
+            for (i, (k, v)) in data.iter().enumerate() {
+                runs[i % nruns].push((k.clone().ordered_bytes(), v.to_be_bytes().to_vec()));
+            }
+            for r in &mut runs { r.sort(); }
+            let merged = merge_runs(runs);
+            // Flatten back and compare as multisets.
+            let mut flat: Vec<(String, u64)> = merged
+                .iter()
+                .flat_map(|(k, vs)| {
+                    let ks = key(k);
+                    vs.iter()
+                        .map(move |v| (ks.clone(), u64::from_be_bytes(v.as_slice().try_into().unwrap())))
+                })
+                .collect();
+            let mut expected = data.clone();
+            flat.sort();
+            expected.sort();
+            proptest::prop_assert_eq!(flat, expected);
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! The map-side collect → sort → spill buffer.
+//!
+//! Map output pairs are serialized immediately (key via its
+//! order-preserving encoding, value via `Writable`), partitioned by key
+//! hash, and buffered; when the buffer exceeds `io.sort` capacity the
+//! partitions are sorted **by raw bytes** and spilled, with the combiner
+//! folding each equal-key group — exactly Hadoop's spill pipeline, and the
+//! mechanism behind the lecture's "combiner trades map time for shuffle
+//! bytes" observation.
+
+use hl_common::counters::{Counters, TaskCounter};
+use hl_common::hash::default_partition;
+use hl_common::keys::SortableKey;
+use hl_common::writable::Writable;
+
+use crate::api::{Combiner, PartitionFn};
+
+/// One serialized, sorted `(key, value)` run for one partition.
+pub type SortedRun = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// Final output of a map task: one sorted run per partition, plus the
+/// I/O totals the engine charges to the virtual clock.
+#[derive(Debug, Clone, Default)]
+pub struct MapOutput {
+    /// Sorted, combined output per partition.
+    pub partitions: Vec<SortedRun>,
+    /// Bytes written to local disk across all spills + the final merge.
+    pub spill_bytes_written: u64,
+    /// Bytes re-read from local disk by the final merge.
+    pub spill_bytes_read: u64,
+    /// Number of spill passes.
+    pub num_spills: u32,
+}
+
+impl MapOutput {
+    /// Serialized size of one partition's run.
+    pub fn partition_bytes(&self, p: usize) -> u64 {
+        self.partitions[p]
+            .iter()
+            .map(|(k, v)| (k.len() + v.len()) as u64)
+            .sum()
+    }
+
+    /// Serialized size across all partitions.
+    pub fn total_bytes(&self) -> u64 {
+        (0..self.partitions.len()).map(|p| self.partition_bytes(p)).sum()
+    }
+
+    /// Total records across all partitions.
+    pub fn total_records(&self) -> u64 {
+        self.partitions.iter().map(|p| p.len() as u64).sum()
+    }
+}
+
+/// The in-memory collect/sort/spill buffer for one map task.
+pub struct SortBuffer<K: SortableKey, V: Writable> {
+    num_partitions: usize,
+    buffer_limit: usize,
+    current: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
+    bytes_buffered: usize,
+    /// High-water mark of buffered bytes (the in-mapper-combining memory
+    /// comparison in experiment N2 reads this).
+    pub peak_buffered: usize,
+    spills: Vec<Vec<SortedRun>>,
+    spill_bytes_written: u64,
+    partitioner: Option<PartitionFn<K>>,
+    _types: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K: SortableKey, V: Writable> SortBuffer<K, V> {
+    /// Buffer with `num_partitions` outputs and a spill threshold.
+    pub fn new(num_partitions: usize, buffer_limit: usize) -> Self {
+        assert!(num_partitions > 0);
+        SortBuffer {
+            num_partitions,
+            buffer_limit: buffer_limit.max(1),
+            current: vec![Vec::new(); num_partitions],
+            bytes_buffered: 0,
+            peak_buffered: 0,
+            spills: Vec::new(),
+            spill_bytes_written: 0,
+            partitioner: None,
+            _types: std::marker::PhantomData,
+        }
+    }
+
+    /// Replace hash partitioning with a custom partitioner.
+    pub fn with_partitioner(mut self, f: Option<PartitionFn<K>>) -> Self {
+        self.partitioner = f;
+        self
+    }
+
+    /// Serialize and buffer one pair; spills (sort + combine) when full.
+    pub fn collect<C>(
+        &mut self,
+        key: &K,
+        value: &V,
+        combiner: Option<&mut C>,
+        counters: &mut Counters,
+    ) where
+        C: Combiner<K = K, V = V>,
+    {
+        let kbytes = key.ordered_bytes();
+        let vbytes = value.to_bytes();
+        let p = match &self.partitioner {
+            Some(f) => f(key, &kbytes, self.num_partitions).min(self.num_partitions - 1),
+            None => default_partition(&kbytes, self.num_partitions),
+        };
+        self.bytes_buffered += kbytes.len() + vbytes.len();
+        self.peak_buffered = self.peak_buffered.max(self.bytes_buffered);
+        self.current[p].push((kbytes, vbytes));
+        counters.incr_task(TaskCounter::MapOutputBytes, 0); // group exists even when empty
+        if self.bytes_buffered >= self.buffer_limit {
+            self.spill(combiner, counters);
+        }
+    }
+
+    /// Force a spill of the current buffer (sort, combine, "write").
+    pub fn spill<C>(&mut self, combiner: Option<&mut C>, counters: &mut Counters)
+    where
+        C: Combiner<K = K, V = V>,
+    {
+        if self.bytes_buffered == 0 {
+            return;
+        }
+        let mut spill: Vec<SortedRun> = Vec::with_capacity(self.num_partitions);
+        let mut combiner = combiner;
+        for part in self.current.iter_mut() {
+            let mut run = std::mem::take(part);
+            // Raw-byte sort: correct because keys encode order-preserving.
+            run.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            counters.incr_task(TaskCounter::SpilledRecords, run.len() as u64);
+            let run = match combiner.as_deref_mut() {
+                Some(c) => combine_run(run, c, counters),
+                None => run,
+            };
+            self.spill_bytes_written +=
+                run.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum::<u64>();
+            spill.push(run);
+        }
+        self.spills.push(spill);
+        self.bytes_buffered = 0;
+    }
+
+    /// Final spill + merge of all spills into one sorted run per partition.
+    pub fn finish<C>(mut self, combiner: Option<&mut C>, counters: &mut Counters) -> MapOutput
+    where
+        C: Combiner<K = K, V = V>,
+    {
+        let mut combiner = combiner;
+        self.spill(combiner.as_deref_mut(), counters);
+        let num_spills = self.spills.len() as u32;
+        let mut merged: Vec<SortedRun> = Vec::with_capacity(self.num_partitions);
+        let mut merge_read = 0u64;
+        let mut merge_written = 0u64;
+
+        for p in 0..self.num_partitions {
+            let runs: Vec<SortedRun> =
+                self.spills.iter_mut().map(|s| std::mem::take(&mut s[p])).collect();
+            let out = if runs.len() == 1 {
+                runs.into_iter().next().unwrap()
+            } else {
+                // Multi-spill merge re-reads and re-writes everything, and
+                // the combiner runs once more over merged groups.
+                let input_bytes: u64 = runs
+                    .iter()
+                    .flatten()
+                    .map(|(k, v)| (k.len() + v.len()) as u64)
+                    .sum();
+                merge_read += input_bytes;
+                let groups = crate::merge::merge_runs(runs);
+                let out = match combiner.as_deref_mut() {
+                    Some(c) => combine_groups(groups, c, counters),
+                    None => groups
+                        .into_iter()
+                        .flat_map(|(k, vs)| {
+                            vs.into_iter().map(move |v| (k.clone(), v))
+                        })
+                        .collect(),
+                };
+                merge_written +=
+                    out.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum::<u64>();
+                out
+            };
+            merged.push(out);
+        }
+
+        MapOutput {
+            partitions: merged,
+            spill_bytes_written: self.spill_bytes_written + merge_written,
+            spill_bytes_read: merge_read,
+            num_spills,
+        }
+    }
+}
+
+/// Run the combiner over consecutive equal-key records of a sorted run.
+fn combine_run<K, V, C>(run: SortedRun, combiner: &mut C, counters: &mut Counters) -> SortedRun
+where
+    K: SortableKey,
+    V: Writable,
+    C: Combiner<K = K, V = V>,
+{
+    let mut groups: Vec<(Vec<u8>, Vec<Vec<u8>>)> = Vec::new();
+    for (k, v) in run {
+        match groups.last_mut() {
+            Some((gk, vs)) if *gk == k => vs.push(v),
+            _ => groups.push((k, vec![v])),
+        }
+    }
+    combine_groups(groups, combiner, counters)
+}
+
+/// Apply the combiner to `(key, values)` groups, reserializing its output.
+fn combine_groups<K, V, C>(
+    groups: Vec<(Vec<u8>, Vec<Vec<u8>>)>,
+    combiner: &mut C,
+    counters: &mut Counters,
+) -> SortedRun
+where
+    K: SortableKey,
+    V: Writable,
+    C: Combiner<K = K, V = V>,
+{
+    let mut out = Vec::with_capacity(groups.len());
+    for (kbytes, vbytes_list) in groups {
+        let mut kslice = kbytes.as_slice();
+        let key = K::decode_ordered(&mut kslice).expect("combiner key round-trip");
+        let values: Vec<V> = vbytes_list
+            .iter()
+            .map(|b| V::from_bytes(b).expect("combiner value round-trip"))
+            .collect();
+        counters.incr_task(TaskCounter::CombineInputRecords, values.len() as u64);
+        let mut folded = Vec::new();
+        combiner.combine(&key, values, &mut folded);
+        counters.incr_task(TaskCounter::CombineOutputRecords, folded.len() as u64);
+        for v in folded {
+            out.push((kbytes.clone(), v.to_bytes()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sums counts per word — the WordCount combiner.
+    struct SumCombiner;
+    impl Combiner for SumCombiner {
+        type K = String;
+        type V = u64;
+        fn combine(&mut self, _k: &String, values: Vec<u64>, out: &mut Vec<u64>) {
+            out.push(values.into_iter().sum());
+        }
+    }
+
+    type NoC = crate::api::NoCombiner<String, u64>;
+
+    fn collect_all(
+        buf: &mut SortBuffer<String, u64>,
+        pairs: &[(&str, u64)],
+        counters: &mut Counters,
+    ) {
+        for (k, v) in pairs {
+            buf.collect::<NoC>(&k.to_string(), v, None, counters);
+        }
+    }
+
+    #[test]
+    fn single_partition_sorts_by_key() {
+        let mut counters = Counters::new();
+        let mut buf: SortBuffer<String, u64> = SortBuffer::new(1, usize::MAX >> 1);
+        collect_all(&mut buf, &[("pear", 1), ("apple", 2), ("mango", 3), ("apple", 4)], &mut counters);
+        let out = buf.finish::<NoC>(None, &mut counters);
+        let keys: Vec<String> = out.partitions[0]
+            .iter()
+            .map(|(k, _)| {
+                let mut s = k.as_slice();
+                String::decode_ordered(&mut s).unwrap()
+            })
+            .collect();
+        assert_eq!(keys, vec!["apple", "apple", "mango", "pear"]);
+        assert_eq!(out.num_spills, 1);
+        assert_eq!(out.total_records(), 4);
+    }
+
+    #[test]
+    fn partitioning_is_stable_and_complete() {
+        let mut counters = Counters::new();
+        let mut buf: SortBuffer<String, u64> = SortBuffer::new(4, usize::MAX >> 1);
+        let pairs: Vec<(String, u64)> =
+            (0..100).map(|i| (format!("key{i}"), i as u64)).collect();
+        for (k, v) in &pairs {
+            buf.collect::<NoC>(k, v, None, &mut counters);
+        }
+        let out = buf.finish::<NoC>(None, &mut counters);
+        assert_eq!(out.partitions.len(), 4);
+        assert_eq!(out.total_records(), 100);
+        // Same key always lands in the same partition.
+        for p in &out.partitions {
+            assert!(p.windows(2).all(|w| w[0].0 <= w[1].0), "each partition sorted");
+        }
+    }
+
+    #[test]
+    fn combiner_folds_at_spill_time() {
+        let mut counters = Counters::new();
+        let mut buf: SortBuffer<String, u64> = SortBuffer::new(1, usize::MAX >> 1);
+        for _ in 0..1000 {
+            buf.collect(&"the".to_string(), &1, Some(&mut SumCombiner), &mut counters);
+        }
+        let out = buf.finish(Some(&mut SumCombiner), &mut counters);
+        assert_eq!(out.partitions[0].len(), 1, "1000 pairs folded to 1");
+        let (_, v) = &out.partitions[0][0];
+        assert_eq!(u64::from_bytes(v).unwrap(), 1000);
+        assert_eq!(counters.task(TaskCounter::CombineInputRecords), 1000);
+        assert_eq!(counters.task(TaskCounter::CombineOutputRecords), 1);
+    }
+
+    #[test]
+    fn small_buffer_forces_multiple_spills_and_merge() {
+        let mut counters = Counters::new();
+        let mut buf: SortBuffer<String, u64> = SortBuffer::new(2, 256);
+        let words = ["alpha", "beta", "gamma", "delta"];
+        for i in 0..200u64 {
+            let w = words[(i % 4) as usize].to_string();
+            buf.collect(&w, &1, Some(&mut SumCombiner), &mut counters);
+        }
+        let out = buf.finish(Some(&mut SumCombiner), &mut counters);
+        assert!(out.num_spills > 1, "256-byte buffer must spill repeatedly");
+        assert!(out.spill_bytes_read > 0, "merge re-reads spills");
+        // After the final combine pass each word appears exactly once with
+        // its total count.
+        let mut totals = std::collections::BTreeMap::new();
+        for p in &out.partitions {
+            for (k, v) in p {
+                let mut ks = k.as_slice();
+                let key = String::decode_ordered(&mut ks).unwrap();
+                *totals.entry(key).or_insert(0u64) += u64::from_bytes(v).unwrap();
+            }
+        }
+        for w in words {
+            assert_eq!(totals[w], 50, "{w}");
+        }
+        // With a working final-merge combine, each word is a single record.
+        assert_eq!(out.total_records(), 4);
+    }
+
+    #[test]
+    fn without_combiner_all_records_survive_spills() {
+        let mut counters = Counters::new();
+        let mut buf: SortBuffer<String, u64> = SortBuffer::new(1, 128);
+        for i in 0..100u64 {
+            buf.collect::<NoC>(&"k".to_string(), &i, None, &mut counters);
+        }
+        let out = buf.finish::<NoC>(None, &mut counters);
+        assert_eq!(out.total_records(), 100);
+        let values: std::collections::BTreeSet<u64> = out.partitions[0]
+            .iter()
+            .map(|(_, v)| u64::from_bytes(v).unwrap())
+            .collect();
+        assert_eq!(values.len(), 100, "no values lost or duplicated");
+    }
+
+    #[test]
+    fn peak_buffer_tracks_high_water() {
+        let mut counters = Counters::new();
+        let mut buf: SortBuffer<String, u64> = SortBuffer::new(1, 10_000);
+        collect_all(&mut buf, &[("aaaa", 1), ("bbbb", 2)], &mut counters);
+        let peak = buf.peak_buffered;
+        assert!(peak > 0);
+        buf.spill::<NoC>(None, &mut counters);
+        collect_all(&mut buf, &[("c", 3)], &mut counters);
+        assert_eq!(buf.peak_buffered, peak, "smaller second fill keeps old peak");
+    }
+
+    #[test]
+    fn spilled_records_counter_counts_every_spill_pass() {
+        let mut counters = Counters::new();
+        let mut buf: SortBuffer<String, u64> = SortBuffer::new(1, usize::MAX >> 1);
+        collect_all(&mut buf, &[("a", 1), ("b", 2)], &mut counters);
+        let _ = buf.finish::<NoC>(None, &mut counters);
+        assert_eq!(counters.task(TaskCounter::SpilledRecords), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! A session's worth of jobs on one cluster, then the JobTracker history
+//! page — plus the Pairs-vs-Stripes co-occurrence comparison from the Lin
+//! lecture notes the course followed.
+//!
+//! ```text
+//! cargo run --example jobtracker_history
+//! ```
+
+use hadoop_lab::cluster::node::ClusterSpec;
+use hadoop_lab::common::config::{keys, Configuration};
+use hadoop_lab::common::counters::TaskCounter;
+use hadoop_lab::datagen::corpus::CorpusGen;
+use hadoop_lab::mapreduce::engine::MrCluster;
+use hadoop_lab::workloads::{cooccurrence, wordcount};
+
+fn main() {
+    let mut config = Configuration::with_defaults();
+    config.set(keys::DFS_BLOCK_SIZE, 64 * 1024u64);
+    let mut cluster = MrCluster::new(ClusterSpec::course_hadoop(8), config).unwrap();
+
+    let (text, _) = CorpusGen::new(99).with_vocab(500).generate(50_000);
+    cluster.dfs.namenode.mkdirs("/in").unwrap();
+    let t = cluster.now;
+    let put = cluster.dfs.put(&mut cluster.net, t, "/in/corpus.txt", text.as_bytes(), None).unwrap();
+    cluster.now = put.completed_at;
+
+    // A realistic session: three WordCount variants, then both
+    // co-occurrence implementations.
+    cluster.run_job(&wordcount::wordcount("/in/corpus.txt", "/out/wc", 2)).unwrap();
+    cluster.run_job(&wordcount::wordcount_combiner("/in/corpus.txt", "/out/wcc", 2)).unwrap();
+    cluster.run_job(&wordcount::wordcount_inmapper("/in/corpus.txt", "/out/wci", 2)).unwrap();
+    let pairs = cluster
+        .run_job(&cooccurrence::pairs("/in/corpus.txt", "/out/pairs", 4))
+        .unwrap();
+    let stripes = cluster
+        .run_job(&cooccurrence::stripes("/in/corpus.txt", "/out/stripes", 4))
+        .unwrap();
+
+    println!("{}", cluster.history);
+
+    println!("Pairs vs Stripes (same answer, different systems behaviour):");
+    for (name, r) in [("pairs", &pairs), ("stripes", &stripes)] {
+        println!(
+            "  {name:<8} map-output records {:>9}   shuffle {:>12} B   elapsed {}",
+            r.counters.task(TaskCounter::MapOutputRecords),
+            r.shuffle_bytes(),
+            r.elapsed()
+        );
+    }
+}

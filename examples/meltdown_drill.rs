@@ -1,0 +1,26 @@
+//! The Version-1 meltdown, replayed end to end (Section II-A): heap-leaking
+//! student jobs crash daemons the night before the deadline, blocks fall
+//! under-replicated, the restart sits in safe mode while DataNodes scan,
+//! and a block that lost every replica leaves the cluster refusing jobs.
+//!
+//! ```text
+//! cargo run --example meltdown_drill
+//! ```
+
+use hadoop_lab::core::experiments::{n6, Scale};
+
+fn main() {
+    println!("Replaying the Fall-2012 shared-cluster meltdown...\n");
+    let result = n6::run(Scale::Quick);
+    println!("{result}");
+    println!(
+        "\nPaper, Section II-A: \"some of job submissions contained run time errors\n\
+         that created memory leaks on the Java heap memory and consequently crashed\n\
+         the task tracker and data node daemons. When the Hadoop cluster was\n\
+         restarted, it typically took at least fifteen minutes for all the Data\n\
+         Nodes to check for data integrity and report back to the Name Node. ...\n\
+         we ended up with a corrupted Hadoop cluster that stopped all the new jobs.\"\n\n\
+         Run `repro --n6` (Paper scale) for the course-size version, where the\n\
+         restart scan takes the paper's quarter-hour."
+    );
+}

@@ -1,0 +1,40 @@
+//! A myHadoop session on the shared supercomputer (Section II-B): Alice
+//! provisions a dynamic 8-node Hadoop cluster, forgets `stop-all.sh` on
+//! the way out, and Bob — landing on the same nodes — hits her ghost
+//! daemons and has to wait out the cleanup cron.
+//!
+//! ```text
+//! cargo run --example myhadoop_session
+//! ```
+
+use hadoop_lab::provision::{Campus, Session, SessionOutcome, SessionSpec};
+
+fn main() {
+    let mut campus = Campus::new(16);
+
+    println!("-- Alice: clean setup, but exits without stopping Hadoop --");
+    let mut alice = SessionSpec::diligent("alice");
+    alice.forgets_teardown = true;
+    match Session::new(alice).run(&mut campus) {
+        SessionOutcome::Success { cluster_up, total } => {
+            println!("cluster up in {cluster_up}, session done in {total}");
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+    println!("ports still bound by ghosts: {}\n", campus.ports.len());
+
+    println!("-- Bob: assigned the same nodes minutes later --");
+    let mut bob = SessionSpec::diligent("bob");
+    bob.misconfigured_paths = true; // and he got HADOOP_HOME wrong, too
+    match Session::new(bob).run(&mut campus) {
+        SessionOutcome::Success { cluster_up, total } => {
+            println!("cluster up in {cluster_up} (ghost wait + path debugging), total {total}");
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    println!("\n-- the session log (what the scheduler recorded) --");
+    for entry in campus.log.entries() {
+        println!("[{}] {}: {}", entry.at, entry.source, entry.message);
+    }
+}

@@ -1,0 +1,90 @@
+//! Model-based test: the HBase-flavored table must behave exactly like a
+//! flat `BTreeMap<(row, column), value>` under any sequence of puts,
+//! deletes, flushes, compactions, and splits.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use hadoop_lab::cluster::network::ClusterNet;
+use hadoop_lab::cluster::node::ClusterSpec;
+use hadoop_lab::common::config::{keys, Configuration};
+use hadoop_lab::common::simtime::SimTime;
+use hadoop_lab::dfs::client::Dfs;
+use hadoop_lab::hbase::HTable;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u8, u8),
+    Delete(u8, u8),
+    Flush,
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u8..20, 0u8..3, any::<u8>()).prop_map(|(r, c, v)| Op::Put(r, c, v)),
+        3 => (0u8..20, 0u8..3).prop_map(|(r, c)| Op::Delete(r, c)),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn htable_matches_a_flat_map(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let spec = ClusterSpec::course_hadoop(4);
+        let mut config = Configuration::with_defaults();
+        config.set(keys::DFS_BLOCK_SIZE, 4096u64);
+        let mut dfs = Dfs::format(&config, &spec).unwrap();
+        let mut net = ClusterNet::new(&spec);
+        let mut table = HTable::create(&mut dfs, "model").unwrap();
+        table.split_threshold = 25; // force splits to happen mid-sequence
+        let mut model: BTreeMap<(String, String), Vec<u8>> = BTreeMap::new();
+        let mut now = SimTime::ZERO;
+
+        for op in ops {
+            match op {
+                Op::Put(r, c, v) => {
+                    let (row, col) = (format!("row{r:02}"), format!("col{c}"));
+                    now = table.put(&mut dfs, &mut net, now, &row, &col, vec![v]).unwrap();
+                    model.insert((row, col), vec![v]);
+                }
+                Op::Delete(r, c) => {
+                    let (row, col) = (format!("row{r:02}"), format!("col{c}"));
+                    now = table.delete(&mut dfs, &mut net, now, &row, &col).unwrap();
+                    model.remove(&(row, col));
+                }
+                Op::Flush => {
+                    now = table.flush_all(&mut dfs, &mut net, now).unwrap();
+                }
+                Op::Compact => {
+                    now = table.compact_all(&mut dfs, &mut net, now).unwrap();
+                }
+            }
+            // Point lookups agree on a sample of keys.
+            for r in [0u8, 7, 19] {
+                for c in 0u8..3 {
+                    let (row, col) = (format!("row{r:02}"), format!("col{c}"));
+                    prop_assert_eq!(
+                        table.get(&row, &col),
+                        model.get(&(row.clone(), col.clone())).cloned(),
+                        "get({}, {})", row, col
+                    );
+                }
+            }
+        }
+
+        // Full scan agrees exactly with the model.
+        let got: Vec<((String, String), Vec<u8>)> = table
+            .scan("", None)
+            .into_iter()
+            .map(|(r, c, v)| ((r, c), v))
+            .collect();
+        let want: Vec<((String, String), Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(got, want);
+    }
+}
