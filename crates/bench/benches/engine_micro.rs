@@ -13,7 +13,7 @@ use hl_common::SimTime;
 use hl_datagen::corpus::CorpusGen;
 use hl_mapreduce::api::{NoCombiner, SideFiles};
 use hl_mapreduce::local::LocalRunner;
-use hl_mapreduce::merge::merge_runs;
+use hl_mapreduce::merge::{merge_groups, merge_runs};
 use hl_mapreduce::sortbuf::{SortBuffer, SortedRun};
 use hl_mapreduce::split::LineReader;
 use hl_workloads::wordcount;
@@ -50,25 +50,39 @@ fn bench_sortbuf(c: &mut Criterion) {
 }
 
 fn bench_merge(c: &mut Criterion) {
-    let mut runs: Vec<SortedRun> = Vec::new();
-    for r in 0..8 {
-        let mut run: SortedRun = (0..10_000u64)
-            .map(|i| {
-                let key = format!("key{:06}", (i * 7 + r) % 20_000);
-                (key.ordered_bytes(), i.to_be_bytes().to_vec())
-            })
-            .collect();
-        run.sort();
-        runs.push(run);
-    }
+    let runs: Vec<SortedRun> = (0..8u64)
+        .map(|r| {
+            SortedRun::from_pairs(
+                (0..10_000u64)
+                    .map(|i| {
+                        let key = format!("key{:06}", (i * 7 + r) % 20_000);
+                        (key.ordered_bytes(), i.to_be_bytes().to_vec())
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
     let mut group = c.benchmark_group("merge");
     group.throughput(Throughput::Elements(80_000));
+    // Consume the streaming group merge the way every reduce path does:
+    // iterate (key, values) groups over borrowed slices.
     group.bench_function("kway_8x10k", |b| {
-        b.iter_batched(
-            || runs.clone(),
-            |r| std::hint::black_box(merge_runs(r)),
-            criterion::BatchSize::LargeInput,
-        )
+        b.iter(|| {
+            let mut groups = 0u64;
+            let mut bytes = 0u64;
+            for (k, vs) in merge_groups(&runs) {
+                groups += 1;
+                bytes += k.len() as u64;
+                for v in &vs {
+                    bytes += v.len() as u64;
+                }
+            }
+            std::hint::black_box((groups, bytes))
+        })
+    });
+    // The owned-output collector kept for small runners and tests.
+    group.bench_function("kway_8x10k_collect_owned", |b| {
+        b.iter(|| std::hint::black_box(merge_runs(&runs)))
     });
     group.finish();
 }

@@ -3,8 +3,10 @@
 //! HDFS checksums every 512-byte chunk of every block with CRC32 and
 //! re-verifies on read and during the DataNode block scanner pass; the
 //! "15 minutes of data-integrity checking" students experienced after a
-//! cluster restart is this code path. We implement the classic reflected
-//! table-driven algorithm (the same one `zlib` and Hadoop use).
+//! cluster restart is this code path. We implement the reflected
+//! table-driven algorithm with **slicing-by-8** (the same scheme `zlib`
+//! and Hadoop's native CRC use): eight 256-entry tables, built at compile
+//! time, fold 8 input bytes per loop iteration instead of 1.
 
 /// Streaming CRC32 state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,11 +17,14 @@ pub struct Crc32 {
 /// The reflected IEEE polynomial.
 const POLY: u32 = 0xEDB8_8320;
 
-/// 256-entry lookup table, built at compile time.
-static TABLE: [u32; 256] = build_table();
+/// Slicing-by-8 lookup tables. `TABLES[0]` is the classic byte-at-a-time
+/// table; `TABLES[k][b]` is the CRC of byte `b` followed by `k` zero
+/// bytes, which lets one iteration advance the state across 8 bytes with
+/// 8 independent (pipelinable) table loads.
+static TABLES: [[u32; 256]; 8] = build_tables();
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -28,10 +33,20 @@ const fn build_table() -> [u32; 256] {
             crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 }
 
 impl Default for Crc32 {
@@ -46,11 +61,26 @@ impl Crc32 {
         Crc32 { state: 0xFFFF_FFFF }
     }
 
-    /// Feed more bytes.
+    /// Feed more bytes. Slicing-by-8: the main loop folds two little-endian
+    /// 32-bit words (8 input bytes) into the state per iteration; the
+    /// sub-8-byte tail falls back to the byte-at-a-time table.
     pub fn update(&mut self, data: &[u8]) {
         let mut crc = self.state;
-        for &b in data {
-            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        let mut chunks = data.chunks_exact(8);
+        for ch in &mut chunks {
+            let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ crc;
+            let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+            crc = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][(hi & 0xFF) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
         }
         self.state = crc;
     }
@@ -113,6 +143,35 @@ mod tests {
         assert_eq!(Crc32::checksum(b"123456789"), 0xCBF4_3926);
         assert_eq!(Crc32::checksum(b""), 0x0000_0000);
         assert_eq!(Crc32::checksum(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    /// Plain bitwise CRC32, no tables: ground truth for the sliced version.
+    fn crc32_bitwise(data: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in data {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+        }
+        crc ^ 0xFFFF_FFFF
+    }
+
+    #[test]
+    fn sliced_matches_bitwise_reference_all_lengths() {
+        // Every length 0..=64 exercises the 8-byte main loop and each
+        // possible tail remainder; offsets shift byte alignment.
+        let data: Vec<u8> = (0..192u32).map(|i| (i.wrapping_mul(167) >> 3) as u8).collect();
+        for off in 0..8 {
+            for len in 0..=64 {
+                let slice = &data[off..off + len];
+                assert_eq!(
+                    Crc32::checksum(slice),
+                    crc32_bitwise(slice),
+                    "mismatch at off={off} len={len}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -118,6 +118,19 @@ impl Counters {
         self.incr(FS_GROUP, c.name(), delta);
     }
 
+    /// Ensure a counter (and its group) exists at 0 without changing its
+    /// value. Hadoop's job report prints every registered counter even
+    /// when it never fired; call this at task setup for counters the
+    /// report must always show.
+    pub fn touch(&mut self, group: &str, counter: &str) {
+        self.groups.entry(group.to_string()).or_default().entry(counter.to_string()).or_default();
+    }
+
+    /// Register a well-known task counter at 0 (see [`Counters::touch`]).
+    pub fn touch_task(&mut self, c: TaskCounter) {
+        self.touch(TASK_GROUP, c.name());
+    }
+
     /// Read any counter (0 when never incremented).
     pub fn get(&self, group: &str, counter: &str) -> u64 {
         self.groups.get(group).and_then(|g| g.get(counter)).copied().unwrap_or(0)
@@ -193,6 +206,20 @@ mod tests {
         assert_eq!(c.fs(FileSystemCounter::HdfsBytesRead), 4096);
         c.incr("My Group", "widgets", 2);
         assert_eq!(c.get("My Group", "widgets"), 2);
+    }
+
+    #[test]
+    fn touch_registers_zero_without_incrementing() {
+        let mut c = Counters::new();
+        assert!(c.is_empty());
+        c.touch_task(TaskCounter::MapOutputBytes);
+        assert!(!c.is_empty());
+        assert_eq!(c.task(TaskCounter::MapOutputBytes), 0);
+        assert!(c.to_string().contains("    Map output bytes=0\n"));
+        // Touching an existing counter must not disturb its value.
+        c.incr_task(TaskCounter::MapOutputBytes, 9);
+        c.touch_task(TaskCounter::MapOutputBytes);
+        assert_eq!(c.task(TaskCounter::MapOutputBytes), 9);
     }
 
     #[test]

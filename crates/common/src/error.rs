@@ -155,7 +155,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let io = std::io::Error::other("disk on fire");
         let e: HlError = io.into();
         assert_eq!(e, HlError::Io("disk on fire".into()));
     }

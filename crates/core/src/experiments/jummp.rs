@@ -124,7 +124,7 @@ fn run_arm(scale: Scale, maneuver: bool) -> (JummpArm, usize, u64) {
         // Only after the preemption wave does the monitor get to react.
         let window = SimDuration::from_secs(3 * 200) + SimDuration::from_mins(10);
         dfs.run_protocol(&mut net, now, now + window);
-        now = now + window;
+        now += window;
     }
 
     let missing = dfs.namenode.missing_blocks().len();

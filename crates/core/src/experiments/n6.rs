@@ -152,7 +152,7 @@ pub fn run(scale: Scale) -> N6Result {
 fn count_pending(c: &MrCluster) -> usize {
     // Under-replicated blocks already queued for copy are not in
     // `under_replicated()`; count them via missing replicas instead.
-    0usize.max(c.dfs.namenode.missing_blocks().len())
+    c.dfs.namenode.missing_blocks().len()
 }
 
 impl fmt::Display for N6Result {

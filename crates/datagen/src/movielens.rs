@@ -152,7 +152,7 @@ impl MovieLensGen {
             // Bias: 70% of a user's ratings land in a user-specific slice
             // of the movie catalog.
             let movie = if rng.gen_bool(0.7) {
-                let band = (user % 10) as u32;
+                let band = user % 10;
                 let lo = band * self.num_movies / 10;
                 let hi = ((band + 1) * self.num_movies / 10).max(lo + 1);
                 rng.gen_range(lo..hi) + 1

@@ -139,7 +139,7 @@ pub fn generate(seed: u64) -> Vec<SurveyResponse> {
             "Sophomore" => YearLevel::Sophomore,
             _ => YearLevel::Freshman,
         };
-        years.extend(std::iter::repeat(y).take(count as usize));
+        years.extend(std::iter::repeat_n(y, count as usize));
     }
     // Fisher–Yates.
     for i in (1..years.len()).rev() {

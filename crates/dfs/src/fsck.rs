@@ -138,7 +138,7 @@ impl fmt::Display for FsckReport {
                 writeln!(
                     f,
                     "  blk_{blk} len={} repl={live}/{expected} [{}]",
-                    file.len.min(u64::MAX),
+                    file.len,
                     holders.join(", ")
                 )?;
             }

@@ -312,6 +312,6 @@ mod tests {
                 .unwrap();
         }
         let sp = r.split_point().unwrap();
-        assert!(sp > "row0".to_string() && sp <= "row9".to_string());
+        assert!(sp.as_str() > "row0" && sp.as_str() <= "row9");
     }
 }

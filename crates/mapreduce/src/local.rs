@@ -13,8 +13,8 @@ use rayon::prelude::*;
 
 use crate::api::{Combiner, MapContext, MapOutputSink, Mapper, ReduceContext, Reducer, SideFiles, TaskScope};
 use crate::job::Job;
-use crate::merge::merge_runs;
-use crate::sortbuf::SortBuffer;
+use crate::merge::merge_groups;
+use crate::sortbuf::{SortBuffer, SortedRun};
 use crate::split::LineReader;
 
 /// Result of a local run.
@@ -109,11 +109,15 @@ impl LocalRunner {
                 .par_iter()
                 .map(|split| {
                     let mut scope = TaskScope::new(side.clone(), self.disk_bw);
+                    // Register always-reported counters up front so the job
+                    // report shows the group even for empty map output.
+                    let mut task_counters = Counters::new();
+                    task_counters.touch_task(TaskCounter::MapOutputBytes);
                     let mut sink = LocalSink {
                         buf: SortBuffer::new(num_reduces, job.conf.sort_buffer_bytes)
                             .with_partitioner(job.partitioner.clone()),
                         combiner: job.combiner.as_ref().map(|f| f()),
-                        counters: Counters::new(),
+                        counters: task_counters,
                     };
                     let mut mapper = (job.mapper)();
                     let mut records = 0u64;
@@ -164,44 +168,59 @@ impl LocalRunner {
         // Greedy lane scheduling: virtual map phase time with `threads` lanes.
         let map_virtual = schedule_lanes(&map_times, self.threads);
 
-        // Reduce phase (serial — matches assignment-1 single JVM).
+        // Reduce phase — runs on the same rayon pool as the map phase.
+        // Each partition is consumed exactly once (the local runner has no
+        // task retries), so move the runs out instead of cloning; deliver
+        // output in partition order regardless of completion order.
+        let runs_by_reduce: Vec<Vec<SortedRun>> = (0..num_reduces)
+            .map(|r| map_outputs.iter_mut().map(|o| o.take_partition(r)).collect())
+            .collect();
+        let reduce_results: Vec<Result<(Vec<String>, Counters, SimDuration)>> =
+            pool.install(|| {
+                runs_by_reduce
+                    .into_par_iter()
+                    .map(|runs| {
+                        let mut task_counters = Counters::new();
+                        let mut scope = TaskScope::new(side.clone(), self.disk_bw);
+                        let mut lines = Vec::new();
+                        let mut reducer = (job.reducer)();
+                        let mut records = 0u64;
+                        let mut groups = 0u64;
+                        {
+                            let mut ctx = ReduceContext::new(&mut scope, &mut lines);
+                            reducer.setup(&mut ctx);
+                            for (kbytes, vlist) in merge_groups(&runs) {
+                                groups += 1;
+                                let mut ks = kbytes;
+                                let key =
+                                    <M::KOut as hl_common::keys::SortableKey>::decode_ordered(&mut ks)?;
+                                let values: Result<Vec<M::VOut>> = vlist
+                                    .iter()
+                                    .map(|b| <M::VOut as hl_common::writable::Writable>::from_bytes(b))
+                                    .collect();
+                                let values = values?;
+                                records += values.len() as u64;
+                                reducer.reduce(key, values, &mut ctx);
+                            }
+                            reducer.cleanup(&mut ctx);
+                        }
+                        task_counters.incr_task(TaskCounter::ReduceInputGroups, groups);
+                        task_counters.merge(&scope.counters);
+                        task_counters.incr_task(TaskCounter::ReduceInputRecords, records);
+                        let vt = job.conf.reduce_cpu_per_record * records + scope.extra_time;
+                        Ok((lines, task_counters, vt))
+                    })
+                    .collect()
+            });
         let mut output = Vec::new();
-        let mut reduce_virtual = SimDuration::ZERO;
-        for r in 0..num_reduces {
-            // Each partition is consumed exactly once (the local runner has
-            // no task retries), so move it out instead of cloning — the
-            // clone was the serial bottleneck that flattened thread scaling.
-            let runs: Vec<_> = map_outputs
-                .iter_mut()
-                .map(|o| std::mem::take(&mut o.partitions[r]))
-                .collect();
-            let groups = merge_runs(runs);
-            counters.incr_task(TaskCounter::ReduceInputGroups, groups.len() as u64);
-            let mut scope = TaskScope::new(side.clone(), self.disk_bw);
-            let mut lines = Vec::new();
-            let mut reducer = (job.reducer)();
-            let mut records = 0u64;
-            {
-                let mut ctx = ReduceContext::new(&mut scope, &mut lines);
-                reducer.setup(&mut ctx);
-                for (kbytes, vlist) in groups {
-                    let mut ks = kbytes.as_slice();
-                    let key = <M::KOut as hl_common::keys::SortableKey>::decode_ordered(&mut ks)?;
-                    let values: Result<Vec<M::VOut>> = vlist
-                        .iter()
-                        .map(|b| <M::VOut as hl_common::writable::Writable>::from_bytes(b))
-                        .collect();
-                    let values = values?;
-                    records += values.len() as u64;
-                    reducer.reduce(key, values, &mut ctx);
-                }
-                reducer.cleanup(&mut ctx);
-            }
-            counters.merge(&scope.counters);
-            counters.incr_task(TaskCounter::ReduceInputRecords, records);
-            reduce_virtual += job.conf.reduce_cpu_per_record * records + scope.extra_time;
+        let mut reduce_times = Vec::with_capacity(num_reduces);
+        for res in reduce_results {
+            let (lines, c, vt) = res?;
+            counters.merge(&c);
+            reduce_times.push(vt);
             output.extend(lines);
         }
+        let reduce_virtual = schedule_lanes(&reduce_times, self.threads);
 
         Ok(LocalReport {
             output,
@@ -241,17 +260,20 @@ impl<K: hl_common::keys::SortableKey, V: hl_common::writable::Writable, C: Combi
 }
 
 /// Longest-processing-time-first greedy schedule of task durations onto
-/// `lanes` parallel lanes; returns the makespan.
+/// `lanes` parallel lanes; returns the makespan. The least-loaded lane is
+/// tracked in a min-heap, so scheduling is O(n log lanes) instead of the
+/// O(n · lanes) linear scan.
 pub fn schedule_lanes(durations: &[SimDuration], lanes: usize) -> SimDuration {
     let lanes = lanes.max(1);
     let mut sorted: Vec<SimDuration> = durations.to_vec();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
-    let mut lane_loads = vec![SimDuration::ZERO; lanes];
+    let mut lane_loads: std::collections::BinaryHeap<std::cmp::Reverse<SimDuration>> =
+        (0..lanes).map(|_| std::cmp::Reverse(SimDuration::ZERO)).collect();
     for d in sorted {
-        let i = (0..lanes).min_by_key(|&i| lane_loads[i]).unwrap();
-        lane_loads[i] += d;
+        let std::cmp::Reverse(load) = lane_loads.pop().unwrap();
+        lane_loads.push(std::cmp::Reverse(load + d));
     }
-    lane_loads.into_iter().max().unwrap_or(SimDuration::ZERO)
+    lane_loads.into_iter().map(|std::cmp::Reverse(d)| d).max().unwrap_or(SimDuration::ZERO)
 }
 
 #[cfg(test)]

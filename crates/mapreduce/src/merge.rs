@@ -4,47 +4,160 @@
 //! the reduce side to merge the sorted segments fetched from every map
 //! task. Comparison is raw-byte (`memcmp`) — keys use order-preserving
 //! encodings, so this is both the cheapest and the correct comparison.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! The merge is a tournament tree over run cursors (Hadoop's
+//! `Merger.MergeQueue` plays the same game): each pop replays exactly one
+//! leaf-to-root path of ⌈log₂ k⌉ comparisons on **borrowed key slices** —
+//! no per-record key copies, no heap node churn. Ties go to the
+//! lowest-numbered run, so group values keep run order then intra-run
+//! order, which students observe as deterministic reducer input.
 
 use crate::sortbuf::SortedRun;
 
-/// Merge sorted runs into `(key, values)` groups, keys ascending; within a
-/// group, values keep run order then intra-run order (stable like Hadoop's
-/// merge, which students observe as deterministic reducer input).
-pub fn merge_runs(runs: Vec<SortedRun>) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
-    let mut iters: Vec<std::vec::IntoIter<(Vec<u8>, Vec<u8>)>> =
-        runs.into_iter().map(|r| r.into_iter()).collect();
+/// Marks an empty leaf in a tournament tree padded to a power of two.
+const NO_RUN: u32 = u32::MAX;
 
-    // Heap of Reverse((key, run_idx)); pop order = smallest key, then run.
-    let mut heap: BinaryHeap<Reverse<(Vec<u8>, usize, Vec<u8>)>> = BinaryHeap::new();
-    for (i, it) in iters.iter_mut().enumerate() {
-        if let Some((k, v)) = it.next() {
-            heap.push(Reverse((k, i, v)));
+/// Streaming record-level merge: yields `(key, value)` slices in
+/// ascending key order, borrowing from the input runs.
+pub struct MergeIter<'a> {
+    runs: &'a [SortedRun],
+    /// Next unread record index per run.
+    pos: Vec<usize>,
+    /// Cached current key slice per run (`None` when exhausted), so
+    /// replays compare without re-deriving slices from run cursors.
+    heads: Vec<Option<&'a [u8]>>,
+    /// Leaf count, `runs.len()` padded up to a power of two (min 1).
+    leaves: usize,
+    /// Winner tree as a 1-based array: `tree[1]` is the champion,
+    /// `tree[leaves + r]` is leaf `r`. Internal nodes hold the run index
+    /// winning that sub-tournament.
+    tree: Vec<u32>,
+}
+
+impl<'a> MergeIter<'a> {
+    /// Build the tournament over `runs`.
+    pub fn new(runs: &'a [SortedRun]) -> Self {
+        let leaves = runs.len().next_power_of_two().max(1);
+        let mut tree = vec![NO_RUN; 2 * leaves];
+        for r in 0..runs.len() {
+            tree[leaves + r] = r as u32;
+        }
+        let heads = runs
+            .iter()
+            .map(|run| if run.is_empty() { None } else { Some(run.key(0)) })
+            .collect();
+        let mut it = MergeIter { runs, pos: vec![0; runs.len()], heads, leaves, tree };
+        for n in (1..leaves).rev() {
+            it.tree[n] = it.play(it.tree[2 * n], it.tree[2 * n + 1]);
+        }
+        it
+    }
+
+    /// Current key of run `r`, or `None` when exhausted / empty leaf.
+    #[inline]
+    fn key_at(&self, r: u32) -> Option<&'a [u8]> {
+        if r == NO_RUN {
+            None
+        } else {
+            self.heads[r as usize]
         }
     }
 
-    let mut out: Vec<(Vec<u8>, Vec<Vec<u8>>)> = Vec::new();
-    while let Some(Reverse((k, i, v))) = heap.pop() {
-        if let Some((k2, v2)) = iters[i].next() {
-            debug_assert!(k2 >= k, "run {i} not sorted");
-            heap.push(Reverse((k2, i, v2)));
-        }
-        match out.last_mut() {
-            Some((gk, vs)) if *gk == k => vs.push(v),
-            _ => out.push((k, vec![v])),
+    /// Winner of one match: smaller key wins, exhausted runs lose, ties
+    /// go to the lower run index (left operand — left subtrees hold
+    /// lower-numbered leaves).
+    #[inline]
+    fn play(&self, a: u32, b: u32) -> u32 {
+        match (self.key_at(a), self.key_at(b)) {
+            (Some(ka), Some(kb)) => {
+                if ka <= kb {
+                    a
+                } else {
+                    b
+                }
+            }
+            (Some(_), None) => a,
+            (None, _) => b,
         }
     }
-    out
+}
+
+impl<'a> Iterator for MergeIter<'a> {
+    type Item = (&'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let w = self.tree[1];
+        self.key_at(w)?;
+        let r = w as usize;
+        let item = self.runs[r].get(self.pos[r]);
+        self.pos[r] += 1;
+        self.heads[r] = if self.pos[r] < self.runs[r].len() {
+            let k = self.runs[r].key(self.pos[r]);
+            debug_assert!(k >= item.0, "run {r} not sorted");
+            Some(k)
+        } else {
+            None
+        };
+        // Replay only the path from this run's leaf to the root.
+        let mut n = self.leaves + r;
+        while n > 1 {
+            n /= 2;
+            self.tree[n] = self.play(self.tree[2 * n], self.tree[2 * n + 1]);
+        }
+        Some(item)
+    }
+}
+
+/// Streaming group-level merge: yields `(key, values)` with all values
+/// for one key gathered, still borrowing from the runs.
+pub struct GroupIter<'a> {
+    inner: MergeIter<'a>,
+    pending: Option<(&'a [u8], &'a [u8])>,
+}
+
+impl<'a> Iterator for GroupIter<'a> {
+    type Item = (&'a [u8], Vec<&'a [u8]>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (k, v) = match self.pending.take() {
+            Some(kv) => kv,
+            None => self.inner.next()?,
+        };
+        let mut values = vec![v];
+        for (k2, v2) in self.inner.by_ref() {
+            if k2 == k {
+                values.push(v2);
+            } else {
+                self.pending = Some((k2, v2));
+                break;
+            }
+        }
+        Some((k, values))
+    }
+}
+
+/// Record-level streaming merge of `runs`.
+pub fn merge_iter(runs: &[SortedRun]) -> MergeIter<'_> {
+    MergeIter::new(runs)
+}
+
+/// Group-level streaming merge of `runs` (reducer input order).
+pub fn merge_groups(runs: &[SortedRun]) -> GroupIter<'_> {
+    GroupIter { inner: MergeIter::new(runs), pending: None }
+}
+
+/// Collect the streaming merge into owned `(key, values)` groups.
+/// Convenience for tests and small runners; hot paths iterate
+/// [`merge_groups`] directly.
+pub fn merge_runs(runs: &[SortedRun]) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
+    merge_groups(runs)
+        .map(|(k, vs)| (k.to_vec(), vs.into_iter().map(<[u8]>::to_vec).collect()))
+        .collect()
 }
 
 /// Total serialized bytes of a set of runs (charging helper).
 pub fn runs_bytes(runs: &[SortedRun]) -> u64 {
-    runs.iter()
-        .flatten()
-        .map(|(k, v)| (k.len() + v.len()) as u64)
-        .sum()
+    runs.iter().map(SortedRun::bytes).sum()
 }
 
 #[cfg(test)]
@@ -53,12 +166,12 @@ mod tests {
     use hl_common::keys::SortableKey;
 
     fn run(pairs: &[(&str, u64)]) -> SortedRun {
-        let mut r: SortedRun = pairs
-            .iter()
-            .map(|(k, v)| (k.to_string().ordered_bytes(), v.to_be_bytes().to_vec()))
-            .collect();
-        r.sort();
-        r
+        SortedRun::from_pairs(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string().ordered_bytes(), v.to_be_bytes().to_vec()))
+                .collect(),
+        )
     }
 
     fn key(bytes: &[u8]) -> String {
@@ -68,7 +181,7 @@ mod tests {
 
     #[test]
     fn merges_and_groups() {
-        let merged = merge_runs(vec![
+        let merged = merge_runs(&[
             run(&[("apple", 1), ("mango", 2)]),
             run(&[("apple", 3), ("pear", 4)]),
             run(&[("mango", 5)]),
@@ -82,15 +195,15 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        assert!(merge_runs(vec![]).is_empty());
-        assert!(merge_runs(vec![vec![], vec![]]).is_empty());
-        let one = merge_runs(vec![run(&[("a", 1)]), vec![]]);
+        assert!(merge_runs(&[]).is_empty());
+        assert!(merge_runs(&[SortedRun::default(), SortedRun::default()]).is_empty());
+        let one = merge_runs(&[run(&[("a", 1)]), SortedRun::default()]);
         assert_eq!(one.len(), 1);
     }
 
     #[test]
     fn group_values_keep_run_order() {
-        let merged = merge_runs(vec![
+        let merged = merge_runs(&[
             run(&[("k", 10)]),
             run(&[("k", 20)]),
             run(&[("k", 30)]),
@@ -104,19 +217,68 @@ mod tests {
     }
 
     #[test]
+    fn equal_keys_within_one_run_stay_contiguous() {
+        // Repeated keys inside a single run must drain before a later run
+        // with the same key contributes — run order, then intra-run order.
+        let merged = merge_runs(&[
+            run(&[("k", 1), ("k", 2)]),
+            run(&[("k", 3), ("k", 4)]),
+        ]);
+        let values: Vec<u64> = merged[0]
+            .1
+            .iter()
+            .map(|v| u64::from_be_bytes(v.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(values, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn non_power_of_two_run_counts() {
+        for nruns in 1usize..=9 {
+            let runs: Vec<SortedRun> = (0..nruns)
+                .map(|r| run(&[("a", r as u64), ("z", 100 + r as u64)]))
+                .collect();
+            let merged = merge_runs(&runs);
+            assert_eq!(merged.len(), 2, "{nruns} runs");
+            assert_eq!(merged[0].1.len(), nruns);
+            // Run-order tiebreak: values ascend with run index.
+            let firsts: Vec<u64> = merged[0]
+                .1
+                .iter()
+                .map(|v| u64::from_be_bytes(v.as_slice().try_into().unwrap()))
+                .collect();
+            assert_eq!(firsts, (0..nruns as u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn streaming_iter_matches_collected() {
+        let runs = vec![
+            run(&[("b", 2), ("d", 4)]),
+            run(&[("a", 1), ("c", 3)]),
+        ];
+        let streamed: Vec<(Vec<u8>, Vec<u8>)> =
+            merge_iter(&runs).map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        let collected: Vec<(Vec<u8>, Vec<u8>)> = merge_runs(&runs)
+            .into_iter()
+            .flat_map(|(k, vs)| vs.into_iter().map(move |v| (k.clone(), v)))
+            .collect();
+        assert_eq!(streamed, collected);
+        assert!(streamed.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
     fn merge_equals_global_sort() {
         // Split a shuffled set into runs, sort each, merge, and compare to
         // a global sort.
         let all: Vec<(String, u64)> =
             (0..300).map(|i| (format!("k{:03}", (i * 7) % 100), i as u64)).collect();
-        let mut runs: Vec<SortedRun> = vec![Vec::new(); 5];
+        let mut raw: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); 5];
         for (i, (k, v)) in all.iter().enumerate() {
-            runs[i % 5].push((k.clone().ordered_bytes(), v.to_be_bytes().to_vec()));
+            raw[i % 5].push((k.clone().ordered_bytes(), v.to_be_bytes().to_vec()));
         }
-        for r in &mut runs {
-            r.sort();
-        }
-        let merged = merge_runs(runs);
+        let runs: Vec<SortedRun> = raw.into_iter().map(SortedRun::from_pairs).collect();
+        let merged = merge_runs(&runs);
         assert_eq!(merged.len(), 100);
         let mut total = 0;
         for w in merged.windows(2) {
@@ -142,12 +304,12 @@ mod tests {
             data in proptest::collection::vec(("[a-e]{1,3}", 0u64..100), 0..120),
             nruns in 1usize..6,
         ) {
-            let mut runs: Vec<SortedRun> = vec![Vec::new(); nruns];
+            let mut raw: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); nruns];
             for (i, (k, v)) in data.iter().enumerate() {
-                runs[i % nruns].push((k.clone().ordered_bytes(), v.to_be_bytes().to_vec()));
+                raw[i % nruns].push((k.clone().ordered_bytes(), v.to_be_bytes().to_vec()));
             }
-            for r in &mut runs { r.sort(); }
-            let merged = merge_runs(runs);
+            let runs: Vec<SortedRun> = raw.into_iter().map(SortedRun::from_pairs).collect();
+            let merged = merge_runs(&runs);
             // Flatten back and compare as multisets.
             let mut flat: Vec<(String, u64)> = merged
                 .iter()

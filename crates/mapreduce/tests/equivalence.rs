@@ -1,0 +1,371 @@
+//! Equivalence suite for the sort/spill/shuffle hot path.
+//!
+//! The arena-backed `SortBuffer` and the tournament-tree merge are pure
+//! performance rewrites: their observable behavior — output bytes, spill
+//! accounting, combiner counters — must be byte-identical to the original
+//! owned-pairs pipeline. This file keeps a naive reference implementation
+//! of that pipeline (per-record `Vec`s, stable sorts, concat-and-sort
+//! merge) and drives both with the same inputs:
+//!
+//! * a seeded deterministic sweep (always runs), and
+//! * a `proptest` property over random inputs.
+//!
+//! A second property checks that the parallel reduce phase of the
+//! `LocalRunner` produces exactly the serial runner's output and counters.
+
+use hl_common::counters::{Counters, TaskCounter};
+use hl_common::hash::default_partition;
+use hl_common::keys::SortableKey;
+use hl_common::writable::Writable;
+use hl_mapreduce::api::{
+    Combiner, MapContext, Mapper, NoCombiner, ReduceContext, Reducer, SideFiles,
+};
+use hl_mapreduce::job::{Job, JobConf};
+use hl_mapreduce::local::LocalRunner;
+use hl_mapreduce::sortbuf::SortBuffer;
+
+// ---------------------------------------------------------------------------
+// Naive reference: the pre-kvbuffer pipeline, owned pairs all the way.
+// ---------------------------------------------------------------------------
+
+type Pair = (Vec<u8>, Vec<u8>);
+
+struct RefOutput {
+    partitions: Vec<Vec<Pair>>,
+    spill_bytes_written: u64,
+    spill_bytes_read: u64,
+    num_spills: u32,
+    peak_buffered: usize,
+}
+
+struct RefBuffer {
+    num_partitions: usize,
+    buffer_limit: usize,
+    current: Vec<Vec<Pair>>,
+    bytes_buffered: usize,
+    peak_buffered: usize,
+    spills: Vec<Vec<Vec<Pair>>>,
+    spill_bytes_written: u64,
+}
+
+fn pairs_bytes(run: &[Pair]) -> u64 {
+    run.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum()
+}
+
+impl RefBuffer {
+    fn new(num_partitions: usize, buffer_limit: usize) -> Self {
+        RefBuffer {
+            num_partitions,
+            buffer_limit: buffer_limit.max(1),
+            current: vec![Vec::new(); num_partitions],
+            bytes_buffered: 0,
+            peak_buffered: 0,
+            spills: Vec::new(),
+            spill_bytes_written: 0,
+        }
+    }
+
+    fn collect<K: SortableKey, V: Writable, C: Combiner<K = K, V = V>>(
+        &mut self,
+        key: &K,
+        value: &V,
+        combiner: Option<&mut C>,
+        counters: &mut Counters,
+    ) {
+        let kbytes = key.ordered_bytes();
+        let vbytes = value.to_bytes();
+        let p = default_partition(&kbytes, self.num_partitions);
+        self.bytes_buffered += kbytes.len() + vbytes.len();
+        self.peak_buffered = self.peak_buffered.max(self.bytes_buffered);
+        self.current[p].push((kbytes, vbytes));
+        if self.bytes_buffered >= self.buffer_limit {
+            self.spill(combiner, counters);
+        }
+    }
+
+    fn spill<K: SortableKey, V: Writable, C: Combiner<K = K, V = V>>(
+        &mut self,
+        combiner: Option<&mut C>,
+        counters: &mut Counters,
+    ) {
+        if self.bytes_buffered == 0 {
+            return;
+        }
+        let mut combiner = combiner;
+        let mut spill = Vec::with_capacity(self.num_partitions);
+        for part in self.current.iter_mut() {
+            let mut run = std::mem::take(part);
+            // Stable by-key sort: equal keys keep collect order.
+            run.sort_by(|a, b| a.0.cmp(&b.0));
+            counters.incr_task(TaskCounter::SpilledRecords, run.len() as u64);
+            let run = match combiner.as_deref_mut() {
+                Some(c) => ref_combine(group_pairs(run), c, counters),
+                None => run,
+            };
+            self.spill_bytes_written += pairs_bytes(&run);
+            spill.push(run);
+        }
+        self.spills.push(spill);
+        self.bytes_buffered = 0;
+    }
+
+    fn finish<K: SortableKey, V: Writable, C: Combiner<K = K, V = V>>(
+        mut self,
+        combiner: Option<&mut C>,
+        counters: &mut Counters,
+    ) -> RefOutput {
+        let mut combiner = combiner;
+        self.spill(combiner.as_deref_mut(), counters);
+        let num_spills = self.spills.len() as u32;
+        let mut partitions = Vec::with_capacity(self.num_partitions);
+        let mut read = 0u64;
+        let mut written = 0u64;
+        for p in 0..self.num_partitions {
+            let runs: Vec<Vec<Pair>> =
+                self.spills.iter_mut().map(|s| std::mem::take(&mut s[p])).collect();
+            let out = if runs.len() == 1 {
+                runs.into_iter().next().unwrap()
+            } else if runs.is_empty() {
+                Vec::new()
+            } else {
+                read += runs.iter().map(|r| pairs_bytes(r)).sum::<u64>();
+                // Reference merge: concatenate in run order, stable sort by
+                // key — exactly "run order, then intra-run order" grouping.
+                let mut all: Vec<Pair> = runs.into_iter().flatten().collect();
+                all.sort_by(|a, b| a.0.cmp(&b.0));
+                let out = match combiner.as_deref_mut() {
+                    Some(c) => ref_combine(group_pairs(all), c, counters),
+                    None => all,
+                };
+                written += pairs_bytes(&out);
+                out
+            };
+            partitions.push(out);
+        }
+        RefOutput {
+            partitions,
+            spill_bytes_written: self.spill_bytes_written + written,
+            spill_bytes_read: read,
+            num_spills,
+            peak_buffered: self.peak_buffered,
+        }
+    }
+}
+
+fn group_pairs(run: Vec<Pair>) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
+    let mut groups: Vec<(Vec<u8>, Vec<Vec<u8>>)> = Vec::new();
+    for (k, v) in run {
+        match groups.last_mut() {
+            Some((gk, vs)) if *gk == k => vs.push(v),
+            _ => groups.push((k, vec![v])),
+        }
+    }
+    groups
+}
+
+fn ref_combine<K: SortableKey, V: Writable, C: Combiner<K = K, V = V>>(
+    groups: Vec<(Vec<u8>, Vec<Vec<u8>>)>,
+    combiner: &mut C,
+    counters: &mut Counters,
+) -> Vec<Pair> {
+    let mut out = Vec::new();
+    for (kbytes, vlist) in groups {
+        let mut ks = kbytes.as_slice();
+        let key = K::decode_ordered(&mut ks).unwrap();
+        let values: Vec<V> = vlist.iter().map(|b| V::from_bytes(b).unwrap()).collect();
+        counters.incr_task(TaskCounter::CombineInputRecords, values.len() as u64);
+        let mut folded = Vec::new();
+        combiner.combine(&key, values, &mut folded);
+        counters.incr_task(TaskCounter::CombineOutputRecords, folded.len() as u64);
+        for v in folded {
+            out.push((kbytes.clone(), v.to_bytes()));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Driving both pipelines
+// ---------------------------------------------------------------------------
+
+struct SumCombiner;
+impl Combiner for SumCombiner {
+    type K = String;
+    type V = u64;
+    fn combine(&mut self, _k: &String, values: Vec<u64>, out: &mut Vec<u64>) {
+        out.push(values.into_iter().sum());
+    }
+}
+
+/// Run the arena pipeline and the reference pipeline over the same input
+/// and assert byte-identical output plus identical accounting.
+fn assert_equivalent(pairs: &[(String, u64)], parts: usize, limit: usize, combine: bool) {
+    let ctx = format!("parts={parts} limit={limit} combine={combine} n={}", pairs.len());
+
+    let mut counters = Counters::new();
+    let mut buf: SortBuffer<String, u64> = SortBuffer::new(parts, limit);
+    let mut c1 = combine.then_some(SumCombiner);
+    for (k, v) in pairs {
+        buf.collect(k, v, c1.as_mut(), &mut counters);
+    }
+    let peak = buf.peak_buffered;
+    let out = buf.finish(c1.as_mut(), &mut counters);
+
+    let mut ref_counters = Counters::new();
+    let mut rbuf = RefBuffer::new(parts, limit);
+    let mut c2 = combine.then_some(SumCombiner);
+    for (k, v) in pairs {
+        rbuf.collect(k, v, c2.as_mut(), &mut ref_counters);
+    }
+    let rout = rbuf.finish(c2.as_mut(), &mut ref_counters);
+
+    assert_eq!(out.partitions.len(), rout.partitions.len(), "{ctx}");
+    for p in 0..parts {
+        assert_eq!(out.partitions[p].to_pairs(), rout.partitions[p], "partition {p}: {ctx}");
+    }
+    assert_eq!(out.num_spills, rout.num_spills, "num_spills: {ctx}");
+    assert_eq!(out.spill_bytes_written, rout.spill_bytes_written, "spill_bytes_written: {ctx}");
+    assert_eq!(out.spill_bytes_read, rout.spill_bytes_read, "spill_bytes_read: {ctx}");
+    assert_eq!(peak, rout.peak_buffered, "peak_buffered: {ctx}");
+    assert_eq!(counters, ref_counters, "counters: {ctx}");
+}
+
+fn no_combiner_equivalent(pairs: &[(String, u64)], parts: usize, limit: usize) {
+    // Same as assert_equivalent but through the NoCombiner path.
+    let mut counters = Counters::new();
+    let mut buf: SortBuffer<String, u64> = SortBuffer::new(parts, limit);
+    for (k, v) in pairs {
+        buf.collect::<NoCombiner<String, u64>>(k, v, None, &mut counters);
+    }
+    let out = buf.finish::<NoCombiner<String, u64>>(None, &mut counters);
+
+    let mut ref_counters = Counters::new();
+    let mut rbuf = RefBuffer::new(parts, limit);
+    for (k, v) in pairs {
+        rbuf.collect::<String, u64, NoCombiner<String, u64>>(k, v, None, &mut ref_counters);
+    }
+    let rout =
+        rbuf.finish::<String, u64, NoCombiner<String, u64>>(None, &mut ref_counters);
+    for p in 0..parts {
+        assert_eq!(out.partitions[p].to_pairs(), rout.partitions[p], "partition {p}");
+    }
+    assert_eq!(out.spill_bytes_written, rout.spill_bytes_written);
+    assert_eq!(out.spill_bytes_read, rout.spill_bytes_read);
+    assert_eq!(counters, ref_counters);
+}
+
+/// splitmix64 — deterministic inputs without a rand dependency.
+struct Prng(u64);
+impl Prng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn gen_pairs(rng: &mut Prng, n: usize, vocab: usize) -> Vec<(String, u64)> {
+    (0..n)
+        .map(|_| {
+            (format!("w{:03}", rng.next() as usize % vocab.max(1)), rng.next() % 1000)
+        })
+        .collect()
+}
+
+#[test]
+fn seeded_sweep_matches_reference() {
+    let mut rng = Prng(0xC0FFEE);
+    for case in 0..120u64 {
+        let n = (rng.next() % 250) as usize;
+        let vocab = 1 + (rng.next() % 40) as usize;
+        let parts = 1 + (rng.next() % 4) as usize;
+        let limit = 16 + (rng.next() % 2048) as usize;
+        let pairs = gen_pairs(&mut rng, n, vocab);
+        if case % 2 == 0 {
+            assert_equivalent(&pairs, parts, limit, case % 4 == 0);
+        } else {
+            no_combiner_equivalent(&pairs, parts, limit);
+        }
+    }
+}
+
+#[test]
+fn single_record_and_empty_edge_cases() {
+    assert_equivalent(&[], 3, 64, true);
+    assert_equivalent(&[("only".into(), 7)], 1, 1, true);
+    no_combiner_equivalent(&[("only".into(), 7)], 2, 1);
+    // Every record forces a spill: num_spills == records, merge re-reads.
+    let pairs: Vec<(String, u64)> = (0..20).map(|i| (format!("k{}", i % 3), i)).collect();
+    assert_equivalent(&pairs, 2, 1, true);
+    no_combiner_equivalent(&pairs, 2, 1);
+}
+
+proptest::proptest! {
+    #[test]
+    fn prop_arena_pipeline_matches_reference(
+        raw in proptest::collection::vec(("[a-h]{1,4}", 0u64..500), 0..200),
+        parts in 1usize..5,
+        limit in 16usize..4096,
+        combine in proptest::prelude::any::<bool>(),
+    ) {
+        let pairs: Vec<(String, u64)> = raw;
+        if combine {
+            assert_equivalent(&pairs, parts, limit, true);
+        } else {
+            no_combiner_equivalent(&pairs, parts, limit);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel reduce == serial reduce
+// ---------------------------------------------------------------------------
+
+struct WcMap;
+impl Mapper for WcMap {
+    type KOut = String;
+    type VOut = u64;
+    fn map(&mut self, _o: u64, line: &str, ctx: &mut MapContext<String, u64>) {
+        for w in line.split_whitespace() {
+            ctx.emit(w.to_string(), 1);
+        }
+    }
+}
+struct WcReduce;
+impl Reducer for WcReduce {
+    type KIn = String;
+    type VIn = u64;
+    fn reduce(&mut self, key: String, values: Vec<u64>, ctx: &mut ReduceContext) {
+        ctx.emit(key, values.into_iter().sum::<u64>());
+    }
+}
+
+#[test]
+fn parallel_reduce_equals_serial_exactly() {
+    let mut rng = Prng(42);
+    let mut text = String::new();
+    for i in 0..30_000u64 {
+        text.push_str(&format!("word{:03}", rng.next() % 500));
+        text.push(if i % 9 == 8 { '\n' } else { ' ' });
+    }
+    let conf = JobConf::new("wc-par").input("i").output("o").reduces(4);
+    let job = Job::new(conf, || WcMap, || WcReduce);
+    let inputs = vec![("in.txt".to_string(), text.into_bytes())];
+
+    let mut serial = LocalRunner::serial();
+    serial.split_bytes = 16 * 1024; // many map tasks
+    let s = serial.run(&job, &inputs, &SideFiles::new()).unwrap();
+
+    let mut parallel = LocalRunner::parallel(8);
+    parallel.split_bytes = 16 * 1024;
+    let p = parallel.run(&job, &inputs, &SideFiles::new()).unwrap();
+
+    // Output must match *in order*, not just as a multiset: reduce results
+    // are delivered in partition index order regardless of which lane
+    // finished first.
+    assert_eq!(s.output, p.output);
+    assert_eq!(s.counters, p.counters);
+    assert!(p.virtual_time <= s.virtual_time, "more lanes never slower in virtual time");
+}

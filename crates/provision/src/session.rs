@@ -355,7 +355,7 @@ mod tests {
         let mut spec = SessionSpec::diligent("alice");
         spec.forgets_teardown = true;
         Session::new(spec).run(&mut campus);
-        assert!(campus.ports.len() > 0);
+        assert!(!campus.ports.is_empty());
         // Alice comes back (same nodes — the only 8); she can kill her own
         // ghosts and still succeed without waiting for the cron.
         let spec2 = SessionSpec::diligent("alice");
@@ -409,7 +409,7 @@ mod tests {
         spec.interactive_sleep = Some(SimDuration::from_hours(3));
         let outcome = Session::new(spec).run(&mut campus);
         assert!(matches!(outcome, SessionOutcome::Success { .. }));
-        assert!(campus.ports.len() > 0, "daemons orphaned at walltime");
+        assert!(!campus.ports.is_empty(), "daemons orphaned at walltime");
         assert!(campus.log.grep("walltime expired during interactive sleep").count() == 1);
     }
 

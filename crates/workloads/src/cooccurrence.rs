@@ -216,7 +216,7 @@ mod tests {
         let want = reference("a b c d\n");
         assert_eq!(want["a b"], 1);
         assert_eq!(want["a c"], 1);
-        assert!(want.get("a d").is_none(), "d is outside a's window");
+        assert!(!want.contains_key("a d"), "d is outside a's window");
         assert_eq!(want["b a"], 1);
         // Totals are symmetric.
         for (k, v) in &want {

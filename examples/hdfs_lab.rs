@@ -58,7 +58,7 @@ fn main() {
     shell.dfs.crash_datanode(victim);
     let mut t = got.completed_at;
     for _ in 0..220 {
-        t = t + SimDuration::from_secs(3);
+        t += SimDuration::from_secs(3);
         shell.dfs.heartbeat_round(shell.net, t);
     }
     println!("~ at {t}: under-replicated blocks: {}", shell.dfs.namenode.under_replicated().len());

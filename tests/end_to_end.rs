@@ -129,7 +129,7 @@ fn cluster_survives_node_loss_mid_semester() {
     c.dfs.crash_datanode(victim);
     let mut t = c.now;
     for _ in 0..230 {
-        t = t + SimDuration::from_secs(3);
+        t += SimDuration::from_secs(3);
         c.dfs.heartbeat_round(&mut c.net, t);
     }
     c.now = t;
