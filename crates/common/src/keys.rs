@@ -275,6 +275,23 @@ mod tests {
     }
 
     #[test]
+    fn writable_round_trips_for_key_types() {
+        // The Writable (value) path, distinct from the SortableKey
+        // (ordered-encoding) path exercised above.
+        for v in [0.0f64, -0.0, 2.5, f64::NEG_INFINITY, 1e300] {
+            let k = OrderedF64(v);
+            assert_eq!(OrderedF64::from_bytes(&k.to_bytes()).unwrap(), k);
+        }
+        let p = Pair("carrier".to_string(), -42i64);
+        assert_eq!(Pair::<String, i64>::from_bytes(&p.to_bytes()).unwrap(), p);
+        let nested = Pair(Pair(1u64, 2u64), "tail".to_string());
+        assert_eq!(
+            Pair::<Pair<u64, u64>, String>::from_bytes(&nested.to_bytes()).unwrap(),
+            nested
+        );
+    }
+
+    #[test]
     fn string_with_nuls_round_trips_in_order() {
         let a = "a\0b".to_string();
         let b = "a\0c".to_string();

@@ -243,6 +243,8 @@ mod tests {
         round_trip(-1i32);
         round_trip(3.25f64);
         round_trip(f64::NEG_INFINITY);
+        round_trip(1.5f32);
+        round_trip(f32::MAX);
         round_trip(true);
         round_trip(());
         round_trip("".to_string());

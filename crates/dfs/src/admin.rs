@@ -62,16 +62,16 @@ pub fn report(dfs: &Dfs) -> DfsAdminReport {
     let nodes = dfs
         .datanode_ids()
         .into_iter()
-        .map(|n| {
-            let dn = dfs.datanode(n).unwrap();
-            DataNodeReportRow {
+        .filter_map(|n| {
+            let dn = dfs.datanode(n)?;
+            Some(DataNodeReportRow {
                 node: n,
                 alive: dn.alive && live.contains(&n),
                 decommissioning: decom.contains(&n),
                 capacity: dn.capacity,
                 used: dn.used_bytes(),
                 blocks: dn.num_blocks(),
-            }
+            })
         })
         .collect();
     DfsAdminReport {
@@ -188,36 +188,39 @@ pub fn balance(
             });
         let (Some(src), Some(dst)) = (over, under) else { break };
 
-        // Pick a block on src that dst doesn't hold.
-        let candidate = dfs
-            .datanode(src.node)
-            .unwrap()
+        // Pick a block on src that dst doesn't hold. Either daemon
+        // vanishing mid-run just ends the balancing pass.
+        let Some(src_dn) = dfs.datanode(src.node) else { break };
+        let candidate = src_dn
             .block_report()
             .into_iter()
-            .find(|(id, _)| !dfs.datanode(dst.node).unwrap().has_block(*id));
+            .find(|(id, _)| dfs.datanode(dst.node).is_some_and(|dn| !dn.has_block(*id)));
         let Some((block, len)) = candidate else { break };
 
         // Copy src -> dst, then drop the src replica.
-        let payload = dfs.datanode(src.node).unwrap().payload(block).cloned().unwrap();
+        let Some(payload) = dfs.datanode(src.node).and_then(|dn| dn.payload(block)).cloned()
+        else {
+            break;
+        };
         let read = net.read_local_disk(t, src.node, len);
         let xfer = net.transfer(read.end, src.node, dst.node, len);
         let write = net.write_local_disk(xfer.end, dst.node, len);
-        if dfs.datanode_mut(dst.node).unwrap().store_block(block, payload).is_err() {
+        let Some(dst_dn) = dfs.datanode_mut(dst.node) else { break };
+        if dst_dn.store_block(block, payload).is_err() {
             break;
         }
         // Tell the NameNode: new replica first, then invalidate the old.
         let cmds = dfs.namenode.block_received(write.end, dst.node, block);
         dfs.apply_commands(net, write.end, &cmds);
-        dfs.namenode.process_block_report(
-            write.end,
-            src.node,
-            &{
-                let mut r = dfs.datanode(src.node).unwrap().block_report();
-                r.retain(|(id, _)| *id != block);
-                r
-            },
-        );
-        dfs.datanode_mut(src.node).unwrap().delete_block(block);
+        let mut src_report = match dfs.datanode(src.node) {
+            Some(dn) => dn.block_report(),
+            None => break,
+        };
+        src_report.retain(|(id, _)| *id != block);
+        dfs.namenode.process_block_report(write.end, src.node, &src_report);
+        if let Some(dn) = dfs.datanode_mut(src.node) {
+            dn.delete_block(block);
+        }
         t = write.end;
         moves += 1;
         bytes_moved += len;

@@ -231,8 +231,10 @@ impl Dfs {
                     return Ok(Timed { value: data, completed_at: done });
                 }
                 Err(HlError::ChecksumMismatch { .. }) => {
-                    // Quarantine locally and tell the NameNode.
-                    self.datanodes.get_mut(&holder).unwrap().delete_block(id);
+                    // Quarantine locally and tell the NameNode. The holder
+                    // was alive a moment ago; skip quietly if it vanished.
+                    let Some(dn) = self.datanodes.get_mut(&holder) else { continue };
+                    dn.delete_block(id);
                     let report = self.datanodes[&holder].block_report();
                     self.namenode.process_block_report(t, holder, &report);
                     // Reading the corrupt copy still cost a disk pass.
@@ -382,7 +384,8 @@ impl Dfs {
         let mut report_times: Vec<(SimTime, NodeId)> = Vec::new();
         let node_ids: Vec<NodeId> = self.datanodes.keys().copied().collect();
         for node in node_ids {
-            let dn = self.datanodes.get_mut(&node).unwrap();
+            // Keys collected from this very map one statement up.
+            let Some(dn) = self.datanodes.get_mut(&node) else { continue };
             dn.restart();
             let scan_time = dn.scan_duration(scan_bw);
             dn.scan_blocks();

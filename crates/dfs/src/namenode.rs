@@ -429,7 +429,9 @@ impl NameNode {
             if commands.len() >= max_tasks {
                 break;
             }
-            let info = self.blocks.get(&id).unwrap();
+            // `under_replicated` iterates this map, but stay panic-free if a
+            // concurrent mutation path ever drops the entry mid-pass.
+            let Some(info) = self.blocks.get(&id) else { continue };
             let from = match info.locations.iter().next() {
                 Some(&n) => n,
                 None => continue,
@@ -452,9 +454,10 @@ impl NameNode {
                 id.0,
             );
             if let Some(&to) = targets.first() {
-                let info = self.blocks.get_mut(&id).unwrap();
-                info.pending_replicas += 1;
-                commands.push(DnCommand::Replicate { block: id, from, to });
+                if let Some(info) = self.blocks.get_mut(&id) {
+                    info.pending_replicas += 1;
+                    commands.push(DnCommand::Replicate { block: id, from, to });
+                }
             }
         }
         // Over-replication sweep (setrep-down, returned dead nodes): trim
@@ -469,9 +472,10 @@ impl NameNode {
             if commands.len() >= max_tasks {
                 break;
             }
-            let info = self.blocks.get_mut(&id).unwrap();
+            let Some(info) = self.blocks.get_mut(&id) else { continue };
             while info.locations.len() as u32 > info.expected_replication {
-                let victim = *info.locations.iter().next_back().unwrap();
+                // The loop guard guarantees a last element; degrade anyway.
+                let Some(&victim) = info.locations.iter().next_back() else { break };
                 info.locations.remove(&victim);
                 commands.push(DnCommand::Invalidate { block: id, node: victim });
             }

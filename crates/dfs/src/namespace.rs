@@ -276,7 +276,9 @@ impl Namespace {
             }
             _ => {}
         }
-        let removed = children.remove(name).unwrap();
+        let removed = children
+            .remove(name)
+            .ok_or_else(|| HlError::Internal(format!("{path} vanished during delete")))?;
         let mut freed = Vec::new();
         collect_blocks(&removed, &mut freed);
         Ok(freed)
@@ -308,13 +310,19 @@ impl Namespace {
                 .ok_or_else(|| HlError::FileNotFound(src.to_string()))?,
             INode::File(_) => return Err(HlError::NotADirectory(join_path(src_parent))),
         };
-        match self.walk_mut(dst_parent) {
-            Some(INode::Directory(children)) => {
-                children.insert(dst_name.clone(), moved);
-                Ok(())
-            }
-            _ => unreachable!("dst parent verified above"),
+        if let Some(INode::Directory(children)) = self.walk_mut(dst_parent) {
+            children.insert(dst_name.clone(), moved);
+            return Ok(());
         }
+        // Verified a directory above; if the tree mutated out from under us
+        // this is a NameNode bug — surface it, don't crash the daemon. Put
+        // the detached node back so the namespace stays intact.
+        if let Some(INode::Directory(children)) = self.walk_mut(src_parent) {
+            children.insert(src_name.clone(), moved);
+        }
+        Err(HlError::Internal(format!(
+            "rename {src} -> {dst}: destination parent vanished mid-rename"
+        )))
     }
 
     /// All files under `path` (depth-first), as `(path, &FileNode)`.

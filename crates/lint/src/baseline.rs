@@ -1,0 +1,200 @@
+//! The ratchet: a checked-in census of pre-existing violations.
+//!
+//! `lint-baseline.toml` maps `(rule, file)` to the number of grandfathered
+//! violations. `check` fails when any current count *exceeds* its baseline
+//! (a regression); `baseline` rewrites the file and refuses to let any
+//! count grow, so the only legal direction over time is down. When a file
+//! improves, `check` keeps passing but nags until the baseline is
+//! re-tightened — the burn-down is visible in every diff of this file.
+
+use crate::rules::{RuleId, Violation};
+use crate::toml_subset;
+use std::collections::BTreeMap;
+
+/// `(rule, file) → allowed count`, plus everything needed to diff.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<(RuleId, String), u64>,
+}
+
+/// Outcome of comparing current violations against a baseline.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// Buckets whose count grew: (rule, file, baseline, current).
+    pub regressions: Vec<(RuleId, String, u64, u64)>,
+    /// Buckets whose count shrank (baseline should be re-tightened).
+    pub improvements: Vec<(RuleId, String, u64, u64)>,
+}
+
+impl Baseline {
+    /// Build a baseline from a violation list (waived ones excluded).
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        let mut counts: BTreeMap<(RuleId, String), u64> = BTreeMap::new();
+        for v in violations.iter().filter(|v| !v.waived) {
+            *counts.entry((v.rule, v.file.clone())).or_default() += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Parse the serialized form.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = toml_subset::parse(text)?;
+        let mut counts = BTreeMap::new();
+        for (name, entry) in &doc.entries {
+            if name != "entry" {
+                return Err(format!("unexpected table [[{name}]] in baseline"));
+            }
+            let rule = entry
+                .get("rule")
+                .and_then(|r| RuleId::parse(r))
+                .ok_or_else(|| "baseline entry missing/invalid `rule`".to_string())?;
+            let file = entry
+                .get("file")
+                .ok_or_else(|| "baseline entry missing `file`".to_string())?
+                .clone();
+            let count: u64 = entry
+                .get("count")
+                .and_then(|c| c.parse().ok())
+                .ok_or_else(|| "baseline entry missing/invalid `count`".to_string())?;
+            if counts.insert((rule, file.clone()), count).is_some() {
+                return Err(format!("duplicate baseline entry for {rule} {file}"));
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Serialize (sorted, stable — diffs of this file are the burn-down
+    /// chart).
+    pub fn serialize(&self) -> String {
+        let mut out = String::from(
+            "# hadooplab-lint baseline — the violation ratchet.\n\
+             #\n\
+             # Each entry grandfathers pre-existing violations of one rule in one\n\
+             # file. `cargo run -p lint -- check` fails if any count is exceeded;\n\
+             # `cargo run -p lint -- baseline` re-tightens counts and refuses to\n\
+             # let any grow. Fix violations; don't grow this file.\n\
+             version = 1\n",
+        );
+        let total: u64 = self.counts.values().sum();
+        out.push_str(&format!("# {} grandfathered violations across {} buckets\n", total, self.counts.len()));
+        for ((rule, file), count) in &self.counts {
+            out.push_str(&format!(
+                "\n[[entry]]\nrule = {}\nfile = {}\ncount = {}\n",
+                toml_subset::quote(&rule.to_string()),
+                toml_subset::quote(file),
+                count
+            ));
+        }
+        out
+    }
+
+    /// Allowed count for a bucket (0 when absent).
+    pub fn allowed(&self, rule: RuleId, file: &str) -> u64 {
+        self.counts.get(&(rule, file.to_string())).copied().unwrap_or(0)
+    }
+
+    /// Total grandfathered count for one rule.
+    pub fn rule_total(&self, rule: RuleId) -> u64 {
+        self.counts.iter().filter(|((r, _), _)| *r == rule).map(|(_, c)| *c).sum()
+    }
+
+    /// Sum over every bucket.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Compare current (non-waived) violations against this baseline.
+    pub fn compare(&self, current: &[Violation]) -> RatchetReport {
+        let now = Baseline::from_violations(current);
+        let mut report = RatchetReport::default();
+        let mut keys: Vec<&(RuleId, String)> =
+            self.counts.keys().chain(now.counts.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        for key in keys {
+            let base = self.counts.get(key).copied().unwrap_or(0);
+            let cur = now.counts.get(key).copied().unwrap_or(0);
+            if cur > base {
+                report.regressions.push((key.0, key.1.clone(), base, cur));
+            } else if cur < base {
+                report.improvements.push((key.0, key.1.clone(), base, cur));
+            }
+        }
+        report
+    }
+
+    /// Would replacing `self` with `new` grow any bucket? Returns the
+    /// offending buckets (rule, file, old, new).
+    pub fn growth_against(&self, new: &Baseline) -> Vec<(RuleId, String, u64, u64)> {
+        new.counts
+            .iter()
+            .filter_map(|((rule, file), &n)| {
+                let old = self.allowed(*rule, file);
+                (n > old).then(|| (*rule, file.clone(), old, n))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: RuleId, file: &str, line: u32, waived: bool) -> Violation {
+        Violation { rule, file: file.into(), line, col: 1, message: String::new(), waived }
+    }
+
+    #[test]
+    fn serialize_parse_round_trip() {
+        let b = Baseline::from_violations(&[
+            v(RuleId::R1, "a.rs", 1, false),
+            v(RuleId::R1, "a.rs", 2, false),
+            v(RuleId::R3, "b.rs", 9, false),
+            v(RuleId::R5, "c.rs", 3, true), // waived: excluded
+        ]);
+        let text = b.serialize();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.allowed(RuleId::R1, "a.rs"), 2);
+        assert_eq!(parsed.allowed(RuleId::R5, "c.rs"), 0);
+        assert_eq!(parsed.total(), 3);
+    }
+
+    #[test]
+    fn compare_finds_regressions_and_improvements() {
+        let base = Baseline::from_violations(&[
+            v(RuleId::R1, "a.rs", 1, false),
+            v(RuleId::R1, "a.rs", 2, false),
+            v(RuleId::R2, "b.rs", 1, false),
+        ]);
+        let current = vec![
+            v(RuleId::R1, "a.rs", 1, false), // one fixed
+            v(RuleId::R4, "d.rs", 7, false), // brand new
+        ];
+        let report = base.compare(&current);
+        assert_eq!(report.regressions, vec![(RuleId::R4, "d.rs".into(), 0, 1)]);
+        assert_eq!(
+            report.improvements,
+            vec![(RuleId::R1, "a.rs".into(), 2, 1), (RuleId::R2, "b.rs".into(), 1, 0)]
+        );
+    }
+
+    #[test]
+    fn growth_detection_for_ratchet() {
+        let old = Baseline::from_violations(&[v(RuleId::R1, "a.rs", 1, false)]);
+        let new = Baseline::from_violations(&[
+            v(RuleId::R1, "a.rs", 1, false),
+            v(RuleId::R1, "a.rs", 2, false),
+        ]);
+        assert_eq!(old.growth_against(&new), vec![(RuleId::R1, "a.rs".into(), 1, 2)]);
+        assert!(new.growth_against(&old).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_duplicates_and_junk() {
+        assert!(Baseline::parse("[[entry]]\nrule = \"R9\"\nfile = \"x\"\ncount = 1\n").is_err());
+        let dup = "[[entry]]\nrule = \"R1\"\nfile = \"x\"\ncount = 1\n\
+                   [[entry]]\nrule = \"R1\"\nfile = \"x\"\ncount = 2\n";
+        assert!(Baseline::parse(dup).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! CLI for `hadooplab-lint`.
+//!
+//! ```text
+//! cargo run -p lint --release -- check        # enforce the ratchet
+//! cargo run -p lint --release -- baseline     # re-tighten lint-baseline.toml
+//! cargo run -p lint --release -- dump FILE    # all-rules report for one file
+//! ```
+//!
+//! Exit codes: 0 clean / ratchet respected, 1 regression, 2 usage or I/O
+//! error.
+
+use lint::baseline::Baseline;
+use lint::manifest::Manifest;
+use lint::rules::RuleId;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const BASELINE_FILE: &str = "lint-baseline.toml";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root: Option<PathBuf> = None;
+    let mut force_grow = false;
+    let mut dump_file = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                root = args.get(i).map(PathBuf::from);
+            }
+            "--force-grow" => force_grow = true,
+            "check" | "baseline" if cmd.is_none() => cmd = Some(args[i].clone()),
+            "dump" if cmd.is_none() => {
+                cmd = Some("dump".into());
+                i += 1;
+                dump_file = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("hadooplab-lint: unknown argument `{other}`");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+
+    // Default root: the workspace containing this crate (so the binary
+    // works from any cwd), overridable with --root.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    match cmd.as_deref() {
+        Some("check") => cmd_check(&root),
+        Some("baseline") => cmd_baseline(&root, force_grow),
+        Some("dump") => match dump_file {
+            Some(f) => cmd_dump(&f),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hadooplab-lint [--root DIR] <check | baseline [--force-grow] | dump FILE>"
+    );
+    ExitCode::from(2)
+}
+
+fn load_baseline(root: &std::path::Path) -> Result<Baseline, String> {
+    let path = root.join(BASELINE_FILE);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(_) => Ok(Baseline::default()),
+    }
+}
+
+fn cmd_check(root: &std::path::Path) -> ExitCode {
+    let ws = match lint::lint_workspace(root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("hadooplab-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match load_baseline(root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("hadooplab-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let active = ws.active();
+    let report = baseline.compare(&active);
+
+    let waived = ws.violations.len() - active.len();
+    println!(
+        "hadooplab-lint: scanned {} files — {} active violations ({} grandfathered allowed), {} waived",
+        ws.files_scanned,
+        active.len(),
+        baseline.total(),
+        waived
+    );
+    for rule in RuleId::all() {
+        println!(
+            "  {rule} [{}]: {} active / {} allowed",
+            rule.name(),
+            ws.rule_count(rule),
+            baseline.rule_total(rule)
+        );
+    }
+
+    if !report.improvements.is_empty() {
+        println!("\nratchet can be tightened ({} buckets improved):", report.improvements.len());
+        for (rule, file, base, cur) in &report.improvements {
+            println!("  {rule} {file}: {base} -> {cur}");
+        }
+        println!("  run `cargo run -p lint -- baseline` and commit the shrunken file");
+    }
+
+    if report.regressions.is_empty() {
+        println!("\nOK: no new violations");
+        return ExitCode::SUCCESS;
+    }
+
+    println!("\nFAIL: new violations beyond the baseline:");
+    for (rule, file, base, cur) in &report.regressions {
+        println!("  {rule} {file}: {cur} found, {base} allowed — new sites:");
+        // Show each active violation in the regressed bucket; the newest
+        // ones are indistinguishable from grandfathered ones at token
+        // level, so print all with a count header.
+        for v in active.iter().filter(|v| v.rule == *rule && &v.file == file) {
+            println!("    {v}");
+        }
+    }
+    println!(
+        "\nfix the new sites, add `// lint:allow(Rn): reason` waivers where the\n\
+         invariant genuinely cannot hold, or (for deliberate policy changes)\n\
+         regenerate with `cargo run -p lint -- baseline --force-grow`"
+    );
+    ExitCode::FAILURE
+}
+
+fn cmd_baseline(root: &std::path::Path, force_grow: bool) -> ExitCode {
+    let ws = match lint::lint_workspace(root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("hadooplab-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let old = match load_baseline(root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("hadooplab-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let new = ws.to_baseline();
+    let grown = old.growth_against(&new);
+    if !grown.is_empty() && !force_grow {
+        eprintln!("hadooplab-lint: refusing to grow the ratchet (fix these or pass --force-grow):");
+        for (rule, file, was, now) in grown {
+            eprintln!("  {rule} {file}: {was} -> {now}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let path = root.join(BASELINE_FILE);
+    if let Err(e) = std::fs::write(&path, new.serialize()) {
+        eprintln!("hadooplab-lint: writing {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "wrote {} ({} grandfathered violations, was {})",
+        path.display(),
+        new.total(),
+        old.total()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_dump(file: &str) -> ExitCode {
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hadooplab-lint: reading {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // All rules, no path scoping, empty manifest (every impl reports).
+    let manifest = Manifest::default();
+    for v in lint::lint_source_all_rules(file, &src, &manifest) {
+        println!("{v}");
+    }
+    ExitCode::SUCCESS
+}

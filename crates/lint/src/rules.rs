@@ -1,0 +1,545 @@
+//! The five workspace invariants, as token-level rules.
+//!
+//! | id | name                 | scope (production code only)                  |
+//! |----|----------------------|-----------------------------------------------|
+//! | R1 | panic-free-daemons   | dfs, cluster, provision, mapreduce::engine    |
+//! | R2 | sim-time             | sim-facing crates (dfs, cluster, mapreduce,   |
+//! |    |                      | provision, hbase, core)                        |
+//! | R3 | lossless-casts       | sortbuf / merge / block hot paths             |
+//! | R4 | writable-manifest    | whole workspace (`impl Writable` headers)     |
+//! | R5 | counters-hygiene     | whole workspace (`incr*(.., 0)` call-sites)   |
+//!
+//! Every rule reports `file:line:col`, an explanation, and the waiver
+//! syntax; violations inside `#[cfg(test)]` regions are skipped, and
+//! `// lint:allow(Rn): reason` comments downgrade a hit to "waived".
+
+use crate::lexer::{TokKind, Token};
+use crate::scan::ScannedFile;
+use std::fmt;
+
+/// Stable rule identifier (what baselines and waivers reference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+}
+
+impl RuleId {
+    /// Parse "R1".."R5" (case-insensitive).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s.to_ascii_uppercase().as_str() {
+            "R1" => Some(RuleId::R1),
+            "R2" => Some(RuleId::R2),
+            "R3" => Some(RuleId::R3),
+            "R4" => Some(RuleId::R4),
+            "R5" => Some(RuleId::R5),
+            _ => None,
+        }
+    }
+
+    /// Short human name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::R1 => "panic-free-daemons",
+            RuleId::R2 => "sim-time",
+            RuleId::R3 => "lossless-casts",
+            RuleId::R4 => "writable-manifest",
+            RuleId::R5 => "counters-hygiene",
+        }
+    }
+
+    /// All rules, in report order.
+    pub fn all() -> [RuleId; 5] {
+        [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5]
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One rule hit at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: RuleId,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+    /// True when a `lint:allow` comment covers it (reported, not counted).
+    pub waived: bool,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = if self.waived { " (waived)" } else { "" };
+        write!(
+            f,
+            "{}:{}:{}: {} [{}]{} {}",
+            self.file,
+            self.line,
+            self.col,
+            self.rule,
+            self.rule.name(),
+            w,
+            self.message
+        )
+    }
+}
+
+/// Which rules apply to a workspace-relative file path.
+///
+/// Fixture tests bypass this via [`lint_source_all_rules`]; the CLI goes
+/// through it so scope changes live in exactly one place.
+pub fn rules_for_path(path: &str) -> Vec<RuleId> {
+    let mut rules = Vec::new();
+    let daemon_crate = path.starts_with("crates/dfs/src/")
+        || path.starts_with("crates/cluster/src/")
+        || path.starts_with("crates/provision/src/")
+        || path == "crates/mapreduce/src/engine.rs";
+    if daemon_crate {
+        rules.push(RuleId::R1);
+    }
+    let sim_facing = path.starts_with("crates/dfs/src/")
+        || path.starts_with("crates/cluster/src/")
+        || path.starts_with("crates/mapreduce/src/")
+        || path.starts_with("crates/provision/src/")
+        || path.starts_with("crates/hbase/src/")
+        || path.starts_with("crates/core/src/");
+    if sim_facing {
+        rules.push(RuleId::R2);
+    }
+    let hot_path = path == "crates/mapreduce/src/sortbuf.rs"
+        || path == "crates/mapreduce/src/merge.rs"
+        || path == "crates/dfs/src/block.rs";
+    if hot_path {
+        rules.push(RuleId::R3);
+    }
+    // R4's per-file half (impl collection) and R5 are workspace-wide.
+    rules.push(RuleId::R5);
+    rules
+}
+
+/// Evaluate `rules` against one scanned file. R4 is not in this list —
+/// it needs the cross-file manifest and runs at workspace level via
+/// [`collect_writable_impls`].
+pub fn lint_tokens(file: &str, sf: &ScannedFile, rules: &[RuleId]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &rule in rules {
+        match rule {
+            RuleId::R1 => rule_r1(file, sf, &mut out),
+            RuleId::R2 => rule_r2(file, sf, &mut out),
+            RuleId::R3 => rule_r3(file, sf, &mut out),
+            RuleId::R4 => {} // workspace-level; see manifest::check
+            RuleId::R5 => rule_r5(file, sf, &mut out),
+        }
+    }
+    out.sort_by_key(|v| (v.line, v.col, v.rule));
+    out
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    sf: &ScannedFile,
+    rule: RuleId,
+    file: &str,
+    t: &Token,
+    message: String,
+) {
+    out.push(Violation {
+        rule,
+        file: file.to_string(),
+        line: t.line,
+        col: t.col,
+        message,
+        waived: sf.is_waived(rule, t.line),
+    });
+}
+
+/// R1: no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+/// `unimplemented!` in daemon-path production code.
+fn rule_r1(file: &str, sf: &ScannedFile, out: &mut Vec<Violation>) {
+    let toks = &sf.tokens;
+    for i in 0..toks.len() {
+        if sf.in_test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let text = toks[i].text.as_str();
+        let next_is = |s: &str| toks.get(i + 1).is_some_and(|t| t.text == s);
+        let prev_is = |s: &str| i > 0 && toks[i - 1].text == s;
+        match text {
+            "unwrap" | "expect" if prev_is(".") && next_is("(") => {
+                push(
+                    out,
+                    sf,
+                    RuleId::R1,
+                    file,
+                    &toks[i],
+                    format!(
+                        ".{text}() in a daemon path — degrade via a \
+                         `common::error::HlError` return instead \
+                         (waive: `// lint:allow(R1): reason`)"
+                    ),
+                );
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" if next_is("!") => {
+                push(
+                    out,
+                    sf,
+                    RuleId::R1,
+                    file,
+                    &toks[i],
+                    format!(
+                        "{text}! in a daemon path — daemons must degrade, \
+                         not crash; return `HlError::Internal` \
+                         (waive: `// lint:allow(R1): reason`)"
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// R2: no wall-clock or unseeded randomness in sim-facing code. All time
+/// must flow through `common::simtime`; all RNGs must be seeded.
+fn rule_r2(file: &str, sf: &ScannedFile, out: &mut Vec<Violation>) {
+    for (i, tok) in sf.tokens.iter().enumerate() {
+        if sf.in_test[i] || tok.kind != TokKind::Ident {
+            continue;
+        }
+        let what = match tok.text.as_str() {
+            "Instant" => "std::time::Instant (wall clock)",
+            "SystemTime" => "std::time::SystemTime (wall clock)",
+            "thread_rng" => "rand::thread_rng (unseeded RNG)",
+            "from_entropy" => "SeedableRng::from_entropy (unseeded RNG)",
+            "OsRng" => "rand::rngs::OsRng (unseeded RNG)",
+            _ => continue,
+        };
+        push(
+            out,
+            sf,
+            RuleId::R2,
+            file,
+            tok,
+            format!(
+                "{what} breaks simulation determinism — use \
+                 `common::simtime::{{SimTime, SimDuration}}` / a seeded \
+                 `ChaCha8Rng` (waive: `// lint:allow(R2): reason`)"
+            ),
+        );
+    }
+}
+
+/// R3: narrowing `as` casts on the sort/merge/block hot paths. Lengths and
+/// offsets must use `try_into()` (or carry a waiver arguing the bound).
+fn rule_r3(file: &str, sf: &ScannedFile, out: &mut Vec<Violation>) {
+    const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+    let toks = &sf.tokens;
+    for i in 0..toks.len().saturating_sub(1) {
+        if sf.in_test[i] {
+            continue;
+        }
+        if toks[i].kind == TokKind::Ident && toks[i].text == "as" {
+            let target = toks[i + 1].text.as_str();
+            if toks[i + 1].kind == TokKind::Ident
+                && (NARROW.contains(&target) || target == "usize")
+            {
+                push(
+                    out,
+                    sf,
+                    RuleId::R3,
+                    file,
+                    &toks[i],
+                    format!(
+                        "`as {target}` narrowing cast on a hot path — \
+                         silently truncates large lengths/offsets; use \
+                         `try_into()` (waive: `// lint:allow(R3): reason` \
+                         stating the bound)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// R5: `incr(.., 0)` / `incr_task(.., 0)` / `incr_fs(.., 0)` — a zero
+/// increment used to pre-register a counter. `touch`/`touch_task` is the
+/// idiom; a zero delta reads as a bug.
+fn rule_r5(file: &str, sf: &ScannedFile, out: &mut Vec<Violation>) {
+    let toks = &sf.tokens;
+    for i in 0..toks.len() {
+        if sf.in_test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if !matches!(name, "incr" | "incr_task" | "incr_fs") {
+            continue;
+        }
+        if toks.get(i + 1).map(|t| t.text.as_str()) != Some("(") {
+            continue;
+        }
+        // Walk to the matching `)`.
+        let mut depth = 0i32;
+        let mut close = None;
+        for (k, t) in toks.iter().enumerate().skip(i + 1) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = Some(k);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let Some(close) = close else { continue };
+        // Final argument must be the standalone literal `0` — i.e. the
+        // token before `)` is `0` and the one before that is `,` (so
+        // `x.0`, `len - 0`, etc. don't match).
+        if close >= 2
+            && toks[close - 1].kind == TokKind::NumLit
+            && toks[close - 1].text == "0"
+            && toks[close - 2].text == ","
+        {
+            let suggest = match name {
+                "incr" => "touch",
+                "incr_task" => "touch_task",
+                _ => "touch",
+            };
+            push(
+                out,
+                sf,
+                RuleId::R5,
+                file,
+                &toks[i],
+                format!(
+                    "`{name}(.., 0)` zero-delta counter registration — use \
+                     `Counters::{suggest}` (waive: `// lint:allow(R5): reason`)"
+                ),
+            );
+        }
+    }
+}
+
+/// A `impl Writable for T` header found in a file (R4's raw material).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WritableImpl {
+    /// The implementing type's head identifier (`Cell`, `Vec`, `(tuple)`),
+    /// generic arguments stripped.
+    pub type_name: String,
+    pub line: u32,
+    pub col: u32,
+    /// True for `impl Writable for $t { .. }` inside `macro_rules!` — the
+    /// expansion sites, not the template, are what need coverage.
+    pub macro_template: bool,
+}
+
+/// Find every `impl [<..>] [path::]Writable for Type` header outside test
+/// code.
+pub fn collect_writable_impls(sf: &ScannedFile) -> Vec<WritableImpl> {
+    let toks = &sf.tokens;
+    let mut found = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if sf.in_test[i] || toks[i].kind != TokKind::Ident || toks[i].text != "impl" {
+            i += 1;
+            continue;
+        }
+        let impl_tok = &toks[i];
+        let mut j = i + 1;
+        // Skip a generics block `<...>` (tokens are single chars, so count
+        // plain angle depth; no shift operators appear in an impl header).
+        if toks.get(j).is_some_and(|t| t.text == "<") {
+            let mut adepth = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "<" => adepth += 1,
+                    ">" => {
+                        adepth -= 1;
+                        if adepth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Collect the trait path until `for` / `{` / `(` — at angle depth 0
+        // so `Pair<A, B>`-style trait generics don't hide the `for`.
+        let mut trait_last_ident: Option<&str> = None;
+        let mut adepth = 0i32;
+        let mut for_at = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            match t.text.as_str() {
+                "<" => adepth += 1,
+                ">" => adepth -= 1,
+                "for" if adepth == 0 && t.kind == TokKind::Ident => {
+                    for_at = Some(j);
+                    break;
+                }
+                "{" | ";" if adepth == 0 => break,
+                _ => {
+                    if t.kind == TokKind::Ident {
+                        trait_last_ident = Some(t.text.as_str());
+                    }
+                }
+            }
+            j += 1;
+        }
+        let (Some(for_at), Some("Writable")) = (for_at, trait_last_ident) else {
+            i += 1;
+            continue;
+        };
+        // The implementing type: first meaningful token after `for`.
+        let mut k = for_at + 1;
+        // Skip leading `&`, lifetimes, `mut`.
+        while k < toks.len()
+            && (toks[k].text == "&"
+                || toks[k].kind == TokKind::Lifetime
+                || toks[k].text == "mut")
+        {
+            k += 1;
+        }
+        if let Some(t) = toks.get(k) {
+            let (type_name, macro_template) = if t.text == "(" {
+                ("(tuple)".to_string(), false)
+            } else if t.text == "$" {
+                (String::new(), true)
+            } else {
+                (t.text.clone(), false)
+            };
+            found.push(WritableImpl {
+                type_name,
+                line: impl_tok.line,
+                col: impl_tok.col,
+                macro_template,
+            });
+        }
+        i = k + 1;
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_rules(src: &str) -> Vec<Violation> {
+        let sf = ScannedFile::new(src);
+        lint_tokens("test.rs", &sf, &RuleId::all())
+    }
+
+    fn active(src: &str) -> Vec<Violation> {
+        all_rules(src).into_iter().filter(|v| !v.waived).collect()
+    }
+
+    #[test]
+    fn r1_catches_unwrap_expect_and_panic_macros() {
+        let v = active(
+            "fn f() -> u8 {\n  let x = g().unwrap();\n  let y = h().expect(\"no\");\n  panic!(\"bad\");\n}",
+        );
+        let r1: Vec<_> = v.iter().filter(|v| v.rule == RuleId::R1).collect();
+        assert_eq!(r1.len(), 3);
+        assert_eq!((r1[0].line, r1[0].col), (2, 15));
+        assert_eq!(r1[1].line, 3);
+        assert_eq!(r1[2].line, 4);
+    }
+
+    #[test]
+    fn r1_ignores_unwrap_or_and_field_names() {
+        let v = active("fn f() { let x = g().unwrap_or(0); s.expect_count += 1; }");
+        assert!(v.iter().all(|v| v.rule != RuleId::R1));
+    }
+
+    #[test]
+    fn r1_skips_test_code_and_strings_and_comments() {
+        let v = active(
+            "// a comment mentioning panic!(\"x\") and .unwrap()\nfn f() { let s = \"panic!\"; }\n#[cfg(test)]\nmod tests {\n  fn t() { g().unwrap(); panic!(\"ok in tests\"); }\n}",
+        );
+        assert!(v.iter().all(|v| v.rule != RuleId::R1));
+    }
+
+    #[test]
+    fn r2_catches_wall_clock_and_unseeded_rng() {
+        let v = active(
+            "fn f() {\n  let t = std::time::Instant::now();\n  let s = SystemTime::now();\n  let r = thread_rng();\n}",
+        );
+        let r2: Vec<_> = v.iter().filter(|v| v.rule == RuleId::R2).collect();
+        assert_eq!(r2.len(), 3);
+        assert_eq!((r2[0].line, r2[0].col), (2, 22));
+    }
+
+    #[test]
+    fn r2_allows_sim_time_and_seeded_rng() {
+        let v = active(
+            "fn f(now: SimTime) { let d = SimDuration::from_secs(1); let r = ChaCha8Rng::seed_from_u64(7); }",
+        );
+        assert!(v.iter().all(|v| v.rule != RuleId::R2));
+    }
+
+    #[test]
+    fn r3_catches_narrowing_but_not_widening() {
+        let v = active("fn f(n: u64) { let a = n as u32; let b = n as usize; let c = 3u32 as u64; }");
+        let r3: Vec<_> = v.iter().filter(|v| v.rule == RuleId::R3).collect();
+        assert_eq!(r3.len(), 2);
+        assert!(r3[0].message.contains("as u32"));
+        assert!(r3[1].message.contains("as usize"));
+    }
+
+    #[test]
+    fn r5_catches_zero_delta_incr_only() {
+        let v = active(
+            "fn f(c: &mut Counters) {\n  c.incr_task(T::MapOutputBytes, 0);\n  c.incr(\"g\", \"n\", 0);\n  c.incr_task(T::MapOutputBytes, 10);\n  c.incr(\"g\", \"n\", x.0);\n}",
+        );
+        let r5: Vec<_> = v.iter().filter(|v| v.rule == RuleId::R5).collect();
+        assert_eq!(r5.len(), 2);
+        assert_eq!(r5[0].line, 2);
+        assert_eq!(r5[1].line, 3);
+        assert!(r5[0].message.contains("touch_task"));
+    }
+
+    #[test]
+    fn waiver_downgrades_to_waived() {
+        let v = all_rules("fn f(n: u64) {\n  // lint:allow(R3): n < 100 by construction\n  let a = n as u32;\n}");
+        let r3: Vec<_> = v.iter().filter(|v| v.rule == RuleId::R3).collect();
+        assert_eq!(r3.len(), 1);
+        assert!(r3[0].waived);
+    }
+
+    #[test]
+    fn collect_writable_impls_handles_generics_paths_macros() {
+        let sf = ScannedFile::new(
+            "impl Writable for Cell { }\n\
+             impl<A: Writable, B: Writable> Writable for Pair<A, B> { }\n\
+             impl hl_common::writable::Writable for EditOp { }\n\
+             impl Writable for (A, B) { }\n\
+             impl Writable for $t { }\n\
+             impl Display for NotWritable { }\n\
+             #[cfg(test)]\nmod t { impl Writable for TestOnly {} }",
+        );
+        let impls = collect_writable_impls(&sf);
+        let names: Vec<_> = impls
+            .iter()
+            .filter(|i| !i.macro_template)
+            .map(|i| i.type_name.as_str())
+            .collect();
+        assert_eq!(names, vec!["Cell", "Pair", "EditOp", "(tuple)"]);
+        assert_eq!(impls.iter().filter(|i| i.macro_template).count(), 1);
+        assert_eq!(impls[0].line, 1);
+        assert_eq!(impls[1].line, 2);
+    }
+}

@@ -1,0 +1,23 @@
+// R1 fixture: panic-adjacent code the rule must NOT flag — combinator
+// cousins, string/comment mentions, and test-only code.
+fn daemon_step(x: Option<u32>) -> Result<u32, String> {
+    // .unwrap() and panic!() in a comment do not count.
+    let a = x.unwrap_or(7);
+    let b = x.unwrap_or_else(|| 9);
+    let s = "call .unwrap() then panic!(\"boom\")";
+    let msg = r#"unreachable!() todo!() in a raw string"#;
+    let _ = (s, msg);
+    x.ok_or_else(|| "daemon degraded".to_string()).map(|v| v + a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        if false {
+            panic!("tests may panic");
+        }
+    }
+}

@@ -1,0 +1,13 @@
+// R1 fixture: every panic vector the rule must catch, with known spans.
+fn daemon_step(x: Option<u32>) -> u32 {
+    let a = x.unwrap(); // line 3, col 15
+    let b = x.expect("registered"); // line 4, col 15
+    if a > b {
+        panic!("impossible"); // line 6, col 9
+    }
+    match a {
+        0 => unreachable!(), // line 9, col 14
+        1 => todo!(), // line 10, col 14
+        _ => unimplemented!(), // line 11, col 14
+    }
+}

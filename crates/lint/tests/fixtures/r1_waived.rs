@@ -1,0 +1,10 @@
+// R1 fixture: waiver syntax downgrades hits to "waived".
+fn locked_state(m: &std::sync::Mutex<u32>) -> u32 {
+    // lint:allow(R1): a poisoned mutex means the process is already dead
+    let g = m.lock().unwrap();
+    *g + trailing(m)
+}
+
+fn trailing(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap() // lint:allow(R1): same poisoning argument
+}

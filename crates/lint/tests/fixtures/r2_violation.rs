@@ -1,0 +1,8 @@
+// R2 fixture: wall-clock time and unseeded randomness, with known spans.
+fn race_the_clock() -> u64 {
+    let start = std::time::Instant::now(); // line 3, col 28
+    let epoch = SystemTime::now(); // line 4, col 17
+    let mut rng = thread_rng(); // line 5, col 19
+    let _ = (start, epoch);
+    rng.gen()
+}

@@ -1,0 +1,6 @@
+// R2 fixture: a justified wall-clock read carries a waiver.
+fn profile_only() -> std::time::Duration {
+    // lint:allow(R2): report-only wall profiling, never fed back into sim state
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

@@ -1,0 +1,6 @@
+// R3 fixture: widening casts and try_into pass.
+fn pack(len: u32, off: usize) -> Result<(u64, u32), std::num::TryFromIntError> {
+    let wide = len as u64;
+    let exact: u32 = off.try_into()?;
+    Ok((wide, exact))
+}

@@ -1,0 +1,7 @@
+// R3 fixture: narrowing casts on lengths/offsets, with known spans.
+fn pack(len: u64, off: u64) -> (u32, usize, u16) {
+    let l = len as u32; // line 3, col 17
+    let o = off as usize; // line 4, col 17
+    let s = (len >> 3) as u16; // line 5, col 24
+    (l, o, s)
+}

@@ -1,0 +1,4 @@
+// R3 fixture: a bounded narrowing cast carries a waiver stating the bound.
+fn partition_of(hash: u64, parts: u32) -> u32 {
+    (hash % parts as u64) as u32 // lint:allow(R3): modulo parts < 2^32 keeps this in range
+}

@@ -1,0 +1,18 @@
+// R4 fixture: `Registered` is in the fixture manifest; generic and
+// non-Writable impls do not count.
+struct Registered(u32);
+
+impl Writable for Registered {
+    fn write(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.0.to_le_bytes());
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        decode_u32(buf).map(Registered)
+    }
+}
+
+impl std::fmt::Display for Registered {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}

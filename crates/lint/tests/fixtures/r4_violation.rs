@@ -1,0 +1,15 @@
+// R4 fixture: `Rogue` implements Writable but is not in the manifest.
+struct Rogue {
+    bits: u64,
+}
+
+impl Writable for Rogue { // line 6, col 1
+    fn write(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.bits.to_le_bytes());
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        let (head, rest) = buf.split_at(8);
+        *buf = rest;
+        Ok(Rogue { bits: u64::from_le_bytes(head.try_into().map_err(bad)?) })
+    }
+}

@@ -1,0 +1,8 @@
+// R5 fixture: touch is the registration idiom; real increments and
+// tuple-field zeros pass.
+fn register(counters: &mut Counters, pair: (u64, u64)) {
+    counters.touch_task(TaskCounter::MapOutputBytes);
+    counters.touch("Shuffle Errors", "WRONG_MAP");
+    counters.incr_task(TaskCounter::MapInputRecords, 42);
+    counters.incr("Custom", "from-tuple", pair.0);
+}

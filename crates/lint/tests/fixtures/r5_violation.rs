@@ -1,0 +1,6 @@
+// R5 fixture: zero-delta counter increments, with known spans.
+fn register(counters: &mut Counters) {
+    counters.incr_task(TaskCounter::MapOutputBytes, 0); // line 3, col 14
+    counters.incr_fs(FileSystemCounter::HdfsBytesRead, 0); // line 4, col 14
+    counters.incr("Shuffle Errors", "WRONG_MAP", 0); // line 5, col 14
+}

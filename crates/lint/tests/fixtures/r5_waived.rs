@@ -1,0 +1,5 @@
+// R5 fixture: a deliberate zero increment carries a waiver.
+fn merge_marker(counters: &mut Counters) {
+    // lint:allow(R5): third-party report format requires an explicit 0 row
+    counters.incr("Legacy Report", "PLACEHOLDER", 0);
+}
