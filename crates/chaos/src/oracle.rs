@@ -1,0 +1,234 @@
+//! Whole-system invariant oracles, checked after every chaos run.
+//!
+//! Faults are *allowed* to fail jobs and lose replicas mid-run; the
+//! oracles pin down what must still be true once the dust settles:
+//!
+//! 1. **durability** — every acknowledged DFS write reads back with its
+//!    original CRC32, or `fsck` explicitly reports the file as missing
+//!    blocks. Silent loss and silent corruption are violations.
+//! 2. **ground-truth** — every job that *reported success* produced
+//!    output equal to the `LocalRunner` (LocalJobRunner) ground truth;
+//!    jobs may fail, but only cleanly (typed, expected errors).
+//! 3. **replication** — once the protocol quiesces with every daemon
+//!    revived, no block stays under-replicated (unless the NameNode is
+//!    legitimately stuck in safe mode over genuinely missing blocks).
+//! 4. **ghost-ports** — after session teardown plus one cleanup-cron
+//!    sweep, no port binding survives anywhere on the campus.
+//! 5. **accounting** — the trace and the `Chaos` counter group account
+//!    for every planned fault: nothing injected silently, nothing
+//!    double-counted.
+
+use std::collections::BTreeMap;
+
+use hl_common::prelude::*;
+use hl_dfs::fsck::fsck;
+
+use crate::runner::ChaosRunner;
+
+/// One broken invariant, attributed to the oracle that caught it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which oracle fired ("durability", "ground-truth", ...).
+    pub oracle: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// Errors a chaos-era job is *allowed* to die of: typed failures the
+/// engine hands back deliberately. Anything else leaking out of a run is
+/// an unclean failure and a violation in itself.
+pub(crate) fn is_clean_failure(e: &HlError) -> bool {
+    matches!(
+        e,
+        HlError::SafeMode(_)
+            | HlError::DaemonDown(_)
+            | HlError::JobFailed(_)
+            | HlError::TaskFailed(_)
+            | HlError::AlreadyExists(_)
+            | HlError::MissingBlock { .. }
+            | HlError::InsufficientReplication { .. }
+    )
+}
+
+/// Parse `key\tcount` wordcount output into a map (blank lines skipped).
+pub(crate) fn parse_counts(text: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if let Some((word, count)) = line.split_once('\t') {
+            if let Ok(n) = count.trim().parse::<u64>() {
+                *out.entry(word.to_string()).or_insert(0) += n;
+            }
+        }
+    }
+    out
+}
+
+/// Oracle 1: every acknowledged write still reads back byte-identical
+/// (CRC32 against the ack-time checksum), or `fsck` owns up to the loss.
+pub(crate) fn verify_durability(r: &mut ChaosRunner) {
+    let acked = std::mem::take(&mut r.acked);
+    let mut unreadable: Vec<(String, HlError)> = Vec::new();
+    for w in &acked {
+        let now = r.cluster.now;
+        match r.cluster.dfs.read(&mut r.cluster.net, now, &w.path, None) {
+            Ok(t) => {
+                r.cluster.now = t.completed_at;
+                if t.value.len() as u64 != w.len || Crc32::checksum(&t.value) != w.crc {
+                    r.violate(
+                        "durability",
+                        format!("{}: read bytes differ from the acknowledged write", w.path),
+                    );
+                }
+            }
+            Err(e) => unreadable.push((w.path.clone(), e)),
+        }
+    }
+    r.acked = acked;
+    if unreadable.is_empty() {
+        return;
+    }
+    // Losses are tolerable only when fsck reports them: "we lost it" is
+    // an answer, "it's fine" while it's gone is not.
+    match fsck(&r.cluster.dfs, "/") {
+        Ok(report) => {
+            for (path, e) in unreadable {
+                let owned_up =
+                    report.files.iter().any(|f| f.path == path && f.missing > 0);
+                if owned_up {
+                    let now = r.cluster.now;
+                    r.cluster
+                        .log
+                        .log(now, "chaos", format!("{path} lost, and fsck reports it"));
+                } else {
+                    r.violate(
+                        "durability",
+                        format!("{path}: unreadable ({e}) yet fsck calls it healthy"),
+                    );
+                }
+            }
+        }
+        Err(e) => r.violate("durability", format!("fsck itself failed: {e}")),
+    }
+}
+
+/// Oracle 3: with every daemon revived and block reports synced, drive
+/// heartbeat rounds until re-replication quiesces; nothing may stay
+/// under-replicated. A NameNode stuck in safe mode is excused only while
+/// blocks are genuinely missing (the paper's corrupted-cluster end state).
+pub(crate) fn quiesce_replication(r: &mut ChaosRunner) {
+    if r.cluster.dfs.namenode.safemode.is_on() {
+        if r.cluster.dfs.namenode.missing_blocks().is_empty() {
+            r.violate("replication", "safe mode still on with no missing blocks".into());
+        } else {
+            let now = r.cluster.now;
+            r.cluster.log.log(
+                now,
+                "chaos",
+                "stuck in safe mode over missing blocks; replication cannot quiesce",
+            );
+        }
+        return;
+    }
+    let mut t = r.cluster.now;
+    for _ in 0..80 {
+        if r.cluster.dfs.namenode.under_replicated().is_empty() {
+            break;
+        }
+        t += SimDuration::from_secs(3);
+        r.cluster.dfs.heartbeat_round(&mut r.cluster.net, t);
+    }
+    r.cluster.now = t;
+    let leftover = r.cluster.dfs.namenode.under_replicated();
+    if !leftover.is_empty() {
+        r.violate(
+            "replication",
+            format!("{} block(s) still under-replicated after quiesce", leftover.len()),
+        );
+    }
+}
+
+/// Oracle 4: release the session's own ports, run the cleanup cron once
+/// past its period, and require an empty port registry.
+pub(crate) fn verify_ports(r: &mut ChaosRunner) {
+    let released = r.campus.ports.release_owner(crate::runner::SESSION_OWNER);
+    if released != r.session_ports {
+        r.violate(
+            "ghost-ports",
+            format!("session released {released} ports, bound {}", r.session_ports),
+        );
+    }
+    let horizon = r.campus.now.max(r.cluster.now) + SimDuration::from_mins(16);
+    r.campus.advance_to(horizon);
+    if !r.campus.ports.is_empty() {
+        r.violate(
+            "ghost-ports",
+            format!(
+                "{} port binding(s) survive teardown + cleanup cron",
+                r.campus.ports.len()
+            ),
+        );
+    }
+}
+
+/// Oracle 5: the plan, the trace, and the counters agree on how many
+/// faults were injected.
+pub(crate) fn verify_accounting(r: &mut ChaosRunner) {
+    let planned = r.plan.len();
+    let traced = r
+        .cluster
+        .log
+        .from_source("chaos")
+        .filter(|e| e.message.starts_with("inject "))
+        .count();
+    let counted: u64 = r
+        .counters
+        .iter()
+        .filter(|(group, _, _)| *group == "Chaos")
+        .map(|(_, _, v)| v)
+        .sum();
+    if traced != planned || counted != planned as u64 || r.injected as usize != planned {
+        r.violate(
+            "accounting",
+            format!(
+                "planned {planned} fault(s); injected {}, traced {traced}, counted {counted}",
+                r.injected
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_failure_classification() {
+        assert!(is_clean_failure(&HlError::SafeMode("on".into())));
+        assert!(is_clean_failure(&HlError::JobFailed("retries exhausted".into())));
+        assert!(is_clean_failure(&HlError::MissingBlock { block_id: 1, path: "/f".into() }));
+        assert!(!is_clean_failure(&HlError::Internal("bug".into())));
+        assert!(!is_clean_failure(&HlError::Codec("bad tag".into())));
+        assert!(!is_clean_failure(&HlError::Config("missing key".into())));
+    }
+
+    #[test]
+    fn parse_counts_sums_duplicate_keys_across_parts() {
+        let text = "a\t2\nb\t1\n\na\t3\n";
+        let m = parse_counts(text);
+        assert_eq!(m.get("a"), Some(&5));
+        assert_eq!(m.get("b"), Some(&1));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn violation_display_names_the_oracle() {
+        let v = Violation { oracle: "durability", detail: "gone".into() };
+        assert_eq!(v.to_string(), "[durability] gone");
+    }
+}

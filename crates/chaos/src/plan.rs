@@ -1,0 +1,308 @@
+//! Fault plans: declarative, seeded schedules of typed fault events.
+//!
+//! A [`FaultPlan`] is the whole story of one chaos run, decided *before*
+//! the run starts: which daemon dies in which round, which block rots,
+//! which port a ghost daemon squats on. Plans are pure data — they
+//! implement [`Writable`] so a failing seed's schedule can be serialized
+//! next to its trace and replayed byte-identically later.
+
+use hl_cluster::failure::DaemonKind;
+use hl_common::prelude::*;
+use hl_common::writable::{read_vu64, write_vu64, Writable};
+
+/// One typed fault event the runner knows how to inject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// `kill -9` one daemon's JVM. TaskTracker kills leave the colocated
+    /// DataNode running (and vice versa) — composing both is the planner's
+    /// job, crashing both at once is what [`Fault::HeapLeak`] is for.
+    KillDaemon {
+        /// Which daemon.
+        kind: DaemonKind,
+        /// On which node (ignored for the singleton JobTracker/NameNode).
+        node: NodeId,
+    },
+    /// The round's workload job leaks `rate` bytes of daemon heap per
+    /// task — the paper's Version-1 meltdown mechanism, which OOM-crashes
+    /// the TaskTracker *and* its colocated DataNode.
+    HeapLeak {
+        /// Bytes pinned into the hosting daemon per buggy task.
+        rate: u64,
+    },
+    /// Flip one byte of one stored replica behind the checksums' back.
+    /// The victim block/holder/offset are chosen by the runner's seeded
+    /// [`BitRot`](hl_cluster::failure::BitRot) stream at injection time.
+    CorruptBlock {
+        /// Selects the victim among the blocks stored at injection time
+        /// (taken modulo the block count, so any value is valid).
+        victim: u64,
+    },
+    /// Orphan-bind a port: a ghost daemon from a departed session squats
+    /// on `port` until the campus cleanup cron sweeps it.
+    GhostDaemon {
+        /// Node whose port is squatted.
+        node: NodeId,
+        /// The squatted TCP port.
+        port: u16,
+    },
+    /// Crash the NameNode and recover it from fsimage + edit-log replay:
+    /// every DataNode rescans and re-reports, and the cluster sits in
+    /// safe mode until enough blocks are accounted for.
+    RestartNameNode,
+    /// Node becomes a straggler: its task durations multiply by
+    /// `factor_pct / 100` (e.g. `800` → 8× slower).
+    SlowNode {
+        /// Which node drags.
+        node: NodeId,
+        /// Slowdown factor in percent (100 = no change).
+        factor_pct: u32,
+    },
+    /// Operator pass: restart every dead TaskTracker, DataNode, and the
+    /// JobTracker, then sync block reports so the NameNode re-learns
+    /// which replicas survived on disk.
+    RestartDaemons,
+}
+
+impl Fault {
+    /// Stable counter/trace label, one per variant (the accounting oracle
+    /// matches injections against these).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::KillDaemon { .. } => "KillDaemon",
+            Fault::HeapLeak { .. } => "HeapLeak",
+            Fault::CorruptBlock { .. } => "CorruptBlock",
+            Fault::GhostDaemon { .. } => "GhostDaemon",
+            Fault::RestartNameNode => "RestartNameNode",
+            Fault::SlowNode { .. } => "SlowNode",
+            Fault::RestartDaemons => "RestartDaemons",
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::KillDaemon { kind, node } => write!(f, "KillDaemon({} on {node})", kind.name()),
+            Fault::HeapLeak { rate } => write!(f, "HeapLeak({rate} B/task)"),
+            Fault::CorruptBlock { victim } => write!(f, "CorruptBlock(victim {victim})"),
+            Fault::GhostDaemon { node, port } => write!(f, "GhostDaemon({node}:{port})"),
+            Fault::RestartNameNode => write!(f, "RestartNameNode"),
+            Fault::SlowNode { node, factor_pct } => {
+                write!(f, "SlowNode({node} at {factor_pct}%)")
+            }
+            Fault::RestartDaemons => write!(f, "RestartDaemons"),
+        }
+    }
+}
+
+fn kind_tag(kind: DaemonKind) -> u8 {
+    match kind {
+        DaemonKind::NameNode => 0,
+        DaemonKind::DataNode => 1,
+        DaemonKind::JobTracker => 2,
+        DaemonKind::TaskTracker => 3,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Result<DaemonKind> {
+    Ok(match tag {
+        0 => DaemonKind::NameNode,
+        1 => DaemonKind::DataNode,
+        2 => DaemonKind::JobTracker,
+        3 => DaemonKind::TaskTracker,
+        t => return Err(HlError::Codec(format!("unknown daemon kind tag {t}"))),
+    })
+}
+
+impl Writable for Fault {
+    fn write(&self, buf: &mut Vec<u8>) {
+        match self {
+            Fault::KillDaemon { kind, node } => {
+                buf.push(0);
+                buf.push(kind_tag(*kind));
+                write_vu64(node.0 as u64, buf);
+            }
+            Fault::HeapLeak { rate } => {
+                buf.push(1);
+                write_vu64(*rate, buf);
+            }
+            Fault::CorruptBlock { victim } => {
+                buf.push(2);
+                write_vu64(*victim, buf);
+            }
+            Fault::GhostDaemon { node, port } => {
+                buf.push(3);
+                write_vu64(node.0 as u64, buf);
+                write_vu64(*port as u64, buf);
+            }
+            Fault::RestartNameNode => buf.push(4),
+            Fault::SlowNode { node, factor_pct } => {
+                buf.push(5);
+                write_vu64(node.0 as u64, buf);
+                write_vu64(*factor_pct as u64, buf);
+            }
+            Fault::RestartDaemons => buf.push(6),
+        }
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        let tag = u8::read(buf)?;
+        Ok(match tag {
+            0 => Fault::KillDaemon {
+                kind: kind_from_tag(u8::read(buf)?)?,
+                node: NodeId(read_narrow(buf, "node id")?),
+            },
+            1 => Fault::HeapLeak { rate: read_vu64(buf)? },
+            2 => Fault::CorruptBlock { victim: read_vu64(buf)? },
+            3 => Fault::GhostDaemon {
+                node: NodeId(read_narrow(buf, "node id")?),
+                port: read_narrow::<u16>(buf, "port")?,
+            },
+            4 => Fault::RestartNameNode,
+            5 => Fault::SlowNode {
+                node: NodeId(read_narrow(buf, "node id")?),
+                factor_pct: read_narrow(buf, "slow factor")?,
+            },
+            6 => Fault::RestartDaemons,
+            t => return Err(HlError::Codec(format!("unknown fault tag {t}"))),
+        })
+    }
+}
+
+/// Read a varint and narrow it checked (codec error on overflow, never a
+/// silent truncation).
+fn read_narrow<T: TryFrom<u64>>(buf: &mut &[u8], what: &str) -> Result<T> {
+    let v = read_vu64(buf)?;
+    T::try_from(v).map_err(|_| HlError::Codec(format!("{what} {v} out of range")))
+}
+
+/// A fault scheduled for a specific round of the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// Zero-based round the fault fires at (before that round's job).
+    pub at: u32,
+    /// What happens.
+    pub fault: Fault,
+}
+
+impl Writable for PlannedFault {
+    fn write(&self, buf: &mut Vec<u8>) {
+        write_vu64(self.at as u64, buf);
+        self.fault.write(buf);
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(PlannedFault { at: read_narrow(buf, "round")?, fault: Fault::read(buf)? })
+    }
+}
+
+/// A complete, seeded fault schedule for one chaos run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed every random choice in the run derives from.
+    pub seed: u64,
+    /// Number of workload rounds the runner drives.
+    pub rounds: u32,
+    /// The schedule, in (round, generation) order.
+    pub faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// Faults scheduled for `round`, in plan order.
+    pub fn at(&self, round: u32) -> impl Iterator<Item = &Fault> {
+        self.faults.iter().filter(move |p| p.at == round).map(|p| &p.fault)
+    }
+
+    /// Total scheduled fault count.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+impl Writable for FaultPlan {
+    fn write(&self, buf: &mut Vec<u8>) {
+        write_vu64(self.seed, buf);
+        write_vu64(self.rounds as u64, buf);
+        self.faults.write(buf);
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(FaultPlan {
+            seed: read_vu64(buf)?,
+            rounds: read_narrow(buf, "rounds")?,
+            faults: Vec::<PlannedFault>::read(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writable_round_trips() {
+        let faults = vec![
+            Fault::KillDaemon { kind: DaemonKind::TaskTracker, node: NodeId(3) },
+            Fault::KillDaemon { kind: DaemonKind::DataNode, node: NodeId(0) },
+            Fault::KillDaemon { kind: DaemonKind::JobTracker, node: NodeId(0) },
+            Fault::KillDaemon { kind: DaemonKind::NameNode, node: NodeId(0) },
+            Fault::HeapLeak { rate: 192 * 1024 * 1024 },
+            Fault::CorruptBlock { victim: u64::MAX },
+            Fault::GhostDaemon { node: NodeId(7), port: 50060 },
+            Fault::RestartNameNode,
+            Fault::SlowNode { node: NodeId(2), factor_pct: 800 },
+            Fault::RestartDaemons,
+        ];
+        for f in &faults {
+            assert_eq!(&Fault::from_bytes(&f.to_bytes()).unwrap(), f);
+        }
+
+        let planned = PlannedFault { at: 2, fault: Fault::RestartNameNode };
+        assert_eq!(PlannedFault::from_bytes(&planned.to_bytes()).unwrap(), planned);
+
+        let plan = FaultPlan {
+            seed: 0xDEAD_BEEF,
+            rounds: 4,
+            faults: faults.into_iter().enumerate().map(|(i, fault)| PlannedFault {
+                at: i as u32 % 4,
+                fault,
+            }).collect(),
+        };
+        assert_eq!(FaultPlan::from_bytes(&plan.to_bytes()).unwrap(), plan);
+    }
+
+    #[test]
+    fn unknown_tags_are_codec_errors() {
+        assert!(Fault::from_bytes(&[99]).is_err());
+        assert!(Fault::from_bytes(&[0, 99, 0]).is_err(), "bad daemon kind");
+        // Truncated input.
+        assert!(Fault::from_bytes(&[1]).is_err());
+        // Port out of range.
+        let mut buf = vec![3, 0];
+        hl_common::writable::write_vu64(70_000, &mut buf);
+        assert!(Fault::from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn plan_round_filter() {
+        let plan = FaultPlan {
+            seed: 1,
+            rounds: 3,
+            faults: vec![
+                PlannedFault { at: 0, fault: Fault::RestartNameNode },
+                PlannedFault { at: 2, fault: Fault::RestartDaemons },
+                PlannedFault { at: 0, fault: Fault::HeapLeak { rate: 1 } },
+            ],
+        };
+        assert_eq!(plan.at(0).count(), 2);
+        assert_eq!(plan.at(1).count(), 0);
+        assert_eq!(plan.at(2).count(), 1);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+    }
+}

@@ -1,0 +1,603 @@
+//! The chaos runner: interleave a seeded fault plan with real workloads.
+//!
+//! One run = one five-node course cluster, one seeded corpus staged into
+//! DFS, and [`ROUNDS`](crate::scenario::ROUNDS) wordcount rounds with the
+//! plan's faults injected between them. Everything observable — job
+//! traces, corruption offsets, virtual timestamps — is a pure function of
+//! `(pack, seed)`, so a failing seed replays byte-identically and the
+//! whole run can be hash-compared across re-executions.
+
+use std::collections::BTreeMap;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use hl_cluster::failure::{BitRot, DaemonKind};
+use hl_cluster::node::ClusterSpec;
+use hl_cluster::ports::well_known;
+use hl_common::config::keys;
+use hl_common::prelude::*;
+use hl_datagen::CorpusGen;
+use hl_dfs::BlockPayload;
+use hl_mapreduce::api::{Combiner, Mapper, Reducer, SideFiles};
+use hl_mapreduce::local::LocalRunner;
+use hl_mapreduce::{Job, MrCluster};
+use hl_provision::Campus;
+use hl_workloads::wordcount::{wordcount, wordcount_combiner};
+
+use crate::oracle::{self, Violation};
+use crate::plan::{Fault, FaultPlan};
+use crate::scenario::{ScenarioPack, NODES};
+
+/// The staged input every round's job reads.
+pub const INPUT: &str = "/in/corpus.txt";
+
+/// Owner string for the session's own (live, legitimate) port bindings.
+pub(crate) const SESSION_OWNER: &str = "chaos-session";
+
+/// Corpus length in words: ~10 blocks at the 2 KiB chaos block size, so
+/// every job runs a real multi-map, multi-reduce DAG.
+const CORPUS_WORDS: usize = 2000;
+
+/// Protocol time between fault injection and the round's job: long enough
+/// for the 60 s dead-node timeout to fire and re-replication to react.
+const ROUND_PROTOCOL_SECS: u64 = 90;
+
+/// A write the DFS acknowledged: the durability oracle holds it to that.
+#[derive(Debug, Clone)]
+pub struct AckedWrite {
+    /// DFS path.
+    pub path: String,
+    /// Acknowledged length in bytes.
+    pub len: u64,
+    /// CRC32 of the acknowledged bytes.
+    pub crc: u32,
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Scenario pack the plan was drawn from.
+    pub pack: ScenarioPack,
+    /// The seed.
+    pub seed: u64,
+    /// Faults the plan scheduled.
+    pub planned: usize,
+    /// Faults actually injected (== `planned` or the accounting oracle fires).
+    pub injected: u32,
+    /// Jobs that completed and matched ground truth.
+    pub jobs_ok: u32,
+    /// Jobs that failed (cleanly, unless a violation says otherwise).
+    pub jobs_failed: u32,
+    /// `(block id, byte offset)` of every bit-rot corruption performed.
+    pub corruptions: Vec<(u64, usize)>,
+    /// FNV-1a over the full rendered event trace — the replay fingerprint.
+    pub trace_hash: u64,
+    /// The full rendered trace (cluster log + campus log + corruption set).
+    pub trace: String,
+    /// Every oracle violation. Empty means the run passed.
+    pub violations: Vec<Violation>,
+}
+
+impl ChaosReport {
+    /// True when every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} seed {}: {} ok / {} failed jobs, {}/{} faults, {} corruption(s), trace {:#018x} — {}",
+            self.pack,
+            self.seed,
+            self.jobs_ok,
+            self.jobs_failed,
+            self.injected,
+            self.planned,
+            self.corruptions.len(),
+            self.trace_hash,
+            if self.ok() {
+                "OK".to_string()
+            } else {
+                format!("{} VIOLATION(S)", self.violations.len())
+            }
+        )
+    }
+}
+
+/// Drives one cluster through one fault plan, then faces the oracles.
+pub struct ChaosRunner {
+    pub(crate) cluster: MrCluster,
+    pub(crate) campus: Campus,
+    pub(crate) plan: FaultPlan,
+    pub(crate) pack: ScenarioPack,
+    /// Runner-side randomness (replica choice): seeded from the plan seed,
+    /// domain-separated from the planner's stream.
+    rng: ChaCha8Rng,
+    /// Seeded corruption-offset stream (probability 1: the *schedule*
+    /// decides whether to corrupt, BitRot decides where).
+    rot: BitRot,
+    truth: BTreeMap<String, u64>,
+    pub(crate) acked: Vec<AckedWrite>,
+    pub(crate) corruptions: Vec<(u64, usize)>,
+    pub(crate) counters: Counters,
+    pub(crate) violations: Vec<Violation>,
+    pub(crate) injected: u32,
+    pub(crate) session_ports: usize,
+    jobs_ok: u32,
+    jobs_failed: u32,
+    pending_leak: Option<u64>,
+    ghost_seq: u32,
+}
+
+impl ChaosRunner {
+    /// Run `pack`'s plan for `seed` to completion and return the report.
+    /// `Err` means the harness could not even set up; oracle violations
+    /// land in the report, not here.
+    pub fn run(pack: ScenarioPack, seed: u64) -> Result<ChaosReport> {
+        let mut runner = ChaosRunner::new(pack, seed)?;
+        for round in 0..runner.plan.rounds {
+            runner.round(round);
+        }
+        Ok(runner.finish())
+    }
+
+    fn new(pack: ScenarioPack, seed: u64) -> Result<Self> {
+        let plan = pack.plan(seed);
+        let spec = ClusterSpec::course_hadoop(NODES as usize);
+        let mut config = Configuration::with_defaults();
+        // Small blocks so a ~20 KiB corpus spreads into a real block map,
+        // and a short dead-node timeout so death + re-replication fit in a
+        // round's protocol window.
+        config.set(keys::DFS_BLOCK_SIZE, 2048u64);
+        config.set(keys::DFS_HEARTBEAT_DEAD_AFTER, 20u64);
+        let mut cluster = MrCluster::new(spec, config)?;
+
+        // The session binds its daemons' ports, like a student's myHadoop
+        // start-up script.
+        let mut campus = Campus::new(NODES as usize);
+        let mut session_ports = 0;
+        for node in (0..NODES).map(NodeId) {
+            for port in well_known::ALL {
+                campus.ports.bind(SimTime::ZERO, node, port, SESSION_OWNER)?;
+                session_ports += 1;
+            }
+        }
+
+        // Stage the seeded corpus and record the acknowledged write.
+        cluster.dfs.namenode.mkdirs("/in")?;
+        cluster.dfs.namenode.mkdirs("/out")?;
+        let (corpus, expected) = CorpusGen::new(seed).generate(CORPUS_WORDS);
+        let put = cluster.dfs.put(&mut cluster.net, cluster.now, INPUT, corpus.as_bytes(), None)?;
+        cluster.now = put.completed_at;
+        let acked = vec![AckedWrite {
+            path: INPUT.to_string(),
+            len: corpus.len() as u64,
+            crc: Crc32::checksum(corpus.as_bytes()),
+        }];
+
+        // Ground truth from the LocalJobRunner analogue, cross-checked
+        // against the generator's own tally.
+        let local = LocalRunner::serial().run(
+            &wordcount(INPUT, "/out/_local", 2),
+            &[("corpus.txt".to_string(), corpus.into_bytes())],
+            &SideFiles::new(),
+        )?;
+        let truth = oracle::parse_counts(&local.output.join("\n"));
+
+        let mut runner = ChaosRunner {
+            cluster,
+            campus,
+            plan,
+            pack,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x52554e), // "RUN"
+            rot: BitRot::new(seed, 1.0),
+            truth,
+            acked,
+            corruptions: Vec::new(),
+            counters: Counters::new(),
+            violations: Vec::new(),
+            injected: 0,
+            session_ports,
+            jobs_ok: 0,
+            jobs_failed: 0,
+            pending_leak: None,
+            ghost_seq: 0,
+        };
+        if runner.truth != expected {
+            runner.violate(
+                "ground-truth",
+                "LocalRunner output disagrees with the corpus generator's tally".into(),
+            );
+        }
+        Ok(runner)
+    }
+
+    pub(crate) fn violate(&mut self, oracle: &'static str, detail: String) {
+        let now = self.cluster.now;
+        self.cluster.log.log(now, "chaos", format!("VIOLATION [{oracle}] {detail}"));
+        self.violations.push(Violation { oracle, detail });
+    }
+
+    // ------------------------------------------------------------- rounds
+
+    fn round(&mut self, round: u32) {
+        let now = self.cluster.now;
+        self.cluster.log.log(now, "chaos", format!("--- round {round} ---"));
+        let faults: Vec<Fault> = self.plan.at(round).cloned().collect();
+        for fault in faults {
+            self.inject(fault);
+        }
+        // Let the daemon protocol digest the damage: heartbeats, the
+        // dead-node sweep, re-replication.
+        let from = self.cluster.now;
+        let until = from + SimDuration::from_secs(ROUND_PROTOCOL_SECS);
+        self.cluster.dfs.run_protocol(&mut self.cluster.net, from, until);
+        self.cluster.now = until;
+        self.campus.advance_to(until);
+        // The round's workload, alternating the combiner variant.
+        let out = format!("/out/r{round}");
+        let leaking = self.pending_leak.take().is_some();
+        if round.is_multiple_of(2) {
+            let mut job = wordcount(INPUT, &out, 2);
+            job.conf.leaks_memory = leaking;
+            self.drive(&job);
+        } else {
+            let mut job = wordcount_combiner(INPUT, &out, 2);
+            job.conf.leaks_memory = leaking;
+            self.drive(&job);
+        }
+    }
+
+    fn drive<M, R, C>(&mut self, job: &Job<M, R, C>)
+    where
+        M: Mapper,
+        R: Reducer<KIn = M::KOut, VIn = M::VOut>,
+        C: Combiner<K = M::KOut, V = M::VOut>,
+    {
+        let out = job.conf.output_path.clone();
+        match self.cluster.run_job(job) {
+            Ok(_) => {
+                self.jobs_ok += 1;
+                self.verify_job_output(&out);
+            }
+            Err(e) if oracle::is_clean_failure(&e) => {
+                self.jobs_failed += 1;
+                let now = self.cluster.now;
+                self.cluster.log.log(now, "chaos", format!("job for {out} failed cleanly: {e}"));
+            }
+            Err(e) => {
+                self.jobs_failed += 1;
+                self.violate("clean-failure", format!("job for {out} died uncleanly: {e}"));
+            }
+        }
+    }
+
+    /// Oracle 2, success half: a job that says it succeeded must have
+    /// written readable output equal to the LocalRunner ground truth.
+    /// Each part file read here becomes an acknowledged write for the
+    /// durability oracle.
+    fn verify_job_output(&mut self, out: &str) {
+        let parts = match self.cluster.dfs.namenode.list(out) {
+            Ok(rows) => rows,
+            Err(e) => return self.violate("ground-truth", format!("list {out}: {e}")),
+        };
+        let mut text = String::new();
+        for row in parts.into_iter().filter(|r| !r.is_dir) {
+            let now = self.cluster.now;
+            match self.cluster.dfs.read(&mut self.cluster.net, now, &row.path, None) {
+                Ok(got) => {
+                    self.cluster.now = got.completed_at;
+                    self.acked.push(AckedWrite {
+                        path: row.path.clone(),
+                        len: got.value.len() as u64,
+                        crc: Crc32::checksum(&got.value),
+                    });
+                    match String::from_utf8(got.value) {
+                        Ok(s) => text.push_str(&s),
+                        Err(_) => {
+                            self.violate("ground-truth", format!("{}: not UTF-8", row.path))
+                        }
+                    }
+                }
+                Err(e) => self.violate(
+                    "durability",
+                    format!("{}: unreadable right after job success: {e}", row.path),
+                ),
+            }
+        }
+        if oracle::parse_counts(&text) != self.truth {
+            self.violate(
+                "ground-truth",
+                format!("{out}: successful job's output disagrees with LocalRunner"),
+            );
+        }
+    }
+
+    // ---------------------------------------------------------- injection
+
+    fn inject(&mut self, fault: Fault) {
+        let now = self.cluster.now;
+        self.cluster.log.log(now, "chaos", format!("inject {fault}"));
+        self.counters.incr("Chaos", fault.label(), 1);
+        self.injected += 1;
+        match fault {
+            Fault::KillDaemon { kind, node } => match kind {
+                DaemonKind::TaskTracker => {
+                    let _ = self.cluster.crash_tracker(node);
+                }
+                DaemonKind::DataNode => self.cluster.dfs.crash_datanode(node),
+                DaemonKind::JobTracker => self.cluster.crash_jobtracker(),
+                // Killing the NameNode *is* the restart drill: the journal
+                // is durable, so down-then-up is one composite event.
+                DaemonKind::NameNode => self.restart_namenode(),
+            },
+            Fault::HeapLeak { rate } => {
+                for node in self.cluster.dfs.datanode_ids() {
+                    if let Some(t) = self.cluster.tracker_mut(node) {
+                        t.health.heap.leak_per_buggy_task = rate;
+                    }
+                }
+                self.pending_leak = Some(rate);
+            }
+            Fault::CorruptBlock { victim } => self.corrupt_block(victim),
+            Fault::GhostDaemon { node, port } => self.ghost_daemon(node, port),
+            Fault::RestartNameNode => self.restart_namenode(),
+            Fault::SlowNode { node, factor_pct } => {
+                self.cluster.set_slow_node(node, f64::from(factor_pct) / 100.0);
+            }
+            Fault::RestartDaemons => self.restart_daemons(),
+        }
+    }
+
+    fn corrupt_block(&mut self, victim: u64) {
+        let manifest = self.cluster.dfs.namenode.block_manifest();
+        if manifest.is_empty() {
+            let now = self.cluster.now;
+            self.cluster.log.log(now, "chaos", "bit-rot found no blocks to chew on");
+            return;
+        }
+        let idx = usize::try_from(victim % manifest.len() as u64).unwrap_or(0);
+        let (id, _, _) = manifest[idx];
+        let holders: Vec<NodeId> = self
+            .cluster
+            .dfs
+            .namenode
+            .block_locations(id)
+            .into_iter()
+            .filter(|&h| {
+                self.cluster
+                    .dfs
+                    .datanode(h)
+                    .map(|d| d.alive && d.has_block(id))
+                    .unwrap_or(false)
+            })
+            .collect();
+        if holders.is_empty() {
+            let now = self.cluster.now;
+            self.cluster.log.log(now, "chaos", format!("blk_{} has no live replica to rot", id.0));
+            return;
+        }
+        let holder = holders[self.rng.gen_range(0..holders.len())];
+        let mut copy: Vec<u8> = match self.cluster.dfs.datanode(holder).and_then(|d| d.payload(id))
+        {
+            Some(BlockPayload::Real { data, .. }) => data.to_vec(),
+            _ => {
+                let now = self.cluster.now;
+                self.cluster.log.log(now, "chaos", format!("blk_{} replica is synthetic", id.0));
+                return;
+            }
+        };
+        // BitRot picks the offset from its seeded stream (probability 1:
+        // the plan already decided *that* this replica rots).
+        let Some(offset) = self.rot.maybe_corrupt(&mut copy) else {
+            let now = self.cluster.now;
+            self.cluster.log.log(now, "chaos", format!("blk_{} is empty; nothing to rot", id.0));
+            return;
+        };
+        if self
+            .cluster
+            .dfs
+            .datanode_mut(holder)
+            .map(|d| d.corrupt_block(id, offset))
+            .unwrap_or(false)
+        {
+            self.corruptions.push((id.0, offset));
+            let now = self.cluster.now;
+            self.cluster.log.log(
+                now,
+                "chaos",
+                format!("bit-rot flipped byte {offset} of blk_{} on {holder}", id.0),
+            );
+        }
+    }
+
+    fn ghost_daemon(&mut self, node: NodeId, port: u16) {
+        let now = self.cluster.now;
+        let owner = format!("ghost-{}-{}", self.plan.seed, self.ghost_seq);
+        self.ghost_seq += 1;
+        match self.campus.ports.bind(now, node, port, &owner) {
+            Ok(()) => {
+                self.campus.ports.orphan_owner(&owner);
+                // A fresh session cannot take the squatted port...
+                match self.campus.ports.bind(now, node, port, SESSION_OWNER) {
+                    Err(HlError::PortInUse { .. }) => {}
+                    Ok(()) => self.violate(
+                        "ghost-ports",
+                        format!("bind on {node}:{port} succeeded under a live ghost"),
+                    ),
+                    Err(e) => self.violate(
+                        "ghost-ports",
+                        format!("bind on {node}:{port} failed oddly: {e}"),
+                    ),
+                }
+                // ...and cannot hand-kill a ghost it does not own.
+                if self.campus.ports.kill_own_ghost(node, port, SESSION_OWNER).is_ok() {
+                    self.violate(
+                        "ghost-ports",
+                        format!("killed a foreign ghost on {node}:{port}"),
+                    );
+                }
+            }
+            Err(HlError::PortInUse { .. }) => {
+                self.cluster
+                    .log
+                    .log(now, "chaos", format!("{node}:{port} already squatted"));
+            }
+            Err(e) => self.violate("ghost-ports", format!("ghost bind on {node}:{port}: {e}")),
+        }
+    }
+
+    fn restart_namenode(&mut self) {
+        let now = self.cluster.now;
+        match self.cluster.dfs.restart_all(&mut self.cluster.net, now) {
+            Ok(t) => {
+                self.cluster.now = t.completed_at;
+                let at = t.completed_at;
+                self.cluster.log.log(at, "chaos", "namenode recovered; safe mode exited");
+            }
+            Err(HlError::SafeMode(msg)) => {
+                // The paper's corrupted cluster: safe mode never exits
+                // because blocks are genuinely gone. A legal end state —
+                // the oracles hold it to exactly that story.
+                self.cluster.log.log(now, "chaos", format!("namenode stuck in safe mode: {msg}"));
+            }
+            Err(e) => self.violate("clean-failure", format!("restart_all died uncleanly: {e}")),
+        }
+    }
+
+    /// The operator pass: revive every dead daemon, then re-teach the
+    /// NameNode which replicas actually survived on disk. Heartbeats alone
+    /// never carry block reports, so without this sync a revived DataNode
+    /// holds blocks the NameNode no longer maps to it.
+    fn restart_daemons(&mut self) {
+        self.cluster.restart_dead_trackers();
+        if !self.cluster.jobtracker.alive {
+            self.cluster.restart_jobtracker();
+        }
+        for node in self.cluster.dfs.datanode_ids() {
+            if let Some(dn) = self.cluster.dfs.datanode_mut(node) {
+                if !dn.alive {
+                    dn.restart();
+                }
+            }
+        }
+        self.sync_block_reports();
+    }
+
+    fn sync_block_reports(&mut self) {
+        let now = self.cluster.now;
+        for node in self.cluster.dfs.datanode_ids() {
+            let Some((free, report)) = self
+                .cluster
+                .dfs
+                .datanode(node)
+                .filter(|d| d.alive)
+                .map(|d| (d.free_bytes(), d.block_report()))
+            else {
+                continue;
+            };
+            self.cluster.dfs.namenode.heartbeat(now, node, free);
+            self.cluster.dfs.namenode.process_block_report(now, node, &report);
+        }
+    }
+
+    // ----------------------------------------------------------- teardown
+
+    fn finish(mut self) -> ChaosReport {
+        let now = self.cluster.now;
+        self.cluster.log.log(now, "chaos", "--- teardown ---");
+        // End-of-session operator pass: revive everything, run each
+        // DataNode's integrity scan to quarantine lingering bit-rot, and
+        // sync the surviving block map.
+        self.restart_daemons();
+        for node in self.cluster.dfs.datanode_ids() {
+            if let Some(dn) = self.cluster.dfs.datanode_mut(node) {
+                dn.scan_blocks();
+            }
+        }
+        self.sync_block_reports();
+
+        oracle::verify_durability(&mut self);
+        oracle::quiesce_replication(&mut self);
+        oracle::verify_ports(&mut self);
+        oracle::verify_accounting(&mut self);
+
+        // The replay fingerprint covers both event logs plus the exact
+        // corruption set.
+        let mut trace = self.cluster.log.to_string();
+        trace.push_str(&self.campus.log.to_string());
+        use std::fmt::Write as _;
+        let _ = writeln!(trace, "corruptions: {:?}", self.corruptions);
+        let trace_hash = fnv1a(trace.as_bytes());
+
+        ChaosReport {
+            pack: self.pack,
+            seed: self.plan.seed,
+            planned: self.plan.len(),
+            injected: self.injected,
+            jobs_ok: self.jobs_ok,
+            jobs_failed: self.jobs_failed,
+            corruptions: self.corruptions,
+            trace_hash,
+            trace,
+            violations: self.violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_runs_clean() {
+        // An empty fault plan is the control group: jobs must succeed,
+        // oracles must stay silent.
+        let mut runner = ChaosRunner::new(ScenarioPack::Meltdown, 7).unwrap();
+        runner.plan.faults.clear();
+        for round in 0..runner.plan.rounds {
+            runner.round(round);
+        }
+        let report = runner.finish();
+        assert!(report.ok(), "control run violated: {:?}", report.violations);
+        assert_eq!(report.jobs_ok, 4);
+        assert_eq!(report.jobs_failed, 0);
+        assert_eq!(report.injected, 0);
+    }
+
+    #[test]
+    fn ghost_injection_blocks_rebind_until_cron() {
+        let mut runner = ChaosRunner::new(ScenarioPack::GhostPorts, 3).unwrap();
+        runner.ghost_daemon(NodeId(1), 50_100);
+        assert_eq!(runner.campus.ports.ghosts_on(NodeId(1)), 1);
+        assert!(runner.violations.is_empty(), "{:?}", runner.violations);
+        // The teardown oracle sweeps it.
+        oracle::verify_ports(&mut runner);
+        assert!(runner.violations.is_empty(), "{:?}", runner.violations);
+        assert!(runner.campus.ports.is_empty());
+    }
+
+    #[test]
+    fn corrupt_block_records_offset_and_flips_disk() {
+        let mut runner = ChaosRunner::new(ScenarioPack::BitRot, 11).unwrap();
+        runner.corrupt_block(5);
+        assert_eq!(runner.corruptions.len(), 1);
+        let (block, _offset) = runner.corruptions[0];
+        // The corrupt replica fails its checksum on direct read.
+        let id = hl_dfs::BlockId(block);
+        let bad = runner
+            .cluster
+            .dfs
+            .datanode_ids()
+            .into_iter()
+            .filter_map(|n| runner.cluster.dfs.datanode(n))
+            .filter(|d| d.has_block(id))
+            .filter(|d| matches!(d.read_block(id), Err(HlError::ChecksumMismatch { .. })))
+            .count();
+        assert_eq!(bad, 1, "exactly one replica rotted");
+    }
+}

@@ -1,0 +1,231 @@
+//! Scenario packs: named families of fault plans.
+//!
+//! Each pack is a *distribution* over [`FaultPlan`]s, sampled by seed.
+//! The four packs replay the paper's four operational war stories:
+//!
+//! * **meltdown** — heap-leaking student jobs OOM TaskTrackers and their
+//!   colocated DataNodes (Section II-A, Fall 2012);
+//! * **restart-drill** — the NameNode bounces mid-semester and the whole
+//!   cluster sits in safe mode counting block reports;
+//! * **bit-rot** — replicas silently corrupt on disk and the checksum /
+//!   scanner / re-replication machinery has to notice;
+//! * **ghost-ports** — departed sessions leave daemons squatting on the
+//!   Hadoop ports until the campus cleanup cron sweeps them.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use hl_cluster::failure::DaemonKind;
+use hl_common::prelude::*;
+use hl_common::units::ByteSize;
+
+use crate::plan::{Fault, FaultPlan, PlannedFault};
+
+/// Number of worker nodes every chaos cluster runs (small enough to soak
+/// hundreds of seeds, large enough that 3× replication has slack).
+pub const NODES: u32 = 5;
+
+/// Workload rounds per run.
+pub const ROUNDS: u32 = 4;
+
+/// The four scenario packs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioPack {
+    /// Heap-leak cascade: TaskTracker + DataNode OOM crashes mid-job.
+    Meltdown,
+    /// NameNode crash + journal recovery + safe-mode exit, plus daemon
+    /// kills around it.
+    RestartDrill,
+    /// Seeded replica corruption against the checksum paths.
+    BitRot,
+    /// Ghost daemons squatting ports across session boundaries.
+    GhostPorts,
+}
+
+impl ScenarioPack {
+    /// All packs, soak order.
+    pub const ALL: [ScenarioPack; 4] = [
+        ScenarioPack::Meltdown,
+        ScenarioPack::RestartDrill,
+        ScenarioPack::BitRot,
+        ScenarioPack::GhostPorts,
+    ];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioPack::Meltdown => "meltdown",
+            ScenarioPack::RestartDrill => "restart-drill",
+            ScenarioPack::BitRot => "bit-rot",
+            ScenarioPack::GhostPorts => "ghost-ports",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Sample this pack's fault plan for `seed`. Same seed, same plan —
+    /// the schedule is a pure function of `(pack, seed)`.
+    pub fn plan(self, seed: u64) -> FaultPlan {
+        // Domain-separate the stream per pack so seed N draws different
+        // schedules across packs.
+        let salt = match self {
+            ScenarioPack::Meltdown => 0x4d45,
+            ScenarioPack::RestartDrill => 0x5244,
+            ScenarioPack::BitRot => 0x4252,
+            ScenarioPack::GhostPorts => 0x4750,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (salt << 32));
+        let mut faults = Vec::new();
+        let node = |rng: &mut ChaCha8Rng| NodeId(rng.gen_range(0..NODES));
+
+        match self {
+            ScenarioPack::Meltdown => {
+                // A leak rate between 128 and 320 MiB/task crashes a
+                // 1 GiB-heap daemon after 3–7 buggy tasks.
+                let rate = rng.gen_range(128..=320) * ByteSize::MIB;
+                faults.push(PlannedFault { at: 0, fault: Fault::HeapLeak { rate } });
+                if rng.gen_bool(0.5) {
+                    faults.push(PlannedFault { at: 1, fault: Fault::HeapLeak { rate } });
+                }
+                if rng.gen_bool(0.4) {
+                    faults.push(PlannedFault {
+                        at: 1,
+                        fault: Fault::SlowNode {
+                            node: node(&mut rng),
+                            factor_pct: rng.gen_range(300..=1200),
+                        },
+                    });
+                }
+                faults.push(PlannedFault { at: 2, fault: Fault::RestartDaemons });
+            }
+            ScenarioPack::RestartDrill => {
+                faults.push(PlannedFault {
+                    at: 0,
+                    fault: Fault::KillDaemon { kind: DaemonKind::DataNode, node: node(&mut rng) },
+                });
+                if rng.gen_bool(0.5) {
+                    faults.push(PlannedFault {
+                        at: 1,
+                        fault: Fault::KillDaemon {
+                            kind: DaemonKind::TaskTracker,
+                            node: node(&mut rng),
+                        },
+                    });
+                }
+                faults.push(PlannedFault { at: 1, fault: Fault::RestartNameNode });
+                if rng.gen_bool(0.3) {
+                    faults.push(PlannedFault {
+                        at: 2,
+                        fault: Fault::KillDaemon { kind: DaemonKind::JobTracker, node: NodeId(0) },
+                    });
+                }
+                faults.push(PlannedFault { at: 3, fault: Fault::RestartDaemons });
+            }
+            ScenarioPack::BitRot => {
+                for _ in 0..rng.gen_range(2..=4u32) {
+                    faults.push(PlannedFault {
+                        at: rng.gen_range(0..ROUNDS.saturating_sub(1)),
+                        fault: Fault::CorruptBlock { victim: rng.gen_range(0..u64::MAX) },
+                    });
+                }
+                if rng.gen_bool(0.4) {
+                    faults.push(PlannedFault {
+                        at: 2,
+                        fault: Fault::KillDaemon { kind: DaemonKind::DataNode, node: node(&mut rng) },
+                    });
+                }
+                faults.push(PlannedFault { at: ROUNDS - 1, fault: Fault::RestartDaemons });
+            }
+            ScenarioPack::GhostPorts => {
+                for _ in 0..rng.gen_range(2..=4u32) {
+                    // Squat ports outside the runner's own well-known set
+                    // (those are held, live, by the session itself).
+                    let port = 50_100 + rng.gen_range(0..8u16);
+                    faults.push(PlannedFault {
+                        at: rng.gen_range(0..ROUNDS),
+                        fault: Fault::GhostDaemon { node: node(&mut rng), port },
+                    });
+                }
+                if rng.gen_bool(0.5) {
+                    faults.push(PlannedFault {
+                        at: 1,
+                        fault: Fault::KillDaemon {
+                            kind: DaemonKind::TaskTracker,
+                            node: node(&mut rng),
+                        },
+                    });
+                }
+                faults.push(PlannedFault { at: 2, fault: Fault::RestartDaemons });
+            }
+        }
+
+        // Keep the schedule in (round, generation) order so injection
+        // order is stable and readable in traces.
+        faults.sort_by_key(|p| p.at);
+        FaultPlan { seed, rounds: ROUNDS, faults }
+    }
+}
+
+impl std::fmt::Display for ScenarioPack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_pack_and_seed() {
+        for pack in ScenarioPack::ALL {
+            assert_eq!(pack.plan(42), pack.plan(42), "{pack} must be deterministic");
+            assert!(!pack.plan(42).is_empty());
+            assert_eq!(pack.plan(42).rounds, ROUNDS);
+        }
+        // Packs draw different schedules from the same seed.
+        assert_ne!(
+            ScenarioPack::Meltdown.plan(42).faults,
+            ScenarioPack::RestartDrill.plan(42).faults
+        );
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for pack in ScenarioPack::ALL {
+            assert_eq!(ScenarioPack::from_name(pack.name()), Some(pack));
+        }
+        assert_eq!(ScenarioPack::from_name("nope"), None);
+    }
+
+    #[test]
+    fn pack_shapes() {
+        // Every meltdown plan leaks; every bit-rot plan corrupts; every
+        // ghost-ports plan squats; every restart drill bounces the NN.
+        for seed in 0..50 {
+            assert!(ScenarioPack::Meltdown
+                .plan(seed)
+                .faults
+                .iter()
+                .any(|p| matches!(p.fault, Fault::HeapLeak { .. })));
+            assert!(ScenarioPack::BitRot
+                .plan(seed)
+                .faults
+                .iter()
+                .any(|p| matches!(p.fault, Fault::CorruptBlock { .. })));
+            assert!(ScenarioPack::GhostPorts
+                .plan(seed)
+                .faults
+                .iter()
+                .any(|p| matches!(p.fault, Fault::GhostDaemon { .. })));
+            assert!(ScenarioPack::RestartDrill
+                .plan(seed)
+                .faults
+                .iter()
+                .any(|p| matches!(p.fault, Fault::RestartNameNode)));
+        }
+    }
+}

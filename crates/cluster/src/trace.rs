@@ -40,14 +40,32 @@ impl EventLog {
     }
 
     /// Append a line.
+    ///
+    /// Disabled logs return before allocating anything, but the caller has
+    /// usually already paid to build the message (a `format!` argument is
+    /// evaluated before the call). Hot paths should prefer
+    /// [`EventLog::log_with`], which defers that construction too.
+    #[inline]
     pub fn log(&mut self, at: SimTime, source: &str, message: impl fmt::Display) {
-        if self.enabled {
-            self.entries.push(TraceEntry {
-                at,
-                source: source.to_string(),
-                message: message.to_string(),
-            });
+        if !self.enabled {
+            return;
         }
+        self.entries.push(TraceEntry {
+            at,
+            source: source.to_string(),
+            message: message.to_string(),
+        });
+    }
+
+    /// Append a line with a lazily-built message: `message` is only invoked
+    /// when the log is enabled, so a disabled log costs one branch even
+    /// where the message would be an expensive `format!`.
+    #[inline]
+    pub fn log_with(&mut self, at: SimTime, source: &str, message: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        self.entries.push(TraceEntry { at, source: source.to_string(), message: message() });
     }
 
     /// All entries in append order (timestamps are monotone because the
@@ -111,6 +129,24 @@ mod tests {
         let mut log = EventLog::disabled();
         log.log(SimTime::ZERO, "x", "y");
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn disabled_log_never_builds_lazy_messages() {
+        let mut log = EventLog::disabled();
+        let mut built = false;
+        log.log_with(SimTime::ZERO, "x", || {
+            built = true;
+            "expensive".to_string()
+        });
+        assert!(!built, "disabled log must not evaluate the message closure");
+        assert!(log.is_empty());
+
+        log.enabled = true;
+        log.log_with(SimTime(3), "y", || "cheap now".to_string());
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.entries()[0].message, "cheap now");
+        assert_eq!(log.entries()[0].at, SimTime(3));
     }
 
     #[test]

@@ -265,14 +265,19 @@ impl Dfs {
         Ok(Timed { value: out, completed_at: t })
     }
 
-    /// Raw bytes of a block from any live replica, **uncharged and
-    /// unverified** — used only by the MapReduce record reader to stitch
-    /// the line that crosses a split boundary (a few bytes; the real read
-    /// of the block is charged normally).
+    /// Raw bytes of a block from any live replica, **uncharged** — used
+    /// only by the MapReduce record reader to stitch the line that crosses
+    /// a split boundary (a few bytes; the real read of the block is
+    /// charged normally). Replicas that fail their checksums are skipped:
+    /// serving rotted bytes here would feed a mapper corrupt input without
+    /// any fault being raised (found by the chaos harness' ground-truth
+    /// oracle).
     pub fn peek_block_bytes(&self, id: BlockId) -> Option<Bytes> {
         for (_, dn) in self.datanodes.iter().filter(|(_, d)| d.alive) {
-            if let Some(crate::block::BlockPayload::Real { data, .. }) = dn.payload(id) {
-                return Some(data.clone());
+            if let Some(crate::block::BlockPayload::Real { data, checksums }) = dn.payload(id) {
+                if checksums.verify(data).is_none() {
+                    return Some(data.clone());
+                }
             }
         }
         None

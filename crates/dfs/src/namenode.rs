@@ -123,6 +123,18 @@ impl NameNode {
         self.blocks.get(&id)
     }
 
+    /// Compact manifest of the whole block map — `(block, len,
+    /// expected_replication)` in id order. Location-independent, so a
+    /// pre-crash manifest can be compared against a journal-recovered
+    /// NameNode whose replica locations are still empty (the chaos
+    /// harness's crash-recovery oracle).
+    pub fn block_manifest(&self) -> Vec<(BlockId, u64, u32)> {
+        self.blocks
+            .iter()
+            .map(|(&id, b)| (id, b.len, b.expected_replication))
+            .collect()
+    }
+
     /// Live replica locations of a block (empty when missing).
     pub fn block_locations(&self, id: BlockId) -> Vec<NodeId> {
         self.blocks

@@ -4,7 +4,7 @@
 //! |----|----------------------|-----------------------------------------------|
 //! | R1 | panic-free-daemons   | dfs, cluster, provision, mapreduce::engine    |
 //! | R2 | sim-time             | sim-facing crates (dfs, cluster, mapreduce,   |
-//! |    |                      | provision, hbase, core)                        |
+//! |    |                      | provision, hbase, core, chaos)                 |
 //! | R3 | lossless-casts       | sortbuf / merge / block hot paths             |
 //! | R4 | writable-manifest    | whole workspace (`impl Writable` headers)     |
 //! | R5 | counters-hygiene     | whole workspace (`incr*(.., 0)` call-sites)   |
@@ -111,7 +111,8 @@ pub fn rules_for_path(path: &str) -> Vec<RuleId> {
         || path.starts_with("crates/mapreduce/src/")
         || path.starts_with("crates/provision/src/")
         || path.starts_with("crates/hbase/src/")
-        || path.starts_with("crates/core/src/");
+        || path.starts_with("crates/core/src/")
+        || path.starts_with("crates/chaos/src/");
     if sim_facing {
         rules.push(RuleId::R2);
     }

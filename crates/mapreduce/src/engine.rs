@@ -141,6 +141,43 @@ impl MrCluster {
         self.trackers.get(&node)
     }
 
+    /// Mutable tracker state (fault injection tunes heap models).
+    pub fn tracker_mut(&mut self, node: NodeId) -> Option<&mut Tracker> {
+        self.trackers.get_mut(&node)
+    }
+
+    /// Kill one TaskTracker daemon outright (`kill -9` on the JVM): its
+    /// slots leave the pool until a restart. The colocated DataNode is
+    /// untouched — crash that separately via [`Dfs::crash_datanode`].
+    /// Returns `false` when the tracker was already dead or unknown.
+    ///
+    /// [`Dfs::crash_datanode`]: hl_dfs::client::Dfs::crash_datanode
+    pub fn crash_tracker(&mut self, node: NodeId) -> bool {
+        match self.trackers.get_mut(&node) {
+            Some(t) if t.health.alive => {
+                t.health.alive = false;
+                t.health.crashes += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Kill the JobTracker daemon; every submission fails with
+    /// [`HlError::DaemonDown`] until [`MrCluster::restart_jobtracker`].
+    pub fn crash_jobtracker(&mut self) {
+        if self.jobtracker.alive {
+            self.jobtracker.alive = false;
+            self.jobtracker.crashes += 1;
+        }
+    }
+
+    /// Restart the JobTracker at the cluster's current virtual time.
+    pub fn restart_jobtracker(&mut self) {
+        let now = self.now;
+        self.jobtracker.restart(now);
+    }
+
     /// Restart every dead TaskTracker (and its colocated DataNode daemon).
     pub fn restart_dead_trackers(&mut self) {
         let now = self.now;
@@ -231,7 +268,8 @@ impl MrCluster {
         let job_id = format!("job_{:04}", self.next_job_id);
         self.next_job_id += 1;
         let submitted_at = self.now;
-        self.log.log(submitted_at, "jobtracker", format!("{job_id} ({}) submitted", job.conf.name));
+        self.log
+            .log_with(submitted_at, "jobtracker", || format!("{job_id} ({}) submitted", job.conf.name));
 
         self.dfs.namenode.mkdirs(&job.conf.output_path)?;
         let splits = compute_splits(&self.dfs, &job.conf.input_paths)?;
@@ -241,11 +279,9 @@ impl MrCluster {
             Ok(report) => {
                 self.now = report.finished_at;
                 self.history.record(&report);
-                self.log.log(
-                    self.now,
-                    "jobtracker",
-                    format!("{job_id} completed in {}", report.elapsed()),
-                );
+                let (now, elapsed) = (self.now, report.elapsed());
+                self.log
+                    .log_with(now, "jobtracker", || format!("{job_id} completed in {elapsed}"));
                 Ok(report)
             }
             Err(e) => {
@@ -254,7 +290,8 @@ impl MrCluster {
                 let cmds = self.dfs.namenode.delete(&job.conf.output_path, true).unwrap_or_default();
                 let now = self.now;
                 self.dfs.apply_commands(&mut self.net, now, &cmds);
-                self.log.log(self.now, "jobtracker", format!("{job_id} FAILED: {e}"));
+                let now = self.now;
+                self.log.log_with(now, "jobtracker", || format!("{job_id} FAILED: {e}"));
                 Err(e)
             }
         }
@@ -340,13 +377,11 @@ impl MrCluster {
                         break;
                     }
                     Err(e) => {
-                        self.log.log(
-                            start,
-                            "jobtracker",
+                        self.log.log_with(start, "jobtracker", || {
                             format!(
                                 "{job_id} m_{split_idx:05} attempt {attempts} failed on {node}: {e}"
-                            ),
-                        );
+                            )
+                        });
                         if attempts >= job.conf.max_attempts {
                             return Err(HlError::JobFailed(format!(
                                 "{job_id}: task m_{split_idx:05} failed {attempts} attempts: {e}"
@@ -551,20 +586,41 @@ impl MrCluster {
             .iter()
             .position(|(b, _, _)| *b == split.block)
             .ok_or_else(|| HlError::Internal("split block vanished".into()))?;
+        // Peek is free but refuses checksum-failing replicas; when every
+        // clean replica is gone, fall back to the charged, verified read
+        // path, which quarantines the rot and errors honestly (a silent
+        // break here would truncate the boundary line and corrupt output).
         let prev_byte = if my_pos == 0 {
             None
         } else {
-            self.dfs
-                .peek_block_bytes(file_blocks[my_pos - 1].0)
-                .and_then(|b| b.last().copied())
+            let prev = file_blocks[my_pos - 1].0;
+            match self.dfs.peek_block_bytes(prev) {
+                Some(b) => b.last().copied(),
+                None => {
+                    let got = self.dfs.read_block(&mut self.net, t, prev, Some(node), &split.path)?;
+                    t = got.completed_at;
+                    got.value.last().copied()
+                }
+            }
         };
         let mut data = block_bytes.to_vec();
         let mut next = my_pos + 1;
         while !data[split.len as usize..].contains(&b'\n') && next < file_blocks.len() {
-            match self.dfs.peek_block_bytes(file_blocks[next].0) {
-                Some(b) => data.extend_from_slice(&b),
-                None => break,
-            }
+            let bytes = match self.dfs.peek_block_bytes(file_blocks[next].0) {
+                Some(b) => b,
+                None => {
+                    let got = self.dfs.read_block(
+                        &mut self.net,
+                        t,
+                        file_blocks[next].0,
+                        Some(node),
+                        &split.path,
+                    )?;
+                    t = got.completed_at;
+                    got.value
+                }
+            };
+            data.extend_from_slice(&bytes);
             next += 1;
         }
 

@@ -19,6 +19,7 @@
 //! * [`workloads`] — the lecture examples and assignment solutions
 //! * [`provision`] — the myHadoop-style dynamic cluster provisioner
 //! * [`core`] — experiment drivers for every table/figure + course model
+//! * [`chaos`] — deterministic fault-injection harness + invariant oracles
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@
 //! # }
 //! ```
 
+pub use hl_chaos as chaos;
 pub use hl_cluster as cluster;
 pub use hl_common as common;
 pub use hl_core as core;
