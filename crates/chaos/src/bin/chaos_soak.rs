@@ -30,7 +30,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: chaos-soak [--seeds N | --seeds A..B] [--pack NAME] [--replay SEED] [--verify-trace]"
     );
-    eprintln!("packs: meltdown restart-drill bit-rot ghost-ports");
+    eprintln!("packs: meltdown restart-drill bit-rot ghost-ports write-storm");
     ExitCode::from(2)
 }
 

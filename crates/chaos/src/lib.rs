@@ -13,7 +13,9 @@
 //!   fail cleanly with attempts exhausted;
 //! * re-replication quiesces with nothing under-replicated;
 //! * no port stays ghost-bound after teardown plus one cleanup-cron pass;
-//! * the trace and counters account for every injected fault.
+//! * the trace and counters account for every injected fault;
+//! * files left open by crashed writers are lease-recovered to consistent,
+//!   CRC-valid whole-block lengths.
 //!
 //! Everything is a pure function of `(pack, seed)`: the same seed
 //! reproduces the identical event trace, hash-comparable via

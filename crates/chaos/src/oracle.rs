@@ -17,6 +17,10 @@
 //! 5. **accounting** — the trace and the `Chaos` counter group account
 //!    for every planned fault: nothing injected silently, nothing
 //!    double-counted.
+//! 6. **lease-recovery** — every file opened by a crashed writer is
+//!    eventually lease-recovered: closed at a consistent whole-block
+//!    length that reads back as a CRC-valid prefix of what the writer
+//!    sent, with no lease left behind.
 
 use std::collections::BTreeMap;
 
@@ -115,6 +119,107 @@ pub(crate) fn verify_durability(r: &mut ChaosRunner) {
         }
         Err(e) => r.violate("durability", format!("fsck itself failed: {e}")),
     }
+}
+
+/// Oracle 6: every file a crashed writer left open must be lease-recovered
+/// once the lease monitor has had time to run — closed at a consistent
+/// whole-block length that reads back as a CRC-valid prefix of the bytes
+/// the writer sent, with no lease outstanding. A NameNode stuck in safe
+/// mode over genuinely missing blocks is excused (the lease monitor
+/// legitimately idles there; oracle 3 audits that end state).
+pub(crate) fn verify_lease_recovery(r: &mut ChaosRunner) {
+    if r.cluster.dfs.namenode.safemode.is_on() {
+        if !r.cluster.dfs.namenode.missing_blocks().is_empty() {
+            let now = r.cluster.now;
+            r.cluster.log.log(
+                now,
+                "chaos",
+                "stuck in safe mode over missing blocks; lease recovery cannot run",
+            );
+        }
+        return;
+    }
+    // Drive the protocol until every lease is recovered: 150 heartbeat
+    // rounds × 3 s comfortably clears the 300 s hard limit even for a
+    // writer that crashed moments before teardown.
+    let mut t = r.cluster.now;
+    for _ in 0..150 {
+        if r.cluster.dfs.namenode.open_files().is_empty() {
+            break;
+        }
+        t += SimDuration::from_secs(3);
+        r.cluster.dfs.heartbeat_round(&mut r.cluster.net, t);
+    }
+    r.cluster.now = t;
+    let stuck: Vec<String> = r
+        .cluster
+        .dfs
+        .namenode
+        .open_files()
+        .iter()
+        .map(|l| {
+            format!(
+                "{} still open for write (holder {}, state {}) after quiesce",
+                l.path, l.holder, l.state
+            )
+        })
+        .collect();
+    for detail in stuck {
+        r.violate("lease-recovery", detail);
+    }
+    let block_size = r.cluster.dfs.namenode.default_block_size();
+    let open_writers = std::mem::take(&mut r.open_writers);
+    for (path, intended) in &open_writers {
+        let meta = match r.cluster.dfs.namenode.namespace().file(path) {
+            Ok(f) => (f.complete, f.len),
+            Err(e) => {
+                r.violate("lease-recovery", format!("{path}: vanished during recovery: {e}"));
+                continue;
+            }
+        };
+        let (complete, len) = meta;
+        if !complete {
+            r.violate("lease-recovery", format!("{path}: never finalized (len {len})"));
+            continue;
+        }
+        // The recovered length must be a whole-block prefix of the write:
+        // pipelines confirm block-at-a-time, so any other length means the
+        // NameNode kept a block no DataNode ever finished ingesting.
+        if len > intended.len() as u64 || !len.is_multiple_of(block_size) {
+            r.violate(
+                "lease-recovery",
+                format!(
+                    "{path}: recovered to {len} bytes, not a whole-block prefix of {}",
+                    intended.len()
+                ),
+            );
+            continue;
+        }
+        let now = r.cluster.now;
+        match r.cluster.dfs.read(&mut r.cluster.net, now, path, None) {
+            Ok(t) => {
+                r.cluster.now = t.completed_at;
+                let want = &intended[..len as usize];
+                if t.value != want {
+                    r.violate(
+                        "lease-recovery",
+                        format!("{path}: recovered bytes differ from the writer's prefix"),
+                    );
+                } else {
+                    let at = r.cluster.now;
+                    r.cluster.log.log(
+                        at,
+                        "chaos",
+                        format!("{path} lease-recovered to {len} consistent byte(s)"),
+                    );
+                }
+            }
+            Err(e) => {
+                r.violate("lease-recovery", format!("{path}: unreadable after recovery: {e}"))
+            }
+        }
+    }
+    r.open_writers = open_writers;
 }
 
 /// Oracle 3: with every daemon revived and block reports synced, drive

@@ -61,6 +61,29 @@ pub enum Fault {
     /// JobTracker, then sync block reports so the NameNode re-learns
     /// which replicas survived on disk.
     RestartDaemons,
+    /// Arm the write path, then write a fresh multi-block file: the
+    /// DataNode receiving replica store number `after_stores` crashes the
+    /// instant the bytes land, forcing client pipeline recovery and
+    /// leaving a stale-genstamp replica for block reports to invalidate.
+    KillPipelineDatanode {
+        /// Zero-based replica-store index (across the whole write, in
+        /// pipeline order) whose target dies.
+        after_stores: u32,
+    },
+    /// Arm the write path, then write a file whose writing client dies
+    /// after `after_blocks` complete blocks — the file stays open under
+    /// its lease until the NameNode's lease recovery finalizes it.
+    WriterCrash {
+        /// Blocks fully pipelined before the writer vanishes.
+        after_blocks: u32,
+    },
+    /// Arm the write path, then write a file where replica store number
+    /// `after_stores` succeeds but its ack never comes back: the client
+    /// excludes a perfectly live DataNode and its replica goes stale.
+    SlowPipelineAck {
+        /// Zero-based replica-store index whose ack times out.
+        after_stores: u32,
+    },
 }
 
 impl Fault {
@@ -75,6 +98,9 @@ impl Fault {
             Fault::RestartNameNode => "RestartNameNode",
             Fault::SlowNode { .. } => "SlowNode",
             Fault::RestartDaemons => "RestartDaemons",
+            Fault::KillPipelineDatanode { .. } => "KillPipelineDatanode",
+            Fault::WriterCrash { .. } => "WriterCrash",
+            Fault::SlowPipelineAck { .. } => "SlowPipelineAck",
         }
     }
 }
@@ -91,6 +117,15 @@ impl std::fmt::Display for Fault {
                 write!(f, "SlowNode({node} at {factor_pct}%)")
             }
             Fault::RestartDaemons => write!(f, "RestartDaemons"),
+            Fault::KillPipelineDatanode { after_stores } => {
+                write!(f, "KillPipelineDatanode(store {after_stores})")
+            }
+            Fault::WriterCrash { after_blocks } => {
+                write!(f, "WriterCrash(after {after_blocks} block(s))")
+            }
+            Fault::SlowPipelineAck { after_stores } => {
+                write!(f, "SlowPipelineAck(store {after_stores})")
+            }
         }
     }
 }
@@ -142,6 +177,18 @@ impl Writable for Fault {
                 write_vu64(*factor_pct as u64, buf);
             }
             Fault::RestartDaemons => buf.push(6),
+            Fault::KillPipelineDatanode { after_stores } => {
+                buf.push(7);
+                write_vu64(*after_stores as u64, buf);
+            }
+            Fault::WriterCrash { after_blocks } => {
+                buf.push(8);
+                write_vu64(*after_blocks as u64, buf);
+            }
+            Fault::SlowPipelineAck { after_stores } => {
+                buf.push(9);
+                write_vu64(*after_stores as u64, buf);
+            }
         }
     }
 
@@ -164,6 +211,9 @@ impl Writable for Fault {
                 factor_pct: read_narrow(buf, "slow factor")?,
             },
             6 => Fault::RestartDaemons,
+            7 => Fault::KillPipelineDatanode { after_stores: read_narrow(buf, "store index")? },
+            8 => Fault::WriterCrash { after_blocks: read_narrow(buf, "block count")? },
+            9 => Fault::SlowPipelineAck { after_stores: read_narrow(buf, "store index")? },
             t => return Err(HlError::Codec(format!("unknown fault tag {t}"))),
         })
     }
@@ -257,6 +307,10 @@ mod tests {
             Fault::RestartNameNode,
             Fault::SlowNode { node: NodeId(2), factor_pct: 800 },
             Fault::RestartDaemons,
+            Fault::KillPipelineDatanode { after_stores: 0 },
+            Fault::KillPipelineDatanode { after_stores: u32::MAX },
+            Fault::WriterCrash { after_blocks: 3 },
+            Fault::SlowPipelineAck { after_stores: 11 },
         ];
         for f in &faults {
             assert_eq!(&Fault::from_bytes(&f.to_bytes()).unwrap(), f);

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use hl_cluster::failure::{BitRot, DaemonKind};
@@ -18,7 +18,7 @@ use hl_cluster::ports::well_known;
 use hl_common::config::keys;
 use hl_common::prelude::*;
 use hl_datagen::CorpusGen;
-use hl_dfs::BlockPayload;
+use hl_dfs::{BlockPayload, PipelineFault};
 use hl_mapreduce::api::{Combiner, Mapper, Reducer, SideFiles};
 use hl_mapreduce::local::LocalRunner;
 use hl_mapreduce::{Job, MrCluster};
@@ -122,6 +122,10 @@ pub struct ChaosRunner {
     rot: BitRot,
     truth: BTreeMap<String, u64>,
     pub(crate) acked: Vec<AckedWrite>,
+    /// Files whose writer died mid-write: `(path, bytes the writer meant
+    /// to put)`. The lease-recovery oracle holds each to a consistent,
+    /// CRC-valid whole-block prefix of those bytes.
+    pub(crate) open_writers: Vec<(String, Vec<u8>)>,
     pub(crate) corruptions: Vec<(u64, usize)>,
     pub(crate) counters: Counters,
     pub(crate) violations: Vec<Violation>,
@@ -131,6 +135,7 @@ pub struct ChaosRunner {
     jobs_failed: u32,
     pending_leak: Option<u64>,
     ghost_seq: u32,
+    storm_seq: u32,
 }
 
 impl ChaosRunner {
@@ -155,6 +160,9 @@ impl ChaosRunner {
         config.set(keys::DFS_BLOCK_SIZE, 2048u64);
         config.set(keys::DFS_HEARTBEAT_DEAD_AFTER, 20u64);
         let mut cluster = MrCluster::new(spec, config)?;
+        // The client's read-failover jitter stream is per-run: same seed,
+        // same backoff spread, byte-identical traces.
+        cluster.dfs.set_client_seed(seed ^ 0x444643); // "DFC"
 
         // The session binds its daemons' ports, like a student's myHadoop
         // start-up script.
@@ -197,6 +205,7 @@ impl ChaosRunner {
             rot: BitRot::new(seed, 1.0),
             truth,
             acked,
+            open_writers: Vec::new(),
             corruptions: Vec::new(),
             counters: Counters::new(),
             violations: Vec::new(),
@@ -206,6 +215,7 @@ impl ChaosRunner {
             jobs_failed: 0,
             pending_leak: None,
             ghost_seq: 0,
+            storm_seq: 0,
         };
         if runner.truth != expected {
             runner.violate(
@@ -350,6 +360,56 @@ impl ChaosRunner {
                 self.cluster.set_slow_node(node, f64::from(factor_pct) / 100.0);
             }
             Fault::RestartDaemons => self.restart_daemons(),
+            Fault::KillPipelineDatanode { after_stores } => {
+                self.storm_write(PipelineFault::KillTarget { after_stores })
+            }
+            Fault::WriterCrash { after_blocks } => {
+                self.storm_write(PipelineFault::CrashWriter { after_blocks })
+            }
+            Fault::SlowPipelineAck { after_stores } => {
+                self.storm_write(PipelineFault::SlowAck { after_stores })
+            }
+        }
+    }
+
+    /// Arm `fault` against the write path, then perform a fresh multi-block
+    /// write so it fires mid-pipeline. A surviving write becomes an
+    /// acknowledged write (the durability oracle holds it to full CRC); a
+    /// write whose client died leaves the file open under its lease, and
+    /// the lease-recovery oracle takes over from there.
+    fn storm_write(&mut self, fault: PipelineFault) {
+        let path = format!("/in/storm-{}.txt", self.storm_seq);
+        self.storm_seq += 1;
+        let blocks = self.rng.gen_range(3..=6u64);
+        let mut data = vec![0u8; (blocks * 2048) as usize];
+        self.rng.fill_bytes(&mut data);
+        let writer = NodeId(self.rng.gen_range(0..NODES));
+        self.cluster.dfs.arm_pipeline_fault(fault);
+        let now = self.cluster.now;
+        match self.cluster.dfs.put(&mut self.cluster.net, now, &path, &data, Some(writer)) {
+            Ok(t) => {
+                self.cluster.now = t.completed_at;
+                let at = t.completed_at;
+                self.cluster.log.log(
+                    at,
+                    "chaos",
+                    format!("storm write {path} survived the pipeline fault"),
+                );
+                self.acked.push(AckedWrite {
+                    path,
+                    len: data.len() as u64,
+                    crc: Crc32::checksum(&data),
+                });
+            }
+            Err(e) if oracle::is_clean_failure(&e) => {
+                self.cluster.log.log(now, "chaos", format!("storm write {path} died: {e}"));
+                if self.cluster.dfs.namenode.lease(&path).is_some() {
+                    // Writer (or whole pipeline) gone, file still open:
+                    // exactly the state lease recovery exists for.
+                    self.open_writers.push((path, data));
+                }
+            }
+            Err(e) => self.violate("clean-failure", format!("storm write {path} died uncleanly: {e}")),
         }
     }
 
@@ -521,6 +581,7 @@ impl ChaosRunner {
         }
         self.sync_block_reports();
 
+        oracle::verify_lease_recovery(&mut self);
         oracle::verify_durability(&mut self);
         oracle::quiesce_replication(&mut self);
         oracle::verify_ports(&mut self);

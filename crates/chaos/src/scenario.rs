@@ -10,7 +10,10 @@
 //! * **bit-rot** — replicas silently corrupt on disk and the checksum /
 //!   scanner / re-replication machinery has to notice;
 //! * **ghost-ports** — departed sessions leave daemons squatting on the
-//!   Hadoop ports until the campus cleanup cron sweeps them.
+//!   Hadoop ports until the campus cleanup cron sweeps them;
+//! * **write-storm** — DataNodes die and acks vanish *mid-write*, and
+//!   writing clients crash outright, driving pipeline recovery,
+//!   generation-stamp invalidation, and lease recovery.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -28,7 +31,7 @@ pub const NODES: u32 = 5;
 /// Workload rounds per run.
 pub const ROUNDS: u32 = 4;
 
-/// The four scenario packs.
+/// The five scenario packs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScenarioPack {
     /// Heap-leak cascade: TaskTracker + DataNode OOM crashes mid-job.
@@ -40,15 +43,19 @@ pub enum ScenarioPack {
     BitRot,
     /// Ghost daemons squatting ports across session boundaries.
     GhostPorts,
+    /// Mid-write mayhem: pipeline DataNode kills, lost acks, and crashed
+    /// writers against the write path's recovery machinery.
+    WriteStorm,
 }
 
 impl ScenarioPack {
     /// All packs, soak order.
-    pub const ALL: [ScenarioPack; 4] = [
+    pub const ALL: [ScenarioPack; 5] = [
         ScenarioPack::Meltdown,
         ScenarioPack::RestartDrill,
         ScenarioPack::BitRot,
         ScenarioPack::GhostPorts,
+        ScenarioPack::WriteStorm,
     ];
 
     /// CLI name.
@@ -58,6 +65,7 @@ impl ScenarioPack {
             ScenarioPack::RestartDrill => "restart-drill",
             ScenarioPack::BitRot => "bit-rot",
             ScenarioPack::GhostPorts => "ghost-ports",
+            ScenarioPack::WriteStorm => "write-storm",
         }
     }
 
@@ -76,6 +84,7 @@ impl ScenarioPack {
             ScenarioPack::RestartDrill => 0x5244,
             ScenarioPack::BitRot => 0x4252,
             ScenarioPack::GhostPorts => 0x4750,
+            ScenarioPack::WriteStorm => 0x5753,
         };
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (salt << 32));
         let mut faults = Vec::new();
@@ -160,6 +169,37 @@ impl ScenarioPack {
                 }
                 faults.push(PlannedFault { at: 2, fault: Fault::RestartDaemons });
             }
+            ScenarioPack::WriteStorm => {
+                // Every plan kills a pipeline DataNode mid-write: a storm
+                // write is 3–6 blocks × 3 replicas, so store indices under
+                // 9 always land inside the write.
+                faults.push(PlannedFault {
+                    at: 0,
+                    fault: Fault::KillPipelineDatanode { after_stores: rng.gen_range(0..9) },
+                });
+                // ...and crashes a writer so lease recovery has work to do.
+                faults.push(PlannedFault {
+                    at: rng.gen_range(0..2),
+                    fault: Fault::WriterCrash { after_blocks: rng.gen_range(0..4) },
+                });
+                if rng.gen_bool(0.6) {
+                    faults.push(PlannedFault {
+                        at: rng.gen_range(1..3),
+                        fault: Fault::SlowPipelineAck { after_stores: rng.gen_range(0..9) },
+                    });
+                }
+                if rng.gen_bool(0.4) {
+                    faults.push(PlannedFault {
+                        at: 2,
+                        fault: Fault::KillDaemon { kind: DaemonKind::DataNode, node: node(&mut rng) },
+                    });
+                }
+                // No RestartNameNode here: a crashed writer's unconfirmed
+                // trailing block would wedge safe mode forever, and the
+                // restart drill already owns that story. The operator pass
+                // revives pipeline-kill victims so replication can quiesce.
+                faults.push(PlannedFault { at: ROUNDS - 1, fault: Fault::RestartDaemons });
+            }
         }
 
         // Keep the schedule in (round, generation) order so injection
@@ -226,6 +266,19 @@ mod tests {
                 .faults
                 .iter()
                 .any(|p| matches!(p.fault, Fault::RestartNameNode)));
+            // Every write storm kills a pipeline DataNode AND crashes a
+            // writer, and never bounces the NameNode (a crashed writer's
+            // phantom block would wedge safe mode).
+            let storm = ScenarioPack::WriteStorm.plan(seed);
+            assert!(storm
+                .faults
+                .iter()
+                .any(|p| matches!(p.fault, Fault::KillPipelineDatanode { .. })));
+            assert!(storm.faults.iter().any(|p| matches!(p.fault, Fault::WriterCrash { .. })));
+            assert!(!storm.faults.iter().any(|p| matches!(
+                p.fault,
+                Fault::RestartNameNode | Fault::KillDaemon { kind: DaemonKind::NameNode, .. }
+            )));
         }
     }
 }

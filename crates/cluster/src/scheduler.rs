@@ -351,7 +351,7 @@ mod tests {
                         ids.push(id);
                     }
                     1 => {
-                        t = t + SimDuration::from_mins(mins);
+                        t += SimDuration::from_mins(mins);
                         let out = s.tick(t);
                         for r in out.started.iter() { ids.push(r.id); }
                     }
@@ -364,7 +364,7 @@ mod tests {
                         }
                     }
                     _ => {
-                        t = t + SimDuration::from_mins(mins * 30);
+                        t += SimDuration::from_mins(mins * 30);
                         s.tick(t);
                     }
                 }

@@ -41,6 +41,16 @@ pub mod keys {
     pub const MAPRED_SPECULATIVE: &str = "mapred.map.tasks.speculative.execution";
     /// Max attempts per task before the job fails (default 4).
     pub const MAPRED_MAX_ATTEMPTS: &str = "mapred.map.max.attempts";
+    /// Write-lease soft limit in seconds: past this another client may
+    /// recover the lease (HDFS hardcodes 60 s; we expose it for tests).
+    pub const DFS_LEASE_SOFT_LIMIT_SECS: &str = "dfs.lease.soft.limit";
+    /// Write-lease hard limit in seconds: past this the NameNode recovers
+    /// the lease on its own (HDFS hardcodes 1 h; default here 300 s).
+    pub const DFS_LEASE_HARD_LIMIT_SECS: &str = "dfs.lease.hard.limit";
+    /// Failed attempts on one TaskTracker before a job blacklists it.
+    pub const MAPRED_MAX_TRACKER_FAILURES: &str = "mapred.max.tracker.failures";
+    /// Per-job blacklistings before a TaskTracker is blacklisted globally.
+    pub const MAPRED_MAX_TRACKER_BLACKLISTS: &str = "mapred.max.tracker.blacklists";
 }
 
 /// An ordered string key/value configuration with typed accessors.
@@ -70,6 +80,10 @@ impl Configuration {
         c.set(keys::IO_SORT_BYTES, (100 * ByteSize::MIB).to_string());
         c.set(keys::MAPRED_SPECULATIVE, "true");
         c.set(keys::MAPRED_MAX_ATTEMPTS, "4");
+        c.set(keys::DFS_LEASE_SOFT_LIMIT_SECS, "60");
+        c.set(keys::DFS_LEASE_HARD_LIMIT_SECS, "300");
+        c.set(keys::MAPRED_MAX_TRACKER_FAILURES, "4");
+        c.set(keys::MAPRED_MAX_TRACKER_BLACKLISTS, "3");
         c
     }
 

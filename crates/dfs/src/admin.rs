@@ -194,8 +194,9 @@ pub fn balance(
         let candidate = src_dn
             .block_report()
             .into_iter()
-            .find(|(id, _)| dfs.datanode(dst.node).is_some_and(|dn| !dn.has_block(*id)));
-        let Some((block, len)) = candidate else { break };
+            .find(|r| dfs.datanode(dst.node).is_some_and(|dn| !dn.has_block(r.id)));
+        let Some(meta) = candidate else { break };
+        let (block, len) = (meta.id, meta.len);
 
         // Copy src -> dst, then drop the src replica.
         let Some(payload) = dfs.datanode(src.node).and_then(|dn| dn.payload(block)).cloned()
@@ -216,7 +217,7 @@ pub fn balance(
             Some(dn) => dn.block_report(),
             None => break,
         };
-        src_report.retain(|(id, _)| *id != block);
+        src_report.retain(|r| r.id != block);
         dfs.namenode.process_block_report(write.end, src.node, &src_report);
         if let Some(dn) = dfs.datanode_mut(src.node) {
             dn.delete_block(block);
@@ -246,14 +247,29 @@ pub fn decommission_node(
 ) -> Result<Timed> {
     dfs.namenode.start_decommission(node);
     let step = dfs.namenode.heartbeat_interval();
+    // Give the drain a generous virtual-time budget: the worst case is
+    // re-replicating the node's whole disk over the cluster fabric, so a
+    // day of simulated protocol is orders of magnitude more than enough.
+    let deadline = now + SimDuration::from_mins(24 * 60);
     let mut t = now;
-    let mut rounds = 0;
     while !dfs.namenode.decommission_complete(node) {
         t += step;
         dfs.heartbeat_round(net, t);
-        rounds += 1;
-        if rounds > 1_000_000 {
-            return Err(HlError::Internal(format!("decommission of {node} cannot converge")));
+        if t > deadline {
+            // Name the blocks that are stuck, not just the fact: the
+            // operator needs to know *what* cannot find a new home.
+            let stuck = dfs.namenode.decommission_stuck_blocks(node);
+            let mut listed: Vec<String> =
+                stuck.iter().take(8).map(|b| b.to_string()).collect();
+            if stuck.len() > listed.len() {
+                listed.push(format!("... {} more", stuck.len() - listed.len()));
+            }
+            return Err(HlError::Internal(format!(
+                "decommission of {node} stalled past {}: {} block(s) still pinned [{}]",
+                deadline,
+                stuck.len(),
+                listed.join(", ")
+            )));
         }
     }
     // Retire: the daemon stops and the operator removes the node from the

@@ -10,6 +10,7 @@ use bytes::Bytes;
 
 use hl_common::checksum::ChunkedChecksum;
 use hl_common::prelude::*;
+use hl_common::writable::{read_vu64, write_vu64};
 
 /// Globally unique block id, allocated by the NameNode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -23,6 +24,44 @@ impl std::fmt::Display for BlockId {
 
 /// Bytes-per-checksum, Hadoop's `io.bytes.per.checksum` default.
 pub const BYTES_PER_CHECKSUM: usize = 512;
+
+/// First generation stamp the NameNode hands out, mirroring HDFS's
+/// `GenerationStamp.FIRST_VALID_STAMP`. Pipeline recovery bumps allocate
+/// strictly increasing stamps above this, so a replica stamped below the
+/// NameNode's recorded stamp is provably stale.
+pub const FIRST_GEN_STAMP: u64 = 1000;
+
+/// What a DataNode tells the NameNode about one replica in a block report.
+///
+/// HDFS 1.x block reports carry `(blockId, numBytes, generationStamp)`
+/// triples; the generation stamp is how the NameNode spots replicas left
+/// behind by a pipeline that recovered without this DataNode (the stamp on
+/// disk is older than the stamp the recovered pipeline agreed on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaMeta {
+    /// Block identity.
+    pub id: BlockId,
+    /// Replica length in bytes.
+    pub len: u64,
+    /// Generation stamp the replica was written under.
+    pub gen_stamp: u64,
+}
+
+impl Writable for ReplicaMeta {
+    fn write(&self, buf: &mut Vec<u8>) {
+        write_vu64(self.id.0, buf);
+        write_vu64(self.len, buf);
+        write_vu64(self.gen_stamp, buf);
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(ReplicaMeta {
+            id: BlockId(read_vu64(buf)?),
+            len: read_vu64(buf)?,
+            gen_stamp: read_vu64(buf)?,
+        })
+    }
+}
 
 /// The contents of a block replica.
 #[derive(Debug, Clone)]
@@ -90,12 +129,19 @@ pub struct StoredBlock {
     pub id: BlockId,
     /// Contents.
     pub payload: BlockPayload,
+    /// Generation stamp this replica was written (or re-stamped) under.
+    pub gen_stamp: u64,
 }
 
 impl StoredBlock {
-    /// Convenience constructor.
+    /// Convenience constructor; stamps the replica with [`FIRST_GEN_STAMP`].
     pub fn new(id: BlockId, payload: BlockPayload) -> Self {
-        StoredBlock { id, payload }
+        StoredBlock { id, payload, gen_stamp: FIRST_GEN_STAMP }
+    }
+
+    /// Constructor carrying an explicit generation stamp (the write path).
+    pub fn with_gen_stamp(id: BlockId, payload: BlockPayload, gen_stamp: u64) -> Self {
+        StoredBlock { id, payload, gen_stamp }
     }
 
     /// Read the real bytes, verifying checksums first.
@@ -198,5 +244,18 @@ mod tests {
     #[test]
     fn display_matches_hdfs_naming() {
         assert_eq!(BlockId(1073741825).to_string(), "blk_1073741825");
+    }
+
+    #[test]
+    fn replica_meta_round_trips() {
+        for meta in [
+            ReplicaMeta { id: BlockId(0), len: 0, gen_stamp: FIRST_GEN_STAMP },
+            ReplicaMeta { id: BlockId(1073741825), len: 64 * 1024 * 1024, gen_stamp: 1007 },
+            ReplicaMeta { id: BlockId(u64::MAX), len: u64::MAX, gen_stamp: u64::MAX },
+        ] {
+            let bytes = meta.to_bytes();
+            assert_eq!(ReplicaMeta::from_bytes(&bytes).unwrap(), meta);
+        }
+        assert!(ReplicaMeta::from_bytes(&[0x80]).is_err(), "truncated input must error");
     }
 }

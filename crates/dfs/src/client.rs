@@ -23,10 +23,87 @@ use hl_cluster::network::ClusterNet;
 use hl_cluster::node::ClusterSpec;
 use hl_common::prelude::*;
 
-use crate::block::{split_into_blocks, split_synthetic, BlockId, BlockPayload};
+use crate::block::{split_into_blocks, split_synthetic, BlockId, BlockPayload, FIRST_GEN_STAMP};
 use crate::datanode::DataNode;
 use crate::namenode::{DnCommand, NameNode};
 use crate::placement::order_for_read;
+
+/// A fault armed against the *next* pipeline write (chaos injection).
+///
+/// Store indices count replica stores across the whole write, in pipeline
+/// order: block 0 targets first, then block 1's, and so on — so a plan's
+/// `(fault, index)` pair deterministically names one replica transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineFault {
+    /// The DataNode receiving store number `after_stores` crashes right
+    /// after the bytes hit its disk: the client recovers the pipeline and
+    /// a stale-genstamp replica is left on the dead node's disk.
+    KillTarget {
+        /// Zero-based index of the replica store that triggers the crash.
+        after_stores: u32,
+    },
+    /// Store number `after_stores` succeeds but its ack never arrives
+    /// within the write timeout: the client excludes the (perfectly live)
+    /// DataNode, leaving a stale replica the next block report catches.
+    SlowAck {
+        /// Zero-based index of the replica store whose ack goes missing.
+        after_stores: u32,
+    },
+    /// The writing client itself dies after `after_blocks` complete
+    /// blocks: the file stays open until lease recovery finalizes it.
+    CrashWriter {
+        /// Number of blocks fully pipelined before the writer dies.
+        after_blocks: u32,
+    },
+}
+
+/// Per-client dead-node tracking with exponential backoff.
+///
+/// A node that fails a read gets banned for `base × 2^(strikes-1)` plus a
+/// deterministic seeded jitter (FNV-1a of seed/node/strikes — no wall
+/// clock, no global RNG), so readers route around sick DataNodes instead
+/// of hammering them, and retry probes spread out instead of thundering.
+#[derive(Debug, Clone)]
+struct DeadNodes {
+    entries: BTreeMap<NodeId, (u32, SimTime)>,
+    base: SimDuration,
+    seed: u64,
+}
+
+impl DeadNodes {
+    fn new(seed: u64) -> Self {
+        DeadNodes { entries: BTreeMap::new(), base: SimDuration::from_secs(30), seed }
+    }
+
+    fn is_banned(&self, now: SimTime, node: NodeId) -> bool {
+        self.entries.get(&node).map(|&(_, until)| now < until).unwrap_or(false)
+    }
+
+    fn record_failure(&mut self, now: SimTime, node: NodeId) {
+        let (strikes, until) = self.entries.entry(node).or_insert((0, SimTime::ZERO));
+        *strikes = strikes.saturating_add(1);
+        let exp = (*strikes - 1).min(6);
+        let backoff = self.base * (1u64 << exp);
+        let mut key = [0u8; 24];
+        key[..8].copy_from_slice(&self.seed.to_le_bytes());
+        key[8..16].copy_from_slice(&u64::from(node.0).to_le_bytes());
+        key[16..].copy_from_slice(&u64::from(*strikes).to_le_bytes());
+        let jitter = SimDuration::from_micros(fnv1a(&key) % self.base.as_micros().max(1));
+        *until = now + backoff + jitter;
+    }
+
+    fn record_success(&mut self, node: NodeId) {
+        self.entries.remove(&node);
+    }
+}
+
+/// Completion times of one pipelined block write.
+struct BlockFinish {
+    /// When the slowest surviving replica finished ingesting.
+    finish: SimTime,
+    /// When the first replica finished (the client can stream on).
+    first_hop_done: SimTime,
+}
 
 /// A value plus the virtual time its production completed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +124,10 @@ pub struct Dfs {
     pub namenode: NameNode,
     datanodes: BTreeMap<NodeId, DataNode>,
     disk_bw: u64,
+    /// Chaos hook: a fault armed against the next pipeline write.
+    armed_fault: Option<PipelineFault>,
+    /// Client-side read failover state (banned DataNodes + backoff).
+    dead_nodes: DeadNodes,
 }
 
 impl Dfs {
@@ -62,7 +143,25 @@ impl Dfs {
             datanodes.insert(node, dn);
         }
         namenode.safemode.force_leave();
-        Ok(Dfs { namenode, datanodes, disk_bw: spec.node.disk_bw })
+        Ok(Dfs {
+            namenode,
+            datanodes,
+            disk_bw: spec.node.disk_bw,
+            armed_fault: None,
+            dead_nodes: DeadNodes::new(0x4446_5343), // "DFSC"
+        })
+    }
+
+    /// Arm a fault against the next pipeline write (chaos injection).
+    /// One-shot: the write consumes it whether or not it fires.
+    pub fn arm_pipeline_fault(&mut self, fault: PipelineFault) {
+        self.armed_fault = Some(fault);
+    }
+
+    /// Reseed the client's dead-node jitter stream (chaos determinism:
+    /// each seeded run gets its own, reproducible, backoff spread).
+    pub fn set_client_seed(&mut self, seed: u64) {
+        self.dead_nodes = DeadNodes::new(seed);
     }
 
     /// Access a DataNode (tests, fault injection).
@@ -91,12 +190,20 @@ impl Dfs {
         writer: Option<NodeId>,
         replication: Option<u32>,
     ) -> Result<Timed<()>> {
-        self.namenode.create_file(now, path, replication, None)?;
+        // The lease holder: one writer identity per client write, named by
+        // the writing node (an off-cluster upload writes as the client).
+        let holder = match writer {
+            Some(n) => format!("DFSClient_{n}"),
+            None => "DFSClient_gateway".to_string(),
+        };
+        let fault = self.armed_fault.take();
+        self.namenode.create_file(now, path, replication, None, &holder)?;
         let mut t = now;
         let mut file_done = now;
-        for payload in payloads {
+        let mut stores_done: u32 = 0;
+        for (blocks_done, payload) in (0u32..).zip(payloads) {
             let len = payload.len();
-            let (id, targets) = match self.namenode.add_block(path, len, writer) {
+            let (id, targets) = match self.namenode.add_block(t, path, len, writer) {
                 Ok(ok) => ok,
                 Err(e) => {
                     // Abandon the half-written file like a failed DFSClient.
@@ -104,47 +211,157 @@ impl Dfs {
                     return Err(e);
                 }
             };
-            // Pipeline write. HDFS streams 64 KB packets down the chain, so
-            // the hops overlap almost completely: we charge every hop's
-            // resource starting at the block's start time (FIFO queueing at
-            // each pipe still serializes competing writers) and the block
-            // completes when the slowest hop does. `writer = None` models
-            // an off-cluster upload whose ingress link is not the
-            // bottleneck (the login node's connection to the cluster
-            // fabric), so the first hop is disk-only.
-            let mut prev: Option<NodeId> = writer;
-            let mut finish = t;
-            let mut first_hop_done = t;
-            for (i, &target) in targets.iter().enumerate() {
-                let net_done = match prev {
-                    Some(src) => net.transfer(t, src, target, len).end,
-                    None => t,
-                };
-                let disk_done = net.write_local_disk(t, target, len).end.max(net_done);
-                self.store_replica(target, id, payload.clone())?;
-                self.namenode.block_received(disk_done, target, id);
-                prev = Some(target);
-                finish = finish.max(disk_done);
-                if i == 0 {
-                    first_hop_done = disk_done;
+            // A crashed writer vanishes after allocating its next block but
+            // before any DataNode confirms it: the file stays open under
+            // its lease, trailing an unconfirmed block, until the
+            // NameNode's lease recovery abandons the tail and closes the
+            // file at the last consistent length.
+            if let Some(PipelineFault::CrashWriter { after_blocks }) = fault {
+                if blocks_done >= after_blocks {
+                    return Err(HlError::DaemonDown(format!(
+                        "writer of {path} crashed after {blocks_done} block(s)"
+                    )));
                 }
             }
+            let finish = self.write_block_pipeline(
+                net,
+                t,
+                path,
+                id,
+                targets,
+                &payload,
+                writer,
+                fault,
+                &mut stores_done,
+            )?;
             // The client streams the next block as soon as the *first*
             // replica has ingested this one; downstream replication trails
             // in the background (its pipes still queue FIFO).
-            t = first_hop_done.max(t);
-            file_done = finish.max(file_done);
+            t = finish.first_hop_done.max(t);
+            file_done = finish.finish.max(file_done);
         }
         self.namenode.complete_file(path)?;
         Ok(Timed { value: (), completed_at: file_done })
     }
 
-    fn store_replica(&mut self, node: NodeId, id: BlockId, payload: BlockPayload) -> Result<()> {
+    /// Pipeline one block through its targets with recovery: a target that
+    /// dies (or whose ack never arrives) is excluded, the block's
+    /// generation stamp is bumped on the NameNode and on every surviving
+    /// replica, and the write continues with the remaining pipeline —
+    /// HDFS 1.x pipeline recovery. Only losing *every* target fails the
+    /// block (and the write).
+    #[allow(clippy::too_many_arguments)]
+    fn write_block_pipeline(
+        &mut self,
+        net: &mut ClusterNet,
+        t: SimTime,
+        path: &str,
+        id: BlockId,
+        targets: Vec<NodeId>,
+        payload: &BlockPayload,
+        writer: Option<NodeId>,
+        fault: Option<PipelineFault>,
+        stores_done: &mut u32,
+    ) -> Result<BlockFinish> {
+        let len = payload.len();
+        let mut gen_stamp = self.namenode.block(id).map(|b| b.gen_stamp).unwrap_or(FIRST_GEN_STAMP);
+        // Pipeline write. HDFS streams 64 KB packets down the chain, so
+        // the hops overlap almost completely: we charge every hop's
+        // resource starting at the block's start time (FIFO queueing at
+        // each pipe still serializes competing writers) and the block
+        // completes when the slowest hop does. `writer = None` models
+        // an off-cluster upload whose ingress link is not the
+        // bottleneck (the login node's connection to the cluster
+        // fabric), so the first hop is disk-only.
+        let mut prev: Option<NodeId> = writer;
+        let mut finish = t;
+        let mut first_hop_done: Option<SimTime> = None;
+        let mut survivors: Vec<NodeId> = Vec::new();
+        let mut queue: std::collections::VecDeque<NodeId> = targets.into_iter().collect();
+        while let Some(target) = queue.pop_front() {
+            let net_done = match prev {
+                Some(src) => net.transfer(t, src, target, len).end,
+                None => t,
+            };
+            let disk_done = net.write_local_disk(t, target, len).end.max(net_done);
+            let store_index = *stores_done;
+            *stores_done += 1;
+            // What happens to this replica store?
+            let injected = match fault {
+                Some(PipelineFault::KillTarget { after_stores }) if after_stores == store_index => {
+                    // Bytes hit the disk, then the daemon dies: a stale
+                    // replica is left behind for block reports to catch.
+                    let _ = self.store_replica_stamped(target, id, payload.clone(), gen_stamp);
+                    self.crash_datanode(target);
+                    Some("killed")
+                }
+                Some(PipelineFault::SlowAck { after_stores }) if after_stores == store_index => {
+                    // The store succeeds but its ack times out: the client
+                    // must treat the (live) node as lost to this pipeline.
+                    let _ = self.store_replica_stamped(target, id, payload.clone(), gen_stamp);
+                    Some("ack timed out")
+                }
+                _ => None,
+            };
+            let stored = match injected {
+                Some(_) => false,
+                None => self.store_replica_stamped(target, id, payload.clone(), gen_stamp).is_ok(),
+            };
+            if stored {
+                self.namenode.block_received(disk_done, target, id);
+                survivors.push(target);
+                prev = Some(target);
+                finish = finish.max(disk_done);
+                first_hop_done.get_or_insert(disk_done);
+                continue;
+            }
+            // Pipeline recovery: exclude the failed target, bump the
+            // generation stamp (journaled), and re-stamp the survivors so
+            // the failed node's replica is the stale one.
+            if queue.is_empty() && survivors.is_empty() {
+                return Err(HlError::DaemonDown(format!(
+                    "pipeline for {path} block {id} lost every target"
+                )));
+            }
+            gen_stamp = self.namenode.bump_gen_stamp(t, path, id)?;
+            let mut lost_survivors = Vec::new();
+            for &node in &survivors {
+                let ok = self
+                    .datanodes
+                    .get_mut(&node)
+                    .map(|dn| dn.update_gen_stamp(id, gen_stamp))
+                    .unwrap_or(false);
+                if !ok {
+                    lost_survivors.push(node);
+                }
+            }
+            survivors.retain(|n| !lost_survivors.contains(n));
+            if queue.is_empty() && survivors.is_empty() {
+                return Err(HlError::DaemonDown(format!(
+                    "pipeline for {path} block {id} lost every target"
+                )));
+            }
+        }
+        if survivors.is_empty() {
+            return Err(HlError::DaemonDown(format!(
+                "pipeline for {path} block {id} lost every target"
+            )));
+        }
+        Ok(BlockFinish { finish, first_hop_done: first_hop_done.unwrap_or(t) })
+    }
+
+    fn store_replica_stamped(
+        &mut self,
+        node: NodeId,
+        id: BlockId,
+        payload: BlockPayload,
+        gen_stamp: u64,
+    ) -> Result<()> {
         let dn = self
             .datanodes
             .get_mut(&node)
             .ok_or_else(|| HlError::DaemonDown(format!("datanode/{node}")))?;
-        dn.store_block(id, payload)?;
+        dn.store_block_stamped(id, payload, gen_stamp)?;
         let free = dn.free_bytes();
         // Keep the NameNode's view of free space current.
         self.namenode.update_free_space(node, free);
@@ -210,14 +427,22 @@ impl Dfs {
     ) -> Result<Timed<Bytes>> {
         let holders = self.namenode.block_locations(id);
         let ordered = order_for_read(net.topology(), reader, &holders);
+        // Failover ordering: banned (recently sick) nodes sink to the back
+        // of the preference list rather than being skipped outright — if
+        // every replica is banned, the least-recently-struck one still gets
+        // probed instead of failing a readable block.
+        let (healthy, banned): (Vec<NodeId>, Vec<NodeId>) =
+            ordered.into_iter().partition(|h| !self.dead_nodes.is_banned(now, *h));
         let mut t = now;
-        for holder in ordered {
+        for holder in healthy.into_iter().chain(banned) {
             let alive = self.datanodes.get(&holder).map(|d| d.alive).unwrap_or(false);
             if !alive {
+                self.dead_nodes.record_failure(t, holder);
                 continue;
             }
             match self.datanodes[&holder].read_block(id) {
                 Ok(data) => {
+                    self.dead_nodes.record_success(holder);
                     let len = data.len() as u64;
                     let done = match reader {
                         Some(r) => net.read_remote(t, r, holder, len).end,
@@ -240,7 +465,12 @@ impl Dfs {
                     // Reading the corrupt copy still cost a disk pass.
                     t = net.read_local_disk(t, holder, self.namenode.block(id).map(|b| b.len).unwrap_or(0)).end;
                 }
-                Err(_) => continue,
+                Err(_) => {
+                    // IO-class failure: strike the node so later reads
+                    // back off from it.
+                    self.dead_nodes.record_failure(t, holder);
+                    continue;
+                }
             }
         }
         Err(HlError::MissingBlock { block_id: id.0, path: path_for_errors.to_string() })
@@ -321,13 +551,17 @@ impl Dfs {
         for cmd in commands {
             match *cmd {
                 DnCommand::Replicate { block, from, to } => {
-                    let payload = self
+                    // The copy carries the source replica's generation
+                    // stamp — stamping it FIRST_GEN would make every
+                    // re-replicated copy of a recovered block look stale
+                    // at its next block report, an invalidation churn loop.
+                    let source = self
                         .datanodes
                         .get(&from)
                         .filter(|d| d.alive)
-                        .and_then(|d| d.payload(block).cloned());
-                    match payload {
-                        Some(p) => {
+                        .and_then(|d| Some((d.payload(block).cloned()?, d.gen_stamp_of(block)?)));
+                    match source {
+                        Some((p, gs)) => {
                             let len = p.len();
                             let read = net.read_local_disk(now, from, len);
                             let xfer = net.transfer(read.end, from, to, len);
@@ -335,7 +569,7 @@ impl Dfs {
                             let stored = self
                                 .datanodes
                                 .get_mut(&to)
-                                .map(|d| d.store_block(block, p).is_ok())
+                                .map(|d| d.store_block_stamped(block, p, gs).is_ok())
                                 .unwrap_or(false);
                             if stored {
                                 self.namenode.block_received(write.end, to, block);
@@ -594,5 +828,174 @@ mod tests {
         dfs.put_with_replication(&mut net, SimTime::ZERO, "/d/r2", &[1u8; 10], None, 2)
             .unwrap();
         assert_eq!(dfs.file_blocks("/d/r2").unwrap()[0].2.len(), 2);
+    }
+
+    #[test]
+    fn pipeline_kill_recovers_write_and_invalidates_stale_replica() {
+        let (mut dfs, mut net, _) = setup(5);
+        dfs.namenode.mkdirs("/d").unwrap();
+        let data: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
+        // Kill the DataNode receiving store #1 (block 0's second replica)
+        // right after the bytes hit its disk.
+        dfs.arm_pipeline_fault(PipelineFault::KillTarget { after_stores: 1 });
+        let put = dfs.put(&mut net, SimTime::ZERO, "/d/f", &data, None).unwrap();
+
+        let dead: Vec<NodeId> = dfs
+            .datanode_ids()
+            .into_iter()
+            .filter(|&n| !dfs.datanode(n).unwrap().alive)
+            .collect();
+        assert_eq!(dead.len(), 1, "the armed fault killed one pipeline target");
+        let victim = dead[0];
+
+        // The write survived the mid-pipeline death and reads back
+        // bit-identical, CRC and all.
+        let got = dfs.read(&mut net, put.completed_at, "/d/f", None).unwrap();
+        assert_eq!(Crc32::checksum(&got.value), Crc32::checksum(&data));
+        assert_eq!(got.value, data);
+
+        // The dead node still holds block 0 at the pre-recovery stamp,
+        // invisible to the NameNode.
+        let (id, _, holders) = dfs.file_blocks("/d/f").unwrap()[0].clone();
+        assert!(!holders.contains(&victim), "NameNode dropped the dead target");
+        let stale = dfs.datanode(victim).unwrap().gen_stamp_of(id).expect("orphan on disk");
+        let current = dfs.namenode.block(id).unwrap().gen_stamp;
+        assert!(stale < current, "recovery bumped the generation stamp past the orphan");
+
+        // Restart the victim: its block report confesses the stale stamp,
+        // the NameNode queues an invalidation, and heartbeat rounds both
+        // delete the orphan and restore 3× replication.
+        dfs.datanode_mut(victim).unwrap().restart();
+        let report = dfs.datanode(victim).unwrap().block_report();
+        dfs.namenode.process_block_report(put.completed_at, victim, &report);
+        assert!(!dfs.namenode.block_locations(id).contains(&victim));
+        let mut t = put.completed_at;
+        for _ in 0..4 {
+            t += SimDuration::from_secs(3);
+            dfs.heartbeat_round(&mut net, t);
+        }
+        let locations = dfs.namenode.block_locations(id);
+        assert_eq!(locations.len(), 3, "re-replication restored the target");
+        for n in locations {
+            assert_eq!(
+                dfs.datanode(n).unwrap().gen_stamp_of(id),
+                Some(current),
+                "every live replica carries the recovered stamp"
+            );
+        }
+        assert_ne!(
+            dfs.datanode(victim).unwrap().gen_stamp_of(id),
+            Some(stale),
+            "the stale replica was invalidated"
+        );
+    }
+
+    #[test]
+    fn slow_ack_excludes_live_node_and_block_report_reaps_its_replica() {
+        let (mut dfs, mut net, _) = setup(5);
+        dfs.namenode.mkdirs("/d").unwrap();
+        let data = vec![9u8; 2500];
+        dfs.arm_pipeline_fault(PipelineFault::SlowAck { after_stores: 0 });
+        let put = dfs.put(&mut net, SimTime::ZERO, "/d/f", &data, None).unwrap();
+        assert_eq!(dfs.read(&mut net, put.completed_at, "/d/f", None).unwrap().value, data);
+
+        // Nobody died — the ack just never made it back.
+        assert!(dfs.datanode_ids().iter().all(|&n| dfs.datanode(n).unwrap().alive));
+
+        // Exactly one live non-holder kept a stale copy of block 0.
+        let (id, _, holders) = dfs.file_blocks("/d/f").unwrap()[0].clone();
+        let current = dfs.namenode.block(id).unwrap().gen_stamp;
+        let silent: Vec<NodeId> = dfs
+            .datanode_ids()
+            .into_iter()
+            .filter(|n| !holders.contains(n))
+            .filter(|&n| dfs.datanode(n).unwrap().gen_stamp_of(id).is_some())
+            .collect();
+        assert_eq!(silent.len(), 1, "the timed-out target kept its copy");
+        let node = silent[0];
+        assert!(dfs.datanode(node).unwrap().gen_stamp_of(id).unwrap() < current);
+
+        // Its own routine block report is what gets the copy reaped.
+        let report = dfs.datanode(node).unwrap().block_report();
+        dfs.namenode.process_block_report(put.completed_at, node, &report);
+        let mut t = put.completed_at;
+        for _ in 0..4 {
+            t += SimDuration::from_secs(3);
+            dfs.heartbeat_round(&mut net, t);
+        }
+        let gs = dfs.datanode(node).unwrap().gen_stamp_of(id);
+        assert!(
+            gs.is_none() || gs == Some(current),
+            "stale copy gone (or re-replicated fresh), not lingering: {gs:?}"
+        );
+    }
+
+    #[test]
+    fn crashed_writer_is_lease_recovered_to_whole_block_prefix() {
+        let (mut dfs, mut net, _) = setup(4);
+        dfs.namenode.mkdirs("/d").unwrap();
+        dfs.arm_pipeline_fault(PipelineFault::CrashWriter { after_blocks: 2 });
+        let err =
+            dfs.put(&mut net, SimTime::ZERO, "/d/open", &[5u8; 3000], None).unwrap_err();
+        assert!(err.to_string().contains("crashed"), "clean writer-death error: {err}");
+        assert!(dfs.namenode.lease("/d/open").is_some(), "file stays open for write");
+        assert!(!dfs.namenode.namespace().file("/d/open").unwrap().complete);
+
+        // Nobody calls recoverLease; the lease monitor alone must notice
+        // the holder has gone silent past the hard limit and finalize.
+        let mut t = SimTime::ZERO;
+        while t < SimTime::ZERO + SimDuration::from_secs(320) {
+            t += SimDuration::from_secs(10);
+            dfs.heartbeat_round(&mut net, t);
+        }
+        assert!(dfs.namenode.open_files().is_empty(), "lease recovered");
+        let file = dfs.namenode.namespace().file("/d/open").unwrap();
+        assert!(file.complete);
+        assert_eq!(file.len, 2048, "closed at the confirmed whole-block prefix");
+        let got = dfs.read(&mut net, t, "/d/open", None).unwrap();
+        assert_eq!(got.value, vec![5u8; 2048]);
+    }
+
+    #[test]
+    fn dead_node_backoff_is_exponential_and_deterministic() {
+        let n = NodeId(1);
+        let mut a = DeadNodes::new(42);
+        let mut b = DeadNodes::new(42);
+        a.record_failure(SimTime::ZERO, n);
+        b.record_failure(SimTime::ZERO, n);
+        assert_eq!(a.entries[&n], b.entries[&n], "same seed, same ban window");
+        assert!(a.is_banned(SimTime::ZERO, n));
+        let until1 = a.entries[&n].1;
+        assert!(!a.is_banned(until1, n), "bans expire");
+
+        // A second strike at least doubles the 30 s base backoff.
+        a.record_failure(until1, n);
+        let until2 = a.entries[&n].1;
+        assert!(until2.since(until1) >= SimDuration::from_secs(60));
+
+        // A different client seed jitters to a different instant.
+        let mut c = DeadNodes::new(7);
+        c.record_failure(SimTime::ZERO, n);
+        assert_ne!(c.entries[&n].1, until1);
+
+        // Success forgives everything.
+        a.record_success(n);
+        assert!(!a.is_banned(SimTime::ZERO, n));
+    }
+
+    #[test]
+    fn read_fails_over_around_a_crashed_replica_holder() {
+        let (mut dfs, mut net, _) = setup(4);
+        dfs.namenode.mkdirs("/d").unwrap();
+        let data = vec![8u8; 900];
+        dfs.put(&mut net, SimTime::ZERO, "/d/f", &data, None).unwrap();
+        let holders = dfs.file_blocks("/d/f").unwrap()[0].2.clone();
+        dfs.crash_datanode(holders[0]);
+        // First read trips over the dead holder, bans it, and serves the
+        // data from a surviving replica; the retry skips it outright.
+        let got = dfs.read(&mut net, SimTime::ZERO, "/d/f", None).unwrap();
+        assert_eq!(got.value, data);
+        let again = dfs.read(&mut net, got.completed_at, "/d/f", None).unwrap();
+        assert_eq!(again.value, data);
     }
 }

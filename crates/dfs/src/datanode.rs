@@ -13,7 +13,7 @@ use bytes::Bytes;
 
 use hl_common::prelude::*;
 
-use crate::block::{BlockId, BlockPayload, StoredBlock};
+use crate::block::{BlockId, BlockPayload, ReplicaMeta, StoredBlock, FIRST_GEN_STAMP};
 
 /// One DataNode's state.
 #[derive(Debug, Clone)]
@@ -44,8 +44,20 @@ impl DataNode {
         DataNode { node, capacity, alive: true, blocks: BTreeMap::new() }
     }
 
-    /// Store a replica. Fails when the disk is full or the daemon is down.
+    /// Store a replica stamped with [`FIRST_GEN_STAMP`]. Fails when the
+    /// disk is full or the daemon is down.
     pub fn store_block(&mut self, id: BlockId, payload: BlockPayload) -> Result<()> {
+        self.store_block_stamped(id, payload, FIRST_GEN_STAMP)
+    }
+
+    /// Store a replica under an explicit generation stamp (the pipeline
+    /// write path). Fails when the disk is full or the daemon is down.
+    pub fn store_block_stamped(
+        &mut self,
+        id: BlockId,
+        payload: BlockPayload,
+        gen_stamp: u64,
+    ) -> Result<()> {
         if !self.alive {
             return Err(HlError::DaemonDown(format!("datanode/{}", self.node)));
         }
@@ -58,8 +70,29 @@ impl DataNode {
                 self.capacity
             )));
         }
-        self.blocks.insert(id, StoredBlock::new(id, payload));
+        self.blocks.insert(id, StoredBlock::with_gen_stamp(id, payload, gen_stamp));
         Ok(())
+    }
+
+    /// Re-stamp a held replica after pipeline recovery. Returns false when
+    /// the daemon is down or the replica is absent (the caller then treats
+    /// this node as lost to the pipeline too).
+    pub fn update_gen_stamp(&mut self, id: BlockId, gen_stamp: u64) -> bool {
+        if !self.alive {
+            return false;
+        }
+        match self.blocks.get_mut(&id) {
+            Some(stored) => {
+                stored.gen_stamp = gen_stamp;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The generation stamp this node holds for a replica, if present.
+    pub fn gen_stamp_of(&self, id: BlockId) -> Option<u64> {
+        self.blocks.get(&id).map(|s| s.gen_stamp)
     }
 
     /// Read a replica's bytes, verifying checksums.
@@ -103,9 +136,13 @@ impl DataNode {
         self.blocks.len()
     }
 
-    /// The block report: every replica id and length, in id order.
-    pub fn block_report(&self) -> Vec<(BlockId, u64)> {
-        self.blocks.iter().map(|(id, b)| (*id, b.payload.len())).collect()
+    /// The block report: every replica's id, length, and generation stamp,
+    /// in id order.
+    pub fn block_report(&self) -> Vec<ReplicaMeta> {
+        self.blocks
+            .iter()
+            .map(|(id, b)| ReplicaMeta { id: *id, len: b.payload.len(), gen_stamp: b.gen_stamp })
+            .collect()
     }
 
     /// Full integrity scan: verify every replica's checksums, quarantine
@@ -226,8 +263,27 @@ mod tests {
     fn block_report_lists_everything_in_order() {
         let mut d = dn();
         d.store_block(BlockId(5), BlockPayload::real(vec![0u8; 100])).unwrap();
-        d.store_block(BlockId(2), BlockPayload::synthetic(50)).unwrap();
-        assert_eq!(d.block_report(), vec![(BlockId(2), 50), (BlockId(5), 100)]);
+        d.store_block_stamped(BlockId(2), BlockPayload::synthetic(50), 1007).unwrap();
+        assert_eq!(
+            d.block_report(),
+            vec![
+                ReplicaMeta { id: BlockId(2), len: 50, gen_stamp: 1007 },
+                ReplicaMeta { id: BlockId(5), len: 100, gen_stamp: FIRST_GEN_STAMP },
+            ]
+        );
+    }
+
+    #[test]
+    fn gen_stamp_updates_require_a_live_daemon_and_a_replica() {
+        let mut d = dn();
+        d.store_block(BlockId(1), BlockPayload::real(vec![0u8; 10])).unwrap();
+        assert_eq!(d.gen_stamp_of(BlockId(1)), Some(FIRST_GEN_STAMP));
+        assert!(d.update_gen_stamp(BlockId(1), 1001));
+        assert_eq!(d.gen_stamp_of(BlockId(1)), Some(1001));
+        assert!(!d.update_gen_stamp(BlockId(404), 1002));
+        d.crash();
+        assert!(!d.update_gen_stamp(BlockId(1), 1003));
+        assert_eq!(d.gen_stamp_of(BlockId(1)), Some(1001));
     }
 
     #[test]

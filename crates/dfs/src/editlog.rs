@@ -20,8 +20,8 @@ pub enum EditOp {
     Mkdirs { path: String },
     /// File creation (timestamp journaled so replay reproduces metadata).
     Create { path: String, replication: u32, block_size: u64, at: SimTime },
-    /// Block appended to a file.
-    AddBlock { path: String, block: BlockId, len: u64 },
+    /// Block appended to a file, stamped with its initial generation stamp.
+    AddBlock { path: String, block: BlockId, len: u64, gen_stamp: u64 },
     /// Writer closed the file.
     Close { path: String },
     /// Deletion (recursive flag recorded for fidelity).
@@ -30,6 +30,12 @@ pub enum EditOp {
     Rename { src: String, dst: String },
     /// `hadoop fs -setrep`.
     SetReplication { path: String, replication: u32 },
+    /// Pipeline recovery bumped a block's generation stamp; journaled so a
+    /// restarted NameNode still knows which replicas are stale.
+    BumpGenStamp { block: BlockId, gen_stamp: u64 },
+    /// Lease recovery dropped a trailing block no DataNode ever confirmed
+    /// (`len` journaled so replay can shrink the file without guessing).
+    AbandonBlock { path: String, block: BlockId, len: u64 },
 }
 
 impl EditOp {
@@ -42,6 +48,8 @@ impl EditOp {
             EditOp::Delete { .. } => 4,
             EditOp::Rename { .. } => 5,
             EditOp::SetReplication { .. } => 6,
+            EditOp::BumpGenStamp { .. } => 7,
+            EditOp::AbandonBlock { .. } => 8,
         }
     }
 }
@@ -57,10 +65,11 @@ impl Writable for EditOp {
                 block_size.write(buf);
                 write_vu64(at.0, buf);
             }
-            EditOp::AddBlock { path, block, len } => {
+            EditOp::AddBlock { path, block, len, gen_stamp } => {
                 path.write(buf);
                 write_vu64(block.0, buf);
                 write_vu64(*len, buf);
+                write_vu64(*gen_stamp, buf);
             }
             EditOp::Delete { path, recursive } => {
                 path.write(buf);
@@ -73,6 +82,15 @@ impl Writable for EditOp {
             EditOp::SetReplication { path, replication } => {
                 path.write(buf);
                 replication.write(buf);
+            }
+            EditOp::BumpGenStamp { block, gen_stamp } => {
+                write_vu64(block.0, buf);
+                write_vu64(*gen_stamp, buf);
+            }
+            EditOp::AbandonBlock { path, block, len } => {
+                path.write(buf);
+                write_vu64(block.0, buf);
+                write_vu64(*len, buf);
             }
         }
     }
@@ -91,6 +109,7 @@ impl Writable for EditOp {
                 path: String::read(buf)?,
                 block: BlockId(read_vu64(buf)?),
                 len: read_vu64(buf)?,
+                gen_stamp: read_vu64(buf)?,
             },
             3 => EditOp::Close { path: String::read(buf)? },
             4 => EditOp::Delete { path: String::read(buf)?, recursive: bool::read(buf)? },
@@ -98,6 +117,15 @@ impl Writable for EditOp {
             6 => EditOp::SetReplication {
                 path: String::read(buf)?,
                 replication: u32::read(buf)?,
+            },
+            7 => EditOp::BumpGenStamp {
+                block: BlockId(read_vu64(buf)?),
+                gen_stamp: read_vu64(buf)?,
+            },
+            8 => EditOp::AbandonBlock {
+                path: String::read(buf)?,
+                block: BlockId(read_vu64(buf)?),
+                len: read_vu64(buf)?,
             },
             t => return Err(HlError::Codec(format!("unknown edit op tag {t}"))),
         })
@@ -129,6 +157,13 @@ impl EditLog {
     /// True when no ops are pending.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// The journaled ops since the last checkpoint, oldest first. The
+    /// NameNode replays these itself for state (generation stamps) that
+    /// lives outside the namespace tree.
+    pub fn ops(&self) -> &[EditOp] {
+        &self.ops
     }
 
     /// Serialize the journal (what a secondary NameNode would fetch).
@@ -164,7 +199,7 @@ impl EditLog {
                 EditOp::Create { path, replication, block_size, at } => {
                     ns.create_file(path, *replication, *block_size, *at)?
                 }
-                EditOp::AddBlock { path, block, len } => ns.append_block(path, *block, *len)?,
+                EditOp::AddBlock { path, block, len, .. } => ns.append_block(path, *block, *len)?,
                 EditOp::Close { path } => ns.complete_file(path)?,
                 EditOp::Delete { path, recursive } => {
                     ns.delete(path, *recursive)?;
@@ -172,6 +207,12 @@ impl EditLog {
                 EditOp::Rename { src, dst } => ns.rename(src, dst)?,
                 EditOp::SetReplication { path, replication } => {
                     ns.file_mut(path)?.replication = *replication;
+                }
+                // Generation stamps live in the NameNode's block map, not
+                // the namespace tree; `NameNode::restart` applies them.
+                EditOp::BumpGenStamp { .. } => {}
+                EditOp::AbandonBlock { path, block, len } => {
+                    ns.abandon_block(path, *block, *len)?
                 }
             }
         }
@@ -198,8 +239,19 @@ mod tests {
                 block_size: 64,
                 at: SimTime(123),
             },
-            EditOp::AddBlock { path: "/user/alice/data.txt".into(), block: BlockId(1), len: 64 },
-            EditOp::AddBlock { path: "/user/alice/data.txt".into(), block: BlockId(2), len: 10 },
+            EditOp::AddBlock {
+                path: "/user/alice/data.txt".into(),
+                block: BlockId(1),
+                len: 64,
+                gen_stamp: 1000,
+            },
+            EditOp::AddBlock {
+                path: "/user/alice/data.txt".into(),
+                block: BlockId(2),
+                len: 10,
+                gen_stamp: 1001,
+            },
+            EditOp::BumpGenStamp { block: BlockId(1), gen_stamp: 1002 },
             EditOp::Close { path: "/user/alice/data.txt".into() },
             EditOp::Rename { src: "/user/alice/data.txt".into(), dst: "/user/alice/final.txt".into() },
         ]
@@ -211,9 +263,38 @@ mod tests {
         for op in sample_ops() {
             log.append(op);
         }
+        log.append(EditOp::AbandonBlock {
+            path: "/user/alice/data.txt".into(),
+            block: BlockId(9),
+            len: 10,
+        });
         let bytes = log.serialize();
         let restored = EditLog::deserialize(&bytes).unwrap();
         assert_eq!(restored, log);
+    }
+
+    #[test]
+    fn replay_of_abandon_block_truncates_the_file() {
+        let mut log = EditLog::new();
+        for op in sample_ops() {
+            // Drop the Close/Rename tail: abandon only applies to open files.
+            if matches!(op, EditOp::Close { .. } | EditOp::Rename { .. }) {
+                continue;
+            }
+            log.append(op);
+        }
+        log.append(EditOp::AbandonBlock {
+            path: "/user/alice/data.txt".into(),
+            block: BlockId(2),
+            len: 10,
+        });
+        log.append(EditOp::Close { path: "/user/alice/data.txt".into() });
+        let mut ns = Namespace::new();
+        log.replay(&mut ns).unwrap();
+        let f = ns.file("/user/alice/data.txt").unwrap();
+        assert_eq!(f.blocks, vec![BlockId(1)]);
+        assert_eq!(f.len, 64);
+        assert!(f.complete);
     }
 
     #[test]

@@ -13,8 +13,12 @@
 //!   scans them for integrity (the slow restart students suffered), and
 //!   reports them to the NameNode;
 //! * the [`client::Dfs`] facade implements the user-visible operations —
-//!   pipeline writes, locality-aware reads, `copyFromLocal`/`copyToLocal` —
-//!   charging every byte against the cluster's disks and network;
+//!   pipeline writes (with mid-write DataNode failure recovery via
+//!   generation stamps), locality-aware reads with dead-node failover,
+//!   `copyFromLocal`/`copyToLocal` — charging every byte against the
+//!   cluster's disks and network;
+//! * [`lease`] gives every file open for write a soft/hard-expiring lease
+//!   so crashed writers get their files recovered to a consistent length;
 //! * [`fsck`] renders the health report and [`shell`] the
 //!   `hadoop fs` command surface that assignment 2 asks students to record.
 //!
@@ -31,13 +35,15 @@ pub mod client;
 pub mod datanode;
 pub mod editlog;
 pub mod fsck;
+pub mod lease;
 pub mod namenode;
 pub mod namespace;
 pub mod placement;
 pub mod safemode;
 pub mod shell;
 
-pub use block::{BlockId, BlockPayload};
-pub use client::Dfs;
+pub use block::{BlockId, BlockPayload, ReplicaMeta};
+pub use client::{Dfs, PipelineFault};
 pub use datanode::DataNode;
+pub use lease::{Lease, LeaseState};
 pub use namenode::NameNode;

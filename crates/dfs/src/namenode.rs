@@ -13,8 +13,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use hl_common::config::keys;
 use hl_common::prelude::*;
 
-use crate::block::BlockId;
+use crate::block::{BlockId, ReplicaMeta, FIRST_GEN_STAMP};
 use crate::editlog::{EditLog, EditOp};
+use crate::lease::{Lease, LeaseManager};
 use crate::namespace::{FileStatus, Namespace};
 use crate::placement::{self, Candidate};
 use crate::safemode::SafeMode;
@@ -30,6 +31,9 @@ pub struct BlockInfo {
     pub locations: BTreeSet<NodeId>,
     /// Re-replications currently in flight (prevents duplicate work).
     pub pending_replicas: u32,
+    /// Current generation stamp; replicas reporting an older stamp were
+    /// left behind by pipeline recovery and get invalidated.
+    pub gen_stamp: u64,
 }
 
 /// Per-DataNode registration state.
@@ -64,6 +68,11 @@ pub struct NameNode {
     datanodes: BTreeMap<NodeId, DataNodeInfo>,
     decommissioning: BTreeSet<NodeId>,
     next_block_id: u64,
+    next_gen_stamp: u64,
+    /// Stale/garbage replicas queued for invalidation, drained by the
+    /// replication monitor.
+    invalidations: Vec<(BlockId, NodeId)>,
+    leases: LeaseManager,
     /// Safe-mode state machine.
     pub safemode: SafeMode,
     topology: Topology,
@@ -81,6 +90,10 @@ impl NameNode {
             SimDuration::from_secs(config.get_u64(keys::DFS_SAFEMODE_EXTENSION_SECS, 30)?);
         let heartbeat_secs = config.get_u64(keys::DFS_HEARTBEAT_SECS, 3)?;
         let dead_after_beats = config.get_u64(keys::DFS_HEARTBEAT_DEAD_AFTER, 200)?;
+        let lease_soft =
+            SimDuration::from_secs(config.get_u64(keys::DFS_LEASE_SOFT_LIMIT_SECS, 60)?);
+        let lease_hard =
+            SimDuration::from_secs(config.get_u64(keys::DFS_LEASE_HARD_LIMIT_SECS, 300)?);
         Ok(NameNode {
             namespace: Namespace::new(),
             editlog: EditLog::new(),
@@ -89,6 +102,9 @@ impl NameNode {
             datanodes: BTreeMap::new(),
             decommissioning: BTreeSet::new(),
             next_block_id: 1,
+            next_gen_stamp: FIRST_GEN_STAMP,
+            invalidations: Vec::new(),
+            leases: LeaseManager::new(lease_soft, lease_hard),
             safemode: SafeMode::new(threshold, extension),
             topology,
             heartbeat_interval: SimDuration::from_secs(heartbeat_secs),
@@ -209,6 +225,8 @@ impl NameNode {
         // Losing replicas can regress the safe-mode census.
         let (reported, expected) = self.block_census();
         self.safemode.update(now, reported, expected);
+        // The lease monitor rides the same sweep (its SimTime clock tick).
+        self.check_leases(now);
         newly_dead
     }
 
@@ -217,20 +235,37 @@ impl NameNode {
         self.datanodes.iter().filter(|(_, i)| i.alive).map(|(&n, _)| n).collect()
     }
 
-    /// Process a full block report from `node`. Returns `true` when this
-    /// report (or its safe-mode consequence) exits safe mode.
+    /// Process a full block report from `node`. Replicas carrying a stale
+    /// generation stamp (pipeline recovery happened without this node) are
+    /// not counted as locations and get queued for invalidation, as do
+    /// replicas of blocks the NameNode no longer knows (deleted while the
+    /// node was down). Returns `true` when this report (or its safe-mode
+    /// consequence) exits safe mode.
     pub fn process_block_report(
         &mut self,
         now: SimTime,
         node: NodeId,
-        report: &[(BlockId, u64)],
+        report: &[ReplicaMeta],
     ) -> bool {
-        let reported_set: BTreeSet<BlockId> = report.iter().map(|(id, _)| *id).collect();
+        let reported: BTreeMap<BlockId, u64> =
+            report.iter().map(|r| (r.id, r.gen_stamp)).collect();
         for (id, info) in self.blocks.iter_mut() {
-            if reported_set.contains(id) {
-                info.locations.insert(node);
-            } else {
-                info.locations.remove(&node);
+            match reported.get(id) {
+                Some(&gs) if gs < info.gen_stamp => {
+                    info.locations.remove(&node);
+                    self.invalidations.push((*id, node));
+                }
+                Some(_) => {
+                    info.locations.insert(node);
+                }
+                None => {
+                    info.locations.remove(&node);
+                }
+            }
+        }
+        for r in report {
+            if !self.blocks.contains_key(&r.id) {
+                self.invalidations.push((r.id, node));
             }
         }
         let (reported, expected) = self.block_census();
@@ -280,13 +315,14 @@ impl NameNode {
         Ok(())
     }
 
-    /// Create an (incomplete) file.
+    /// Create an (incomplete) file; `holder` is granted the write lease.
     pub fn create_file(
         &mut self,
         now: SimTime,
         path: &str,
         replication: Option<u32>,
         block_size: Option<u64>,
+        holder: &str,
     ) -> Result<()> {
         self.guard_safemode()?;
         let replication = replication.unwrap_or(self.default_replication);
@@ -294,12 +330,15 @@ impl NameNode {
         self.namespace.create_file(path, replication, block_size, now)?;
         self.editlog
             .append(EditOp::Create { path: path.to_string(), replication, block_size, at: now });
+        self.leases.acquire(now, path, holder);
         Ok(())
     }
 
     /// Allocate the next block of `path` and choose its replica targets.
+    /// Also renews the writer's lease — block allocation is progress.
     pub fn add_block(
         &mut self,
+        now: SimTime,
         path: &str,
         len: u64,
         writer: Option<NodeId>,
@@ -321,8 +360,11 @@ impl NameNode {
             return Err(HlError::InsufficientReplication { wanted: replication, available: 0 });
         }
         self.next_block_id += 1;
+        let gen_stamp = self.next_gen_stamp;
+        self.next_gen_stamp += 1;
         self.namespace.append_block(path, id, len)?;
-        self.editlog.append(EditOp::AddBlock { path: path.to_string(), block: id, len });
+        self.editlog
+            .append(EditOp::AddBlock { path: path.to_string(), block: id, len, gen_stamp });
         self.blocks.insert(
             id,
             BlockInfo {
@@ -330,16 +372,36 @@ impl NameNode {
                 len,
                 locations: BTreeSet::new(),
                 pending_replicas: 0,
+                gen_stamp,
             },
         );
+        self.leases.renew(now, path);
         Ok((id, targets))
     }
 
-    /// Close a file.
+    /// Bump a block's generation stamp (pipeline recovery: a DataNode fell
+    /// out of the write pipeline). The new stamp is journaled; replicas
+    /// still carrying the old stamp are invalidated when they next report.
+    /// Counts as writer progress, so the lease renews too.
+    pub fn bump_gen_stamp(&mut self, now: SimTime, path: &str, id: BlockId) -> Result<u64> {
+        let info = self
+            .blocks
+            .get_mut(&id)
+            .ok_or_else(|| HlError::Internal(format!("gen-stamp bump of unknown {id}")))?;
+        let gen_stamp = self.next_gen_stamp;
+        self.next_gen_stamp += 1;
+        info.gen_stamp = gen_stamp;
+        self.editlog.append(EditOp::BumpGenStamp { block: id, gen_stamp });
+        self.leases.renew(now, path);
+        Ok(gen_stamp)
+    }
+
+    /// Close a file and release its write lease.
     pub fn complete_file(&mut self, path: &str) -> Result<()> {
         self.guard_safemode()?;
         self.namespace.complete_file(path)?;
         self.editlog.append(EditOp::Close { path: path.to_string() });
+        self.leases.release(path);
         Ok(())
     }
 
@@ -348,6 +410,7 @@ impl NameNode {
         self.guard_safemode()?;
         let freed = self.namespace.delete(path, recursive)?;
         self.editlog.append(EditOp::Delete { path: path.to_string(), recursive });
+        self.leases.release_under(path);
         let mut commands = Vec::new();
         for id in freed {
             if let Some(info) = self.blocks.remove(&id) {
@@ -380,17 +443,105 @@ impl NameNode {
         Ok(blocks)
     }
 
-    /// Rename a path.
+    /// Rename a path (an open file's lease follows it).
     pub fn rename(&mut self, src: &str, dst: &str) -> Result<()> {
         self.guard_safemode()?;
         self.namespace.rename(src, dst)?;
         self.editlog.append(EditOp::Rename { src: src.to_string(), dst: dst.to_string() });
+        self.leases.rename(src, dst);
         Ok(())
     }
 
     /// Directory listing.
     pub fn list(&self, path: &str) -> Result<Vec<FileStatus>> {
         self.namespace.list(path)
+    }
+
+    // ------------------------------------------------------------- leases
+
+    /// The write lease on `path`, if the file is open for write.
+    pub fn lease(&self, path: &str) -> Option<&Lease> {
+        self.leases.lease(path)
+    }
+
+    /// Every outstanding write lease, path-ordered (fsck's open-file view).
+    pub fn open_files(&self) -> Vec<&Lease> {
+        self.leases.leases().collect()
+    }
+
+    /// Explicit `recoverLease` (the admin/shell verb). Returns `Ok(true)`
+    /// when the file is already closed, `Ok(false)` when recovery was
+    /// started — the next lease check finalizes it.
+    pub fn recover_lease(&mut self, path: &str) -> Result<bool> {
+        let file = self.namespace.file(path)?;
+        if file.complete {
+            self.leases.release(path);
+            return Ok(true);
+        }
+        if !self.leases.start_recovery(path) {
+            // Open file without a lease shouldn't happen; self-heal it.
+            self.leases.acquire(SimTime::ZERO, path, "recovery");
+            self.leases.start_recovery(path);
+        }
+        Ok(false)
+    }
+
+    /// One lease-monitor tick: advance expiry state machines and finalize
+    /// files whose recovery is due. Idles during safe mode (like the real
+    /// LeaseManager — no namespace mutations before the image is safe).
+    /// Returns the paths finalized this tick.
+    pub fn check_leases(&mut self, now: SimTime) -> Vec<String> {
+        if self.safemode.is_on() {
+            return Vec::new();
+        }
+        let due = self.leases.check(now);
+        let mut finalized = Vec::new();
+        for path in due {
+            if self.finalize_lease(&path) {
+                finalized.push(path);
+            }
+        }
+        finalized
+    }
+
+    /// Finalize one crashed writer's file: drop trailing blocks no
+    /// DataNode ever confirmed, close at the last consistent length, and
+    /// release the lease. Returns false when the file vanished meanwhile.
+    fn finalize_lease(&mut self, path: &str) -> bool {
+        let Ok(file) = self.namespace.file(path) else {
+            self.leases.release(path);
+            return false;
+        };
+        if file.complete {
+            self.leases.release(path);
+            return true;
+        }
+        // Walk trailing blocks back until one has a confirmed replica.
+        // Only the tail can be unconfirmed: pipelines write in order.
+        let mut tail: Vec<BlockId> = file.blocks.clone();
+        while let Some(&last) = tail.last() {
+            let confirmed = self
+                .blocks
+                .get(&last)
+                .map(|b| !b.locations.is_empty() || b.pending_replicas > 0)
+                .unwrap_or(false);
+            if confirmed {
+                break;
+            }
+            let len = self.blocks.get(&last).map(|b| b.len).unwrap_or(0);
+            if self.namespace.abandon_block(path, last, len).is_err() {
+                break;
+            }
+            self.editlog
+                .append(EditOp::AbandonBlock { path: path.to_string(), block: last, len });
+            self.blocks.remove(&last);
+            tail.pop();
+        }
+        if self.namespace.complete_file(path).is_ok() {
+            self.editlog.append(EditOp::Close { path: path.to_string() });
+        }
+        self.leases.release(path);
+        true
     }
 
     // ------------------------------------------------------- replication
@@ -432,6 +583,15 @@ impl NameNode {
         }
         let live: Vec<NodeId> = self.live_datanodes();
         let mut commands = Vec::new();
+        // Stale-genstamp and garbage replicas first: deletes are cheap and
+        // every pass drains the whole queue (deduplicated — a replica may
+        // have been reported more than once between passes).
+        let mut pending: Vec<(BlockId, NodeId)> = std::mem::take(&mut self.invalidations);
+        pending.sort_unstable();
+        pending.dedup();
+        for (block, node) in pending {
+            commands.push(DnCommand::Invalidate { block, node });
+        }
         let under: Vec<BlockId> = self
             .under_replicated()
             .into_iter()
@@ -523,17 +683,28 @@ impl NameNode {
     /// True once every block that has a replica on `node` also has a full
     /// replica set elsewhere — the node may be removed.
     pub fn decommission_complete(&self, node: NodeId) -> bool {
-        self.blocks.values().all(|b| {
-            if !b.locations.contains(&node) {
-                return true;
-            }
-            let elsewhere = b
-                .locations
-                .iter()
-                .filter(|n| **n != node && !self.decommissioning.contains(n))
-                .count() as u32;
-            elsewhere >= b.expected_replication.min(self.eligible_datanodes(node))
-        })
+        self.decommission_stuck_blocks(node).is_empty()
+    }
+
+    /// The blocks still pinning a draining `node`: they have a replica on
+    /// it but not enough counted replicas elsewhere. What an operator
+    /// staring at a wedged decommission actually needs to see.
+    pub fn decommission_stuck_blocks(&self, node: NodeId) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .filter(|(_, b)| {
+                if !b.locations.contains(&node) {
+                    return false;
+                }
+                let elsewhere = b
+                    .locations
+                    .iter()
+                    .filter(|n| **n != node && !self.decommissioning.contains(n))
+                    .count() as u32;
+                elsewhere < b.expected_replication.min(self.eligible_datanodes(node))
+            })
+            .map(|(&id, _)| id)
+            .collect()
     }
 
     fn eligible_datanodes(&self, excluding: NodeId) -> u32 {
@@ -561,6 +732,17 @@ impl NameNode {
         self.editlog.replay(&mut rebuilt)?;
         debug_assert_eq!(rebuilt, self.namespace, "journal must reproduce live namespace");
         self.namespace = rebuilt;
+        // Re-apply journaled generation stamps to the block map: stamps
+        // bumped since the checkpoint must survive, or the restarted
+        // NameNode would welcome stale replicas back at report time.
+        for op in self.editlog.ops() {
+            if let EditOp::BumpGenStamp { block, gen_stamp } = op {
+                if let Some(info) = self.blocks.get_mut(block) {
+                    info.gen_stamp = (*gen_stamp).max(info.gen_stamp);
+                }
+            }
+        }
+        self.invalidations.clear();
         for b in self.blocks.values_mut() {
             b.locations.clear();
             b.pending_replicas = 0;
@@ -607,10 +789,10 @@ mod tests {
     /// Create a file with `blocks` blocks and report all replicas in.
     fn populate(nn: &mut NameNode, path: &str, blocks: usize) -> Vec<BlockId> {
         nn.mkdirs("/data").unwrap();
-        nn.create_file(SimTime::ZERO, path, None, None).unwrap();
+        nn.create_file(SimTime::ZERO, path, None, None, "tester").unwrap();
         let mut ids = Vec::new();
         for _ in 0..blocks {
-            let (id, targets) = nn.add_block(path, 64, None).unwrap();
+            let (id, targets) = nn.add_block(SimTime::ZERO, path, 64, None).unwrap();
             for t in targets {
                 nn.block_received(SimTime::ZERO, t, id);
             }
@@ -642,7 +824,7 @@ mod tests {
         assert!(nn.safemode.is_on());
         assert!(matches!(nn.mkdirs("/x"), Err(HlError::SafeMode(_))));
         assert!(matches!(
-            nn.create_file(SimTime::ZERO, "/x", None, None),
+            nn.create_file(SimTime::ZERO, "/x", None, None, "tester"),
             Err(HlError::SafeMode(_))
         ));
         nn.safemode.force_leave();
@@ -741,8 +923,8 @@ mod tests {
         let ids = populate(&mut nn, "/data/f", 4);
         nn.checkpoint();
         // More activity after the checkpoint, so replay matters.
-        nn.create_file(SimTime::ZERO, "/data/g", None, None).unwrap();
-        let (id_g, targets) = nn.add_block("/data/g", 10, None).unwrap();
+        nn.create_file(SimTime::ZERO, "/data/g", None, None, "tester").unwrap();
+        let (id_g, targets) = nn.add_block(SimTime::ZERO, "/data/g", 10, None).unwrap();
         for t in targets {
             nn.block_received(SimTime::ZERO, t, id_g);
         }
@@ -762,8 +944,16 @@ mod tests {
         // Rebuild per-node reports from what populate() placed: every node
         // reports all blocks it could hold; over-reporting is fine for the
         // census, invalidations trim later.
-        let all: Vec<(BlockId, u64)> =
-            ids.iter().map(|&b| (b, 64)).chain(std::iter::once((id_g, 10))).collect();
+        let all: Vec<ReplicaMeta> = ids
+            .iter()
+            .map(|&b| (b, 64))
+            .chain(std::iter::once((id_g, 10)))
+            .map(|(b, len)| ReplicaMeta {
+                id: b,
+                len,
+                gen_stamp: nn.block(b).map(|i| i.gen_stamp).unwrap_or(FIRST_GEN_STAMP),
+            })
+            .collect();
         let mut exited = false;
         for i in 0..4u32 {
             exited |= nn.process_block_report(t, NodeId(i), &all);
@@ -791,9 +981,9 @@ mod tests {
         let mut nn = NameNode::new(&config, Topology::flat(0)).unwrap();
         nn.safemode.force_leave();
         nn.mkdirs("/d").unwrap();
-        nn.create_file(SimTime::ZERO, "/d/f", None, None).unwrap();
+        nn.create_file(SimTime::ZERO, "/d/f", None, None, "tester").unwrap();
         assert!(matches!(
-            nn.add_block("/d/f", 64, None),
+            nn.add_block(SimTime::ZERO, "/d/f", 64, None),
             Err(HlError::InsufficientReplication { .. })
         ));
     }

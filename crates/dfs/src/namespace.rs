@@ -193,6 +193,26 @@ impl Namespace {
         Ok(())
     }
 
+    /// Drop the trailing block of an incomplete file (lease recovery: the
+    /// writer crashed before any DataNode confirmed it). `len` is the
+    /// length the block contributed to the file when it was appended.
+    pub fn abandon_block(&mut self, path: &str, block: BlockId, len: u64) -> Result<()> {
+        let file = self.file_mut(path)?;
+        if file.complete {
+            return Err(HlError::Internal(format!("abandon on completed file {path}")));
+        }
+        match file.blocks.last() {
+            Some(last) if *last == block => {
+                file.blocks.pop();
+                file.len = file.len.saturating_sub(len);
+                Ok(())
+            }
+            _ => Err(HlError::Internal(format!(
+                "abandon of {block} which is not the last block of {path}"
+            ))),
+        }
+    }
+
     /// Immutable file lookup.
     pub fn file(&self, path: &str) -> Result<&FileNode> {
         let parts = parse_path(path)?;

@@ -74,6 +74,14 @@ pub struct MrCluster {
     trackers: BTreeMap<NodeId, Tracker>,
     /// JobTracker daemon health.
     pub jobtracker: DaemonHealth,
+    /// Global blacklist strikes per tracker: how many *successful* jobs
+    /// blacklisted it. At `mapred.max.tracker.blacklists` strikes the
+    /// tracker stops receiving any tasks until an operator restart pass.
+    blacklist_strikes: BTreeMap<NodeId, u32>,
+    /// Failed attempts on one tracker before a job blacklists it.
+    max_tracker_failures: u32,
+    /// Per-job blacklistings before a tracker is blacklisted globally.
+    max_tracker_blacklists: u32,
     next_job_id: u32,
     slow_factor: BTreeMap<NodeId, f64>,
     /// When false, the JobTracker assigns splits FIFO, ignoring block
@@ -94,6 +102,10 @@ impl MrCluster {
             config.get_usize(hl_common::config::keys::MAPRED_MAP_SLOTS, 8)?;
         let reduce_slots =
             config.get_usize(hl_common::config::keys::MAPRED_REDUCE_SLOTS, 4)?;
+        let max_tracker_failures =
+            config.get_u32(hl_common::config::keys::MAPRED_MAX_TRACKER_FAILURES, 4)?.max(1);
+        let max_tracker_blacklists =
+            config.get_u32(hl_common::config::keys::MAPRED_MAX_TRACKER_BLACKLISTS, 3)?.max(1);
         let trackers = spec
             .topology
             .nodes()
@@ -118,6 +130,9 @@ impl MrCluster {
             log: EventLog::new(),
             side_files: SideFiles::new(),
             trackers,
+            blacklist_strikes: BTreeMap::new(),
+            max_tracker_failures,
+            max_tracker_blacklists,
             next_job_id: 1,
             slow_factor: BTreeMap::new(),
             locality_aware: true,
@@ -179,6 +194,9 @@ impl MrCluster {
     }
 
     /// Restart every dead TaskTracker (and its colocated DataNode daemon).
+    /// The operator pass also wipes the global tracker blacklist: a
+    /// restarted fleet starts with a clean bill of health, exactly like
+    /// re-registering TaskTrackers on a real JobTracker.
     pub fn restart_dead_trackers(&mut self) {
         let now = self.now;
         for (node, t) in self.trackers.iter_mut() {
@@ -189,6 +207,26 @@ impl MrCluster {
                 }
             }
         }
+        self.blacklist_strikes.clear();
+    }
+
+    /// Trackers currently blacklisted cluster-wide (enough per-job
+    /// blacklistings that the JobTracker stopped scheduling on them).
+    pub fn blacklisted_trackers(&self) -> Vec<NodeId> {
+        self.blacklist_strikes
+            .iter()
+            .filter(|(_, &strikes)| strikes >= self.max_tracker_blacklists)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Global blacklist strikes recorded against `node`.
+    pub fn tracker_strikes(&self, node: NodeId) -> u32 {
+        self.blacklist_strikes.get(&node).copied().unwrap_or(0)
+    }
+
+    fn is_globally_blacklisted(&self, node: NodeId) -> bool {
+        self.tracker_strikes(node) >= self.max_tracker_blacklists
     }
 
     /// Nodes with a live TaskTracker.
@@ -224,7 +262,7 @@ impl MrCluster {
     fn map_slots(&self) -> Vec<Slot> {
         let mut slots = Vec::new();
         for (&node, t) in &self.trackers {
-            if t.health.alive {
+            if t.health.alive && !self.is_globally_blacklisted(node) {
                 for _ in 0..t.map_slots {
                     slots.push(Slot { node, free_at: self.now });
                 }
@@ -236,7 +274,7 @@ impl MrCluster {
     fn reduce_slots(&self, not_before: SimTime) -> Vec<Slot> {
         let mut slots = Vec::new();
         for (&node, t) in &self.trackers {
-            if t.health.alive {
+            if t.health.alive && !self.is_globally_blacklisted(node) {
                 for _ in 0..t.reduce_slots {
                     slots.push(Slot { node, free_at: not_before });
                 }
@@ -312,6 +350,12 @@ impl MrCluster {
         let mut counters = Counters::new();
         let mut tasks: Vec<TaskSummary> = Vec::new();
         let mut peak_buffer = 0usize;
+        // Per-job tracker blacklist: a tracker that eats too many failed
+        // attempts stops receiving this job's tasks. Each *successful* job
+        // that blacklisted a tracker adds a global strike; enough strikes
+        // and the JobTracker stops scheduling on it entirely.
+        let mut job_failures: BTreeMap<NodeId, u32> = BTreeMap::new();
+        let mut job_blacklist: Vec<NodeId> = Vec::new();
 
         // ------------------------------------------------------ map phase
         let mut slots = self.map_slots();
@@ -393,6 +437,23 @@ impl MrCluster {
                         // A crashed tracker takes its slots out of the pool;
                         // the retry migrates to the earliest remaining slot.
                         if !self.trackers[&node].health.alive {
+                            slots.retain(|s| s.node != node);
+                        }
+                        // Blacklist the tracker for this job once it eats
+                        // too many failed attempts (crashed or not).
+                        let strikes = job_failures.entry(node).or_insert(0);
+                        *strikes += 1;
+                        if *strikes >= self.max_tracker_failures
+                            && !job_blacklist.contains(&node)
+                        {
+                            job_blacklist.push(node);
+                            counters.incr("Job Counters", "Trackers blacklisted", 1);
+                            let n = *strikes;
+                            self.log.log_with(start, "jobtracker", || {
+                                format!(
+                                    "{job_id} blacklisted tracker on {node} after {n} failed attempt(s)"
+                                )
+                            });
                             slots.retain(|s| s.node != node);
                         }
                         if slots.is_empty() {
@@ -482,14 +543,14 @@ impl MrCluster {
         let mut finished_at = maps_done;
 
         for r in 0..num_reduces {
-            let si = (0..reduce_slots.len())
+            let mut si = (0..reduce_slots.len())
                 .min_by_key(|&i| (reduce_slots[i].free_at, reduce_slots[i].node.0))
                 .unwrap();
-            let node = reduce_slots[si].node;
-            let start = reduce_slots[si].free_at;
             let mut attempts = 0u32;
             loop {
                 attempts += 1;
+                let node = reduce_slots[si].node;
+                let start = reduce_slots[si].free_at;
                 match self.exec_reduce_attempt(job, &outputs, r, node, start) {
                     Ok(ReduceAttempt { end, counters: task_counters, out_path }) => {
                         counters.merge(&task_counters);
@@ -517,17 +578,50 @@ impl MrCluster {
                             )));
                         }
                         reduce_slots[si].free_at += job.conf.task_startup;
+                        // A crashed tracker takes its slots out of the pool;
+                        // the retry migrates to the earliest remaining slot.
                         if !self.trackers[&node].health.alive {
                             reduce_slots.retain(|s| s.node != node);
-                            if reduce_slots.is_empty() {
-                                return Err(HlError::JobFailed(format!(
-                                    "{job_id}: every tasktracker died mid-job"
-                                )));
-                            }
                         }
-                        continue;
+                        let strikes = job_failures.entry(node).or_insert(0);
+                        *strikes += 1;
+                        if *strikes >= self.max_tracker_failures
+                            && !job_blacklist.contains(&node)
+                        {
+                            job_blacklist.push(node);
+                            counters.incr("Job Counters", "Trackers blacklisted", 1);
+                            let n = *strikes;
+                            self.log.log_with(start, "jobtracker", || {
+                                format!(
+                                    "{job_id} blacklisted tracker on {node} after {n} failed attempt(s)"
+                                )
+                            });
+                            reduce_slots.retain(|s| s.node != node);
+                        }
+                        if reduce_slots.is_empty() {
+                            return Err(HlError::JobFailed(format!(
+                                "{job_id}: every tasktracker died mid-job"
+                            )));
+                        }
+                        si = (0..reduce_slots.len())
+                            .min_by_key(|&i| (reduce_slots[i].free_at, reduce_slots[i].node.0))
+                            .unwrap_or(0); // non-empty: checked just above
                     }
                 }
+            }
+        }
+
+        // Only *successful* jobs convert their per-job blacklistings into
+        // global strikes (a failing job is as likely the job's fault as
+        // the tracker's — Hadoop 1.x drew the same line).
+        for &node in &job_blacklist {
+            let strikes = self.blacklist_strikes.entry(node).or_insert(0);
+            *strikes += 1;
+            if *strikes == self.max_tracker_blacklists {
+                let (n, at) = (*strikes, finished_at);
+                self.log.log_with(at, "jobtracker", || {
+                    format!("tracker on {node} blacklisted cluster-wide after {n} strike(s)")
+                });
             }
         }
 
@@ -540,6 +634,7 @@ impl MrCluster {
             counters,
             tasks,
             output_files,
+            blacklisted_trackers: job_blacklist,
             peak_mapper_buffer: peak_buffer,
         })
     }
@@ -1194,5 +1289,75 @@ mod tests {
             let r = cluster.run_job(&job).unwrap();
             assert_eq!(r.job_id, format!("job_{i:04}"));
         }
+    }
+
+    #[test]
+    fn flaky_tracker_is_blacklisted_per_job_then_cluster_wide() {
+        let mut config = Configuration::with_defaults();
+        config.set(hl_common::config::keys::DFS_BLOCK_SIZE, 4096u64);
+        // One failed attempt blacklists a tracker for the job; one such
+        // blacklisting (on a successful job) bans it cluster-wide.
+        config.set(hl_common::config::keys::MAPRED_MAX_TRACKER_FAILURES, 1u32);
+        config.set(hl_common::config::keys::MAPRED_MAX_TRACKER_BLACKLISTS, 1u32);
+        let mut cluster = MrCluster::new(ClusterSpec::course_hadoop(4), config).unwrap();
+        stage(&mut cluster, "/in/data.txt", &corpus(200));
+        let job = Job::new(
+            JobConf::new("flaky")
+                .input("/in/data.txt")
+                .output("/out/flaky")
+                .fail_first_attempts(1)
+                .speculative(false),
+            || WcMap,
+            || WcReduce,
+        );
+        let report = cluster.run_job(&job).unwrap();
+        assert!(report.success, "retries on other trackers carried the job");
+        assert!(!report.blacklisted_trackers.is_empty());
+        assert!(
+            report.counters.get("Job Counters", "Trackers blacklisted")
+                >= report.blacklisted_trackers.len() as u64
+        );
+        // The successful job converted its blacklistings to global strikes.
+        let banned = cluster.blacklisted_trackers();
+        for n in &report.blacklisted_trackers {
+            assert!(banned.contains(n), "{n} should be banned cluster-wide");
+        }
+        // A clean follow-up job schedules nothing on the banned trackers.
+        let job2 = Job::new(
+            JobConf::new("clean").input("/in/data.txt").output("/out/clean").speculative(false),
+            || WcMap,
+            || WcReduce,
+        );
+        let r2 = cluster.run_job(&job2).unwrap();
+        assert!(r2.success);
+        assert!(r2.blacklisted_trackers.is_empty());
+        assert!(r2.tasks.iter().all(|t| !banned.contains(&t.node)));
+        // The operator restart pass forgives everything.
+        cluster.restart_dead_trackers();
+        assert!(cluster.blacklisted_trackers().is_empty());
+    }
+
+    #[test]
+    fn failed_jobs_do_not_add_global_strikes() {
+        let mut config = Configuration::with_defaults();
+        config.set(hl_common::config::keys::DFS_BLOCK_SIZE, 4096u64);
+        config.set(hl_common::config::keys::MAPRED_MAX_TRACKER_FAILURES, 1u32);
+        config.set(hl_common::config::keys::MAPRED_MAX_TRACKER_BLACKLISTS, 1u32);
+        let mut cluster = MrCluster::new(ClusterSpec::course_hadoop(4), config).unwrap();
+        stage(&mut cluster, "/in/data.txt", &corpus(200));
+        // Every attempt fails: the job dies with attempts exhausted, and
+        // its per-job blacklistings must NOT stick to the trackers — a
+        // failing job is as likely the job's fault as the tracker's.
+        let job = Job::new(
+            JobConf::new("doomed")
+                .input("/in/data.txt")
+                .output("/out/doomed")
+                .fail_first_attempts(100)
+                .speculative(false),
+            || WcMap,
+            || WcReduce,
+        );
+        assert!(cluster.run_job(&job).is_err());
+        assert!(cluster.blacklisted_trackers().is_empty());
     }
 }

@@ -171,6 +171,7 @@ mod tests {
                 speculative: false,
             }],
             output_files: vec![],
+            blacklisted_trackers: vec![],
             peak_mapper_buffer: 0,
         }
     }

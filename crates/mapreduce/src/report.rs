@@ -68,6 +68,10 @@ pub struct JobReport {
     pub tasks: Vec<TaskSummary>,
     /// Output files written (part-r-NNNNN paths).
     pub output_files: Vec<String>,
+    /// Trackers this job blacklisted for repeated failed attempts (they
+    /// stopped receiving the job's tasks; enough such strikes across jobs
+    /// blacklists a tracker cluster-wide).
+    pub blacklisted_trackers: Vec<NodeId>,
     /// Largest map-side sort-buffer high-water mark across tasks (the
     /// in-mapper-combining memory metric).
     pub peak_mapper_buffer: usize,
@@ -179,6 +183,11 @@ impl fmt::Display for JobReport {
             ByteSize::display(self.counters.fs(FileSystemCounter::HdfsBytesWritten)),
             ByteSize::display(self.peak_mapper_buffer as u64),
         )?;
+        if !self.blacklisted_trackers.is_empty() {
+            let list: Vec<String> =
+                self.blacklisted_trackers.iter().map(|n| n.to_string()).collect();
+            writeln!(f, "Blacklisted trackers: {}", list.join(", "))?;
+        }
         for t in &self.tasks {
             writeln!(
                 f,
@@ -252,6 +261,7 @@ mod tests {
                 },
             ],
             output_files: vec!["/out/part-r-00000".into()],
+            blacklisted_trackers: vec![],
             peak_mapper_buffer: 1024,
         }
     }

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without network access, so real proptest cannot
+//! be fetched. This crate re-implements the API subset the workspace
+//! uses: the `proptest!` macro (with `#![proptest_config]`, `name in
+//! strategy` and `name: type` parameters), `Strategy` with `prop_map`,
+//! range / tuple / `Just` / `any::<T>()` / string-regex strategies,
+//! `collection::vec`, weighted `prop_oneof!`, and the `prop_assert*`
+//! macros.
+//!
+//! Differences from upstream, on purpose:
+//! * no shrinking — a failing case panics with the seed-derived inputs,
+//!   which are already deterministic per test name and case index;
+//! * string strategies support the regex subset actually used here
+//!   (literals, `.`, `\PC`, `[a-z]` classes, groups, `*`, `+`, `{n,m}`);
+//! * sampling is driven by a fixed SplitMix64 stream per test, so runs
+//!   are reproducible without a persistence file.
+
+pub mod strategy;
+
+pub use strategy::{Arbitrary, Just, Strategy, TestRng, Union};
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.below(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration. Only `cases` matters to the stand-in; the other
+/// fields keep `..ProptestConfig::default()` struct-update syntax working.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+pub use strategy::any;
+
+/// Property assertion; panics (no shrink phase to report into).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( (1u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// The property-test entry macro. Expands each `fn` into a `#[test]`
+/// (attributes are passed through) that samples its parameters from the
+/// given strategies for `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __proptest_cfg: $crate::ProptestConfig = $cfg;
+            for __proptest_case in 0..__proptest_cfg.cases {
+                let mut __proptest_rng =
+                    $crate::TestRng::for_case(stringify!($name), __proptest_case);
+                $crate::__proptest_bind! { __proptest_rng; $($params)* }
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; ) => {};
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Put(u8, u8),
+        Flush,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (0u8..20, 0u8..3).prop_map(|(r, c)| Op::Put(r, c)),
+            1 => Just(Op::Flush),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_bare_types(x in 1usize..9, y: bool, z in -4i64..4) {
+            prop_assert!((1..9).contains(&x));
+            prop_assert!((-4..4).contains(&z));
+            let _ = y;
+        }
+
+        #[test]
+        fn vec_and_regex_strategies(
+            words in crate::collection::vec("[a-d]{1,4}( [a-d]{1,4}){0,6}", 1..30),
+            raw in crate::collection::vec(("[a-h]{1,4}", 0u64..500), 0..50),
+            data in crate::collection::vec(any::<u8>(), 0..200),
+        ) {
+            prop_assert!((1..30).contains(&words.len()));
+            for w in &words {
+                for tok in w.split(' ') {
+                    prop_assert!((1..=4).contains(&tok.len()), "token {tok:?}");
+                    prop_assert!(tok.chars().all(|c| ('a'..='d').contains(&c)));
+                }
+            }
+            for (k, v) in &raw {
+                prop_assert!((1..=4).contains(&k.len()));
+                prop_assert!(*v < 500);
+            }
+            prop_assert!(data.len() < 200);
+        }
+
+        #[test]
+        fn oneof_and_floats(ops in crate::collection::vec(op_strategy(), 1..80), f in -1e6f64..1e6) {
+            prop_assert!(!ops.is_empty());
+            prop_assert!((-1e6..1e6).contains(&f));
+            prop_assert!(ops.iter().any(|_| true));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_and_case() {
+        let a = crate::Strategy::sample(&(".*"), &mut crate::TestRng::for_case("t", 3));
+        let b = crate::Strategy::sample(&(".*"), &mut crate::TestRng::for_case("t", 3));
+        assert_eq!(a, b);
+    }
+}

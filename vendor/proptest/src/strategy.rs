@@ -1,0 +1,439 @@
+//! Strategies and the deterministic sampling rng.
+
+/// SplitMix64 stream seeded from the test name and case index, so every
+/// run of a given property replays the same inputs.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self { state: h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi)`; `hi > lo` required.
+    pub fn below(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(hi > lo, "empty size range {lo}..{hi}");
+        let span = (hi - lo) as u128;
+        lo + ((self.next_u64() as u128 * span) >> 64) as usize
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of values. Object-safe so `prop_oneof!` can mix concrete
+/// strategy types behind `Box<dyn Strategy>`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Box a strategy for heterogeneous unions (used by `prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `strategy.prop_map(f)`.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Weighted union over boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    entries: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(entries: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        assert!(!entries.is_empty(), "prop_oneof! needs at least one arm");
+        let total = entries.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Self { entries, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = ((rng.next_u64() as u128 * self.total as u128) >> 64) as u64;
+        for (w, s) in &self.entries {
+            if pick < *w as u64 {
+                return s.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.entries[self.entries.len() - 1].1.sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Arbitrary bit patterns, NaN excluded (matches upstream's default
+        // f64 strategy, which generates every class except NaN).
+        loop {
+            let candidate = f64::from_bits(rng.next_u64());
+            if !candidate.is_nan() {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        loop {
+            let candidate = f32::from_bits(rng.next_u64() as u32);
+            if !candidate.is_nan() {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32(rng.below(0x20, 0x7f) as u32).unwrap_or('a')
+    }
+}
+
+/// Strategy wrapper around [`Arbitrary`].
+#[derive(Clone, Debug, Default)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from a regex subset
+// ---------------------------------------------------------------------------
+
+/// Unbounded quantifiers (`*`, `+`) cap their repeat count here.
+const STAR_MAX: usize = 8;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Lit(char),
+    /// `.` or `\PC`: sampled from printable ASCII.
+    AnyPrintable,
+    /// `[a-z0]`-style class, as inclusive ranges.
+    Class(Vec<(char, char)>),
+    Group(Vec<(Atom, usize, usize)>),
+}
+
+fn parse_seq(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str, in_group: bool) -> Vec<(Atom, usize, usize)> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if in_group && c == ')' {
+            chars.next();
+            return seq;
+        }
+        chars.next();
+        let atom = match c {
+            '.' => Atom::AnyPrintable,
+            '\\' => match chars.next() {
+                // `\PC`: "not a control character".
+                Some('P') => {
+                    let category = chars.next();
+                    assert_eq!(category, Some('C'), "unsupported \\P category in {pattern:?}");
+                    Atom::AnyPrintable
+                }
+                Some(escaped) => Atom::Lit(escaped),
+                None => panic!("dangling escape in {pattern:?}"),
+            },
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars.next().unwrap_or_else(|| panic!("unclosed class in {pattern:?}"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unclosed class in {pattern:?}"));
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '(' => Atom::Group(parse_seq(chars, pattern, true)),
+            lit => Atom::Lit(lit),
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, STAR_MAX)
+            }
+            Some('+') => {
+                chars.next();
+                (1, STAR_MAX)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                if let Some((lo, hi)) = spec.split_once(',') {
+                    let lo: usize = lo.trim().parse().expect("bad {n,m} quantifier");
+                    let hi: usize = hi.trim().parse().expect("bad {n,m} quantifier");
+                    assert!(lo <= hi, "bad quantifier in {pattern:?}");
+                    (lo, hi)
+                } else {
+                    let n: usize = spec.trim().parse().expect("bad {n} quantifier");
+                    (n, n)
+                }
+            }
+            _ => (1, 1),
+        };
+        seq.push((atom, min, max));
+    }
+    assert!(!in_group, "unclosed group in {pattern:?}");
+    seq
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Lit(c) => out.push(*c),
+        Atom::AnyPrintable => out.push((rng.below(0x20, 0x7f) as u8) as char),
+        Atom::Class(ranges) => {
+            let idx = rng.below(0, ranges.len());
+            let (lo, hi) = ranges[idx];
+            let c = char::from_u32(rng.below(lo as usize, hi as usize + 1) as u32)
+                .expect("class sampled a surrogate");
+            out.push(c);
+        }
+        Atom::Group(seq) => sample_seq(seq, rng, out),
+    }
+}
+
+fn sample_seq(seq: &[(Atom, usize, usize)], rng: &mut TestRng, out: &mut String) {
+    for (atom, min, max) in seq {
+        let count = if min == max { *min } else { rng.below(*min, *max + 1) };
+        for _ in 0..count {
+            sample_atom(atom, rng, out);
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let seq = parse_seq(&mut self.chars().peekable(), self, false);
+        let mut out = String::new();
+        sample_seq(&seq, rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        self.as_str().sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::for_case("regex", 0);
+        for _ in 0..200 {
+            let s = "[a-h]{1,4}".sample(&mut rng);
+            assert!((1..=4).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='h').contains(&c)), "{s:?}");
+
+            let t = "[a-d]{1,4}( [a-d]{1,4}){0,6}".sample(&mut rng);
+            for tok in t.split(' ') {
+                assert!((1..=4).contains(&tok.len()), "{t:?}");
+            }
+
+            let u = "\\PC*".sample(&mut rng);
+            assert!(u.chars().all(|c| !c.is_control()), "{u:?}");
+
+            let v = ".*".sample(&mut rng);
+            assert!(v.len() <= STAR_MAX);
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight_tail() {
+        let u = Union::new(vec![(1, boxed(Just(7u8)))]);
+        let mut rng = TestRng::for_case("union", 0);
+        for _ in 0..20 {
+            assert_eq!(u.sample(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_bounds_eventually() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..400 {
+            seen.insert((0u8..4).sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}
