@@ -34,12 +34,8 @@ fn ablation_pairs_vs_stripes(c: &mut Criterion) {
     let (text, _) = CorpusGen::new(77).with_vocab(400).generate(30_000);
     let inputs = vec![("c.txt".to_string(), text.into_bytes())];
     let runner = LocalRunner::serial();
-    let p = runner
-        .run(&cooccurrence::pairs("/i", "/o", 2), &inputs, &SideFiles::new())
-        .unwrap();
-    let s = runner
-        .run(&cooccurrence::stripes("/i", "/o", 2), &inputs, &SideFiles::new())
-        .unwrap();
+    let p = runner.run(&cooccurrence::pairs("/i", "/o", 2), &inputs, &SideFiles::new()).unwrap();
+    let s = runner.run(&cooccurrence::stripes("/i", "/o", 2), &inputs, &SideFiles::new()).unwrap();
     println!("ablation: pairs vs stripes (30k-word Zipf corpus)");
     println!(
         "  pairs:   {:>9} map records  {:>10} map bytes  {}",
@@ -101,9 +97,8 @@ fn ablation_replication_staging(c: &mut Criterion) {
         let mut dfs = Dfs::format(&config, &spec).unwrap();
         let mut net = hl_cluster::network::ClusterNet::new(&spec);
         dfs.namenode.mkdirs("/d").unwrap();
-        let put = dfs
-            .put_synthetic(&mut net, SimTime::ZERO, "/d/set", 4 * ByteSize::GIB, None)
-            .unwrap();
+        let put =
+            dfs.put_synthetic(&mut net, SimTime::ZERO, "/d/set", 4 * ByteSize::GIB, None).unwrap();
         put.completed_at.since(SimTime::ZERO)
     };
     for r in [1u32, 2, 3] {
@@ -120,9 +115,7 @@ fn ablation_block_size(c: &mut Criterion) {
     let run_with = |block: u64| {
         let mut cl = cluster_with(block);
         stage(&mut cl, "/in/c.txt", &text);
-        cl.run_job(&wordcount::wordcount_combiner("/in/c.txt", "/out", 2))
-            .unwrap()
-            .elapsed()
+        cl.run_job(&wordcount::wordcount_combiner("/in/c.txt", "/out", 2)).unwrap().elapsed()
     };
     for block in [4 * ByteSize::KIB, 32 * ByteSize::KIB, 256 * ByteSize::KIB] {
         println!("  {:>10}: {}", ByteSize::display(block).to_string(), run_with(block));

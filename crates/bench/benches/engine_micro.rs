@@ -102,8 +102,7 @@ fn bench_line_reader(c: &mut Criterion) {
 }
 
 fn bench_partition(c: &mut Criterion) {
-    let keys: Vec<Vec<u8>> =
-        (0..10_000u32).map(|i| format!("key-{i}").into_bytes()).collect();
+    let keys: Vec<Vec<u8>> = (0..10_000u32).map(|i| format!("key-{i}").into_bytes()).collect();
     c.bench_function("partition_hash_10k", |b| {
         b.iter(|| {
             let mut acc = 0usize;

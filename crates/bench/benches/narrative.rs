@@ -33,7 +33,16 @@ narrative_bench!(bench_platforms, platforms, "platform_evolution", 10);
 narrative_bench!(bench_jummp, jummp, "jummp_maneuvering", 10);
 
 criterion_group!(
-    benches, bench_n1, bench_n2, bench_n3, bench_n4, bench_n5, bench_n6, bench_n7, bench_n8,
-    bench_platforms, bench_jummp
+    benches,
+    bench_n1,
+    bench_n2,
+    bench_n3,
+    bench_n4,
+    bench_n5,
+    bench_n6,
+    bench_n7,
+    bench_n8,
+    bench_platforms,
+    bench_jummp
 );
 criterion_main!(benches);

@@ -1,0 +1,239 @@
+//! `bench-snapshot` — the CI perf-gate's pinned benchmark.
+//!
+//! ```text
+//! bench-snapshot                              # run, write BENCH_<workload>.json
+//! bench-snapshot --baseline                   # also write combined BENCH_baseline.json
+//! bench-snapshot --check BENCH_baseline.json  # compare against a committed baseline
+//! ```
+//!
+//! Runs two pinned workloads — seeded wordcount and total-order terasort —
+//! on a fixed 8-node cluster with a deliberately small sort buffer (so the
+//! spill path is exercised), and records three virtual-time/perf counters
+//! per workload: `wall_time_us` (simulated job duration), `spill_bytes`
+//! (map-side spill volume), `shuffle_bytes` (reduce fetch volume). All
+//! three are pure functions of the engine's cost model, so a committed
+//! baseline diff is a deterministic perf regression signal, not a noisy
+//! wall-clock one. `--check` fails (exit 1) on any metric regressing more
+//! than the 10% tolerance band; usage or I/O problems exit 2.
+
+use std::process::ExitCode;
+
+use hl_cluster::node::ClusterSpec;
+use hl_common::config::keys;
+use hl_common::prelude::*;
+use hl_datagen::CorpusGen;
+use hl_mapreduce::MrCluster;
+use hl_workloads::terasort::{sample_cut_points, sorted_wordcount};
+use hl_workloads::wordcount::wordcount;
+
+/// Seed for the input corpus — pinned so every run sees identical data.
+const SEED: u64 = 42;
+/// Corpus size in words: big enough to spill against the shrunken sort
+/// buffer and split into several map tasks.
+const WORDS: usize = 150_000;
+/// Regression tolerance: fail only past this many percent over baseline.
+const TOLERANCE_PCT: u64 = 10;
+
+/// One workload's perf counters, all derived from virtual time.
+struct Snapshot {
+    workload: &'static str,
+    wall_time_us: u64,
+    spill_bytes: u64,
+    shuffle_bytes: u64,
+}
+
+impl Snapshot {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"workload\": \"{}\",\n  \"wall_time_us\": {},\n  \"spill_bytes\": {},\n  \"shuffle_bytes\": {}\n}}\n",
+            self.workload, self.wall_time_us, self.spill_bytes, self.shuffle_bytes
+        )
+    }
+
+    fn metrics(&self) -> [(&'static str, u64); 3] {
+        [
+            ("wall_time_us", self.wall_time_us),
+            ("spill_bytes", self.spill_bytes),
+            ("shuffle_bytes", self.shuffle_bytes),
+        ]
+    }
+}
+
+/// The pinned cluster: 8 course nodes, 128 KiB blocks (several maps per
+/// job), 64 KiB sort buffer (guaranteed spills at this corpus size).
+fn pinned_cluster() -> Result<MrCluster> {
+    let mut config = Configuration::with_defaults();
+    config.set(keys::DFS_BLOCK_SIZE, 128 * 1024u64);
+    config.set(keys::IO_SORT_BYTES, 64 * 1024u64);
+    MrCluster::new(ClusterSpec::course_hadoop(8), config)
+}
+
+fn stage(cluster: &mut MrCluster, path: &str, text: &str) -> Result<()> {
+    cluster.dfs.namenode.mkdirs("/in")?;
+    let t = cluster.now;
+    let put = cluster.dfs.put(&mut cluster.net, t, path, text.as_bytes(), None)?;
+    cluster.now = put.completed_at;
+    Ok(())
+}
+
+/// Run one workload on a fresh pinned cluster and snapshot its counters.
+fn run_workload(workload: &'static str) -> Result<Snapshot> {
+    let mut cluster = pinned_cluster()?;
+    let (corpus, _) = CorpusGen::new(SEED).generate(WORDS);
+    stage(&mut cluster, "/in/corpus.txt", &corpus)?;
+    let report = match workload {
+        "wordcount" => cluster.run_job(&wordcount("/in/corpus.txt", "/out/wc", 4))?,
+        "terasort" => {
+            let cuts = sample_cut_points(&corpus, 4);
+            cluster.run_job(&sorted_wordcount("/in/corpus.txt", "/out/ts", cuts))?
+        }
+        other => return Err(HlError::Config(format!("unknown workload {other}"))),
+    };
+    let snap = cluster.metrics_snapshot();
+    Ok(Snapshot {
+        workload,
+        wall_time_us: report.elapsed().as_micros(),
+        spill_bytes: snap.counter("jobtracker", "spill.bytes"),
+        shuffle_bytes: snap.counter("jobtracker", "shuffle.bytes"),
+    })
+}
+
+/// Extract `"metric": N` from the named workload's object in the baseline
+/// JSON. The format is the one this binary writes — a flat object per
+/// workload — so a scan to the workload key and then to the metric key
+/// inside its braces is a complete parse.
+fn extract(json: &str, workload: &str, metric: &str) -> Option<u64> {
+    let start = json.find(&format!("\"{workload}\""))?;
+    let body = &json[start..];
+    let open = body.find('{')?;
+    let close = body[open..].find('}')? + open;
+    let section = &body[open..close];
+    let at = section.find(&format!("\"{metric}\""))?;
+    let rest = &section[at..];
+    let colon = rest.find(':')?;
+    let digits: String = rest[colon + 1..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Compare a fresh snapshot against the baseline; returns the list of
+/// human-readable regression lines (empty = gate passes).
+fn check(snapshots: &[Snapshot], baseline: &str) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for s in snapshots {
+        for (metric, measured) in s.metrics() {
+            let Some(base) = extract(baseline, s.workload, metric) else {
+                regressions.push(format!("{}/{metric}: missing from baseline", s.workload));
+                continue;
+            };
+            // Tolerance band: fail only when measured > base * (1 + tol).
+            let ceiling = base.saturating_mul(100 + TOLERANCE_PCT) / 100;
+            if measured > ceiling {
+                regressions.push(format!(
+                    "{}/{metric}: {measured} exceeds baseline {base} by more than {TOLERANCE_PCT}%",
+                    s.workload
+                ));
+            } else if measured > base {
+                eprintln!(
+                    "note: {}/{metric} drifted {measured} vs {base} (within {TOLERANCE_PCT}%)",
+                    s.workload
+                );
+            }
+        }
+    }
+    regressions
+}
+
+fn combined_json(snapshots: &[Snapshot]) -> String {
+    let mut out = String::from("{\n");
+    for (i, s) in snapshots.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{}\": {{ \"wall_time_us\": {}, \"spill_bytes\": {}, \"shuffle_bytes\": {} }}{}\n",
+            s.workload,
+            s.wall_time_us,
+            s.spill_bytes,
+            s.shuffle_bytes,
+            if i + 1 < snapshots.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check_path: Option<String> = None;
+    let mut write_baseline = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => match it.next() {
+                Some(p) => check_path = Some(p.clone()),
+                None => {
+                    eprintln!("--check needs a baseline path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => write_baseline = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: bench-snapshot [--baseline] [--check BENCH_baseline.json]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut snapshots = Vec::new();
+    for workload in ["wordcount", "terasort"] {
+        match run_workload(workload) {
+            Ok(s) => {
+                println!(
+                    "{:<10} wall_time_us={} spill_bytes={} shuffle_bytes={}",
+                    s.workload, s.wall_time_us, s.spill_bytes, s.shuffle_bytes
+                );
+                snapshots.push(s);
+            }
+            Err(e) => {
+                eprintln!("workload {workload} failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for s in &snapshots {
+        let path = format!("BENCH_{}.json", s.workload);
+        if let Err(e) = std::fs::write(&path, s.to_json()) {
+            eprintln!("writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if write_baseline {
+        if let Err(e) = std::fs::write("BENCH_baseline.json", combined_json(&snapshots)) {
+            eprintln!("writing BENCH_baseline.json: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote BENCH_baseline.json");
+    }
+
+    if let Some(path) = check_path {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("reading {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let regressions = check(&snapshots, &baseline);
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!("perf-gate: {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("perf-gate: all metrics within {TOLERANCE_PCT}% of {path}");
+    }
+    ExitCode::SUCCESS
+}

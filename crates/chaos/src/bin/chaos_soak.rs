@@ -1,7 +1,7 @@
 //! `chaos-soak`: fan the chaos runner across seeds × scenario packs.
 //!
 //! ```text
-//! chaos-soak                          # 200 seeds x all 4 packs
+//! chaos-soak                          # 200 seeds x all 5 packs
 //! chaos-soak --seeds 0..50            # a seed range
 //! chaos-soak --seeds 64               # seeds 0..64
 //! chaos-soak --pack bit-rot           # one pack only
@@ -142,10 +142,7 @@ fn main() -> ExitCode {
                 for v in &report.violations {
                     println!("  {v}");
                 }
-                println!(
-                    "replay with: chaos-soak --pack {} --replay {seed}",
-                    pack.name()
-                );
+                println!("replay with: chaos-soak --pack {} --replay {seed}", pack.name());
                 return ExitCode::from(1);
             }
             if args.verify_trace {

@@ -21,6 +21,12 @@
 //!    eventually lease-recovered: closed at a consistent whole-block
 //!    length that reads back as a CRC-valid prefix of what the writer
 //!    sent, with no lease left behind.
+//! 7. **metrics** — the observability layer is itself deterministic and
+//!    honest: back-to-back snapshots of the quiesced cluster serialize
+//!    byte-identically, the `chaos` daemon's counters reconcile with the
+//!    injected fault count, and the NameNode's restart counter matches
+//!    the NameNode restarts the plan caused — monotonic counters survive
+//!    daemon restarts exactly once, neither double- nor under-counted.
 
 use std::collections::BTreeMap;
 
@@ -102,13 +108,10 @@ pub(crate) fn verify_durability(r: &mut ChaosRunner) {
     match fsck(&r.cluster.dfs, "/") {
         Ok(report) => {
             for (path, e) in unreadable {
-                let owned_up =
-                    report.files.iter().any(|f| f.path == path && f.missing > 0);
+                let owned_up = report.files.iter().any(|f| f.path == path && f.missing > 0);
                 if owned_up {
                     let now = r.cluster.now;
-                    r.cluster
-                        .log
-                        .log(now, "chaos", format!("{path} lost, and fsck reports it"));
+                    r.cluster.log.log(now, "chaos", format!("{path} lost, and fsck reports it"));
                 } else {
                     r.violate(
                         "durability",
@@ -273,10 +276,7 @@ pub(crate) fn verify_ports(r: &mut ChaosRunner) {
     if !r.campus.ports.is_empty() {
         r.violate(
             "ghost-ports",
-            format!(
-                "{} port binding(s) survive teardown + cleanup cron",
-                r.campus.ports.len()
-            ),
+            format!("{} port binding(s) survive teardown + cleanup cron", r.campus.ports.len()),
         );
     }
 }
@@ -285,24 +285,75 @@ pub(crate) fn verify_ports(r: &mut ChaosRunner) {
 /// faults were injected.
 pub(crate) fn verify_accounting(r: &mut ChaosRunner) {
     let planned = r.plan.len();
-    let traced = r
-        .cluster
-        .log
-        .from_source("chaos")
-        .filter(|e| e.message.starts_with("inject "))
-        .count();
-    let counted: u64 = r
-        .counters
-        .iter()
-        .filter(|(group, _, _)| *group == "Chaos")
-        .map(|(_, _, v)| v)
-        .sum();
+    let traced =
+        r.cluster.log.from_source("chaos").filter(|e| e.message.starts_with("inject ")).count();
+    let counted: u64 =
+        r.counters.iter().filter(|(group, _, _)| *group == "Chaos").map(|(_, _, v)| v).sum();
     if traced != planned || counted != planned as u64 || r.injected as usize != planned {
         r.violate(
             "accounting",
             format!(
                 "planned {planned} fault(s); injected {}, traced {traced}, counted {counted}",
                 r.injected
+            ),
+        );
+    }
+}
+
+/// Oracle 7: **metrics**. The instruments measuring the chaos must be as
+/// deterministic as the chaos itself. Snapshotting twice in a row (with
+/// no intervening simulated events) must serialize byte-identically; the
+/// `chaos` daemon's counter mirror must account for every injected fault;
+/// and the NameNode's `restarts` counter must equal the number of
+/// NameNode restarts the plan scheduled — proof the registry's restart
+/// semantics preserve monotonic counters without double-counting.
+pub(crate) fn verify_metrics(r: &mut ChaosRunner) {
+    let snap = r.cluster.metrics_snapshot();
+    let again = r.cluster.metrics_snapshot();
+    if snap.to_bytes() != again.to_bytes() {
+        r.violate("metrics", "back-to-back snapshots serialize differently".to_string());
+    }
+
+    let counted: u64 = snap
+        .samples
+        .iter()
+        .filter(|s| s.daemon == "chaos")
+        .filter_map(|s| match s.value {
+            hl_metrics::MetricValue::Counter(v) => Some(v),
+            _ => None,
+        })
+        .sum();
+    if counted != u64::from(r.injected) {
+        r.violate(
+            "metrics",
+            format!("chaos daemon counted {counted} fault(s), runner injected {}", r.injected),
+        );
+    }
+
+    // Every NameNode-restarting fault routes through `Dfs::restart_all`,
+    // which bumps the counter exactly once even when the cluster ends the
+    // run legitimately stuck in safe mode.
+    let expected_nn_restarts = r
+        .plan
+        .faults
+        .iter()
+        .filter(|p| {
+            matches!(
+                p.fault,
+                crate::plan::Fault::RestartNameNode
+                    | crate::plan::Fault::KillDaemon {
+                        kind: hl_cluster::failure::DaemonKind::NameNode,
+                        ..
+                    }
+            )
+        })
+        .count() as u64;
+    let got = snap.counter("namenode", "restarts");
+    if got != expected_nn_restarts {
+        r.violate(
+            "metrics",
+            format!(
+                "namenode restarts counter reads {got}, plan restarted it {expected_nn_restarts} time(s)"
             ),
         );
     }

@@ -322,10 +322,11 @@ mod tests {
         let plan = FaultPlan {
             seed: 0xDEAD_BEEF,
             rounds: 4,
-            faults: faults.into_iter().enumerate().map(|(i, fault)| PlannedFault {
-                at: i as u32 % 4,
-                fault,
-            }).collect(),
+            faults: faults
+                .into_iter()
+                .enumerate()
+                .map(|(i, fault)| PlannedFault { at: i as u32 % 4, fault })
+                .collect(),
         };
         assert_eq!(FaultPlan::from_bytes(&plan.to_bytes()).unwrap(), plan);
     }

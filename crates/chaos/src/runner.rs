@@ -308,9 +308,7 @@ impl ChaosRunner {
                     });
                     match String::from_utf8(got.value) {
                         Ok(s) => text.push_str(&s),
-                        Err(_) => {
-                            self.violate("ground-truth", format!("{}: not UTF-8", row.path))
-                        }
+                        Err(_) => self.violate("ground-truth", format!("{}: not UTF-8", row.path)),
                     }
                 }
                 Err(e) => self.violate(
@@ -333,6 +331,10 @@ impl ChaosRunner {
         let now = self.cluster.now;
         self.cluster.log.log(now, "chaos", format!("inject {fault}"));
         self.counters.incr("Chaos", fault.label(), 1);
+        // Mirror into the metrics registry: the metrics oracle reconciles
+        // the "chaos" daemon's counters against the plan, and the mirror
+        // lives on the JobTracker registry so it survives daemon restarts.
+        self.cluster.metrics.incr("chaos", fault.label(), 1);
         self.injected += 1;
         match fault {
             Fault::KillDaemon { kind, node } => match kind {
@@ -409,7 +411,9 @@ impl ChaosRunner {
                     self.open_writers.push((path, data));
                 }
             }
-            Err(e) => self.violate("clean-failure", format!("storm write {path} died uncleanly: {e}")),
+            Err(e) => {
+                self.violate("clean-failure", format!("storm write {path} died uncleanly: {e}"))
+            }
         }
     }
 
@@ -429,11 +433,7 @@ impl ChaosRunner {
             .block_locations(id)
             .into_iter()
             .filter(|&h| {
-                self.cluster
-                    .dfs
-                    .datanode(h)
-                    .map(|d| d.alive && d.has_block(id))
-                    .unwrap_or(false)
+                self.cluster.dfs.datanode(h).map(|d| d.alive && d.has_block(id)).unwrap_or(false)
             })
             .collect();
         if holders.is_empty() {
@@ -489,23 +489,16 @@ impl ChaosRunner {
                         "ghost-ports",
                         format!("bind on {node}:{port} succeeded under a live ghost"),
                     ),
-                    Err(e) => self.violate(
-                        "ghost-ports",
-                        format!("bind on {node}:{port} failed oddly: {e}"),
-                    ),
+                    Err(e) => self
+                        .violate("ghost-ports", format!("bind on {node}:{port} failed oddly: {e}")),
                 }
                 // ...and cannot hand-kill a ghost it does not own.
                 if self.campus.ports.kill_own_ghost(node, port, SESSION_OWNER).is_ok() {
-                    self.violate(
-                        "ghost-ports",
-                        format!("killed a foreign ghost on {node}:{port}"),
-                    );
+                    self.violate("ghost-ports", format!("killed a foreign ghost on {node}:{port}"));
                 }
             }
             Err(HlError::PortInUse { .. }) => {
-                self.cluster
-                    .log
-                    .log(now, "chaos", format!("{node}:{port} already squatted"));
+                self.cluster.log.log(now, "chaos", format!("{node}:{port} already squatted"));
             }
             Err(e) => self.violate("ghost-ports", format!("ghost bind on {node}:{port}: {e}")),
         }
@@ -586,13 +579,18 @@ impl ChaosRunner {
         oracle::quiesce_replication(&mut self);
         oracle::verify_ports(&mut self);
         oracle::verify_accounting(&mut self);
+        oracle::verify_metrics(&mut self);
 
-        // The replay fingerprint covers both event logs plus the exact
-        // corruption set.
+        // The replay fingerprint covers both event logs, the exact
+        // corruption set, and the final metrics report — so a same-seed
+        // double-run under `--verify-trace` also enforces byte-identical
+        // metrics.
         let mut trace = self.cluster.log.to_string();
         trace.push_str(&self.campus.log.to_string());
         use std::fmt::Write as _;
         let _ = writeln!(trace, "corruptions: {:?}", self.corruptions);
+        let metrics = self.cluster.metrics_snapshot();
+        let _ = writeln!(trace, "{}", hl_metrics::MetricsReport(&metrics));
         let trace_hash = fnv1a(trace.as_bytes());
 
         ChaosReport {
@@ -640,6 +638,38 @@ mod tests {
         oracle::verify_ports(&mut runner);
         assert!(runner.violations.is_empty(), "{:?}", runner.violations);
         assert!(runner.campus.ports.is_empty());
+    }
+
+    #[test]
+    fn restart_sweep_keeps_counters_monotonic_without_double_counting() {
+        use crate::plan::PlannedFault;
+        // Two NameNode restarts plus a full daemon sweep: monotonic
+        // counters must carry across every restart exactly once, while
+        // the gauges rebuild from post-restart state.
+        let mut runner = ChaosRunner::new(ScenarioPack::Meltdown, 13).unwrap();
+        runner.plan.faults.clear();
+        runner.plan.faults.push(PlannedFault { at: 0, fault: Fault::RestartNameNode });
+        runner.plan.faults.push(PlannedFault { at: 1, fault: Fault::RestartDaemons });
+        runner.plan.faults.push(PlannedFault {
+            at: 2,
+            fault: Fault::KillDaemon { kind: DaemonKind::NameNode, node: NodeId(0) },
+        });
+        for round in 0..runner.plan.rounds {
+            runner.round(round);
+        }
+        let snap = runner.cluster.metrics_snapshot();
+        assert_eq!(snap.counter("namenode", "restarts"), 2);
+        assert!(snap.counter("namenode", "rpc.block_report") > 0);
+        assert!(snap.counter("chaos", "RestartNameNode") == 1);
+        // Safe mode was re-entered on each restart and exited again.
+        assert_eq!(snap.counter("namenode", "safemode.entered"), 2);
+        assert_eq!(snap.gauge("namenode", "safemode.on"), 0);
+        let report = runner.finish();
+        assert!(report.ok(), "restart sweep violated: {:?}", report.violations);
+        // The metrics oracle re-ran the same reconciliation in finish(),
+        // and the replay fingerprint now covers the rendered report.
+        assert!(report.trace.contains("Name: namenode"));
+        assert!(report.trace.contains("restarts"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Scenario packs: named families of fault plans.
 //!
 //! Each pack is a *distribution* over [`FaultPlan`]s, sampled by seed.
-//! The four packs replay the paper's four operational war stories:
+//! The five packs replay the paper's operational war stories:
 //!
 //! * **meltdown** — heap-leaking student jobs OOM TaskTrackers and their
 //!   colocated DataNodes (Section II-A, Fall 2012);
@@ -143,7 +143,10 @@ impl ScenarioPack {
                 if rng.gen_bool(0.4) {
                     faults.push(PlannedFault {
                         at: 2,
-                        fault: Fault::KillDaemon { kind: DaemonKind::DataNode, node: node(&mut rng) },
+                        fault: Fault::KillDaemon {
+                            kind: DaemonKind::DataNode,
+                            node: node(&mut rng),
+                        },
                     });
                 }
                 faults.push(PlannedFault { at: ROUNDS - 1, fault: Fault::RestartDaemons });
@@ -191,7 +194,10 @@ impl ScenarioPack {
                 if rng.gen_bool(0.4) {
                     faults.push(PlannedFault {
                         at: 2,
-                        fault: Fault::KillDaemon { kind: DaemonKind::DataNode, node: node(&mut rng) },
+                        fault: Fault::KillDaemon {
+                            kind: DaemonKind::DataNode,
+                            node: node(&mut rng),
+                        },
                     });
                 }
                 // No RestartNameNode here: a crashed writer's unconfirmed

@@ -38,11 +38,7 @@ fn all_packs_smoke_clean() {
     for pack in ScenarioPack::ALL {
         for seed in 0..3 {
             let report = ChaosRunner::run(pack, seed).unwrap();
-            assert!(
-                report.ok(),
-                "{pack} seed {seed} violated: {:?}",
-                report.violations
-            );
+            assert!(report.ok(), "{pack} seed {seed} violated: {:?}", report.violations);
             assert_eq!(report.injected as usize, report.planned);
         }
     }

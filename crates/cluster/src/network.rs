@@ -13,6 +13,7 @@
 
 use hl_common::prelude::*;
 use hl_common::units::ByteSize;
+use hl_metrics::MetricsRegistry;
 
 use crate::node::ClusterSpec;
 use crate::resource::{Charge, PipeResource};
@@ -157,10 +158,8 @@ impl ClusterNet {
     /// Panics when called on a Hadoop-architecture cluster — that is a
     /// wiring bug in the caller, not a modeled failure.
     pub fn read_shared_storage(&mut self, now: SimTime, reader: NodeId, bytes: u64) -> Charge {
-        let storage = self
-            .shared_storage
-            .as_mut()
-            .expect("read_shared_storage on a local-disk cluster");
+        let storage =
+            self.shared_storage.as_mut().expect("read_shared_storage on a local-disk cluster");
         self.remote_bytes += bytes;
         let s = storage.charge(now, bytes);
         let rack = self.topology.rack(reader);
@@ -175,10 +174,8 @@ impl ClusterNet {
         let rack = self.topology.rack(writer);
         let up = self.uplinks[rack.0 as usize].charge(nic.end, bytes);
         self.remote_bytes += bytes;
-        let storage = self
-            .shared_storage
-            .as_mut()
-            .expect("write_shared_storage on a local-disk cluster");
+        let storage =
+            self.shared_storage.as_mut().expect("write_shared_storage on a local-disk cluster");
         let s = storage.charge(up.end, bytes);
         Charge { start: now, end: s.end }
     }
@@ -201,6 +198,29 @@ impl ClusterNet {
     /// Utilization of the shared parallel FS pipe at `now`.
     pub fn shared_storage_utilization(&self, now: SimTime) -> f64 {
         self.shared_storage.as_ref().map_or(0.0, |s| s.utilization(now))
+    }
+
+    /// Export the network's instruments into `reg` under the "network"
+    /// daemon: per-pipe cumulative bytes and current queue backlog (how
+    /// far `free_at` runs ahead of `now` — the store-and-forward analog of
+    /// queue depth), plus the cluster-wide remote-bytes total. All gauges:
+    /// they are sampled levels of pipe state, re-set on every export.
+    pub fn export_metrics(&self, now: SimTime, reg: &mut MetricsRegistry) {
+        fn g(n: u64) -> i64 {
+            i64::try_from(n).unwrap_or(i64::MAX)
+        }
+        let pipes = self
+            .nics
+            .iter()
+            .chain(self.disks.iter())
+            .chain(self.uplinks.iter())
+            .chain(self.shared_storage.iter());
+        for p in pipes {
+            reg.set_gauge("network", &format!("{}.bytes", p.name), g(p.total_bytes()));
+            let backlog = p.free_at().since(now.min(p.free_at())).as_micros();
+            reg.set_gauge("network", &format!("{}.queue_micros", p.name), g(backlog));
+        }
+        reg.set_gauge("network", "remote.bytes", g(self.remote_bytes));
     }
 
     /// Reset byte/busy accounting on every pipe (between experiment runs).
@@ -302,6 +322,25 @@ mod tests {
     fn shared_read_on_hadoop_is_a_bug() {
         let mut net = hadoop(2, 1);
         net.read_shared_storage(SimTime::ZERO, NodeId(0), 1);
+    }
+
+    #[test]
+    fn export_metrics_reports_link_bytes_and_queue_depth() {
+        let mut net = hadoop(2, 1);
+        let c = net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 117 * ByteSize::MIB);
+        let mut reg = MetricsRegistry::new();
+        net.export_metrics(SimTime::ZERO, &mut reg);
+        let snap = reg.snapshot(SimTime::ZERO);
+        let mib117 = i64::try_from(117 * ByteSize::MIB).unwrap();
+        assert_eq!(snap.gauge("network", "node000.nic.bytes"), mib117);
+        assert_eq!(snap.gauge("network", "node001.nic.bytes"), mib117);
+        assert_eq!(snap.gauge("network", "remote.bytes"), mib117);
+        // Sampled at time zero, the destination NIC is still draining.
+        assert!(snap.gauge("network", "node001.nic.queue_micros") > 0);
+        // Sampled after the transfer completes, the backlog is gone.
+        net.export_metrics(c.end, &mut reg);
+        let snap = reg.snapshot(c.end);
+        assert_eq!(snap.gauge("network", "node001.nic.queue_micros"), 0);
     }
 
     #[test]

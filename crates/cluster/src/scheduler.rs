@@ -117,12 +117,8 @@ impl BatchScheduler {
         let mut outcome = TickOutcome::default();
 
         // 1. Walltime expiry.
-        let expired_ids: Vec<_> = self
-            .running
-            .values()
-            .filter(|r| r.expires_at <= now)
-            .map(|r| r.id)
-            .collect();
+        let expired_ids: Vec<_> =
+            self.running.values().filter(|r| r.expires_at <= now).map(|r| r.id).collect();
         for id in expired_ids {
             let res = self.running.remove(&id).unwrap();
             self.free.extend(res.nodes.iter().copied());

@@ -110,7 +110,10 @@ impl Configuration {
 
     fn parse<T: std::str::FromStr>(&self, key: &str, raw: &str) -> Result<T> {
         raw.parse().map_err(|_| {
-            HlError::Config(format!("key {key}: cannot parse {raw:?} as {}", std::any::type_name::<T>()))
+            HlError::Config(format!(
+                "key {key}: cannot parse {raw:?} as {}",
+                std::any::type_name::<T>()
+            ))
         })
     }
 

@@ -159,9 +159,9 @@ impl Counters {
 
     /// Iterate `(group, counter, value)` in display order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str, u64)> {
-        self.groups.iter().flat_map(|(g, cs)| {
-            cs.iter().map(move |(c, v)| (g.as_str(), c.as_str(), *v))
-        })
+        self.groups
+            .iter()
+            .flat_map(|(g, cs)| cs.iter().map(move |(c, v)| (g.as_str(), c.as_str(), *v)))
     }
 
     /// True when nothing has been counted.

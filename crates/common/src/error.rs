@@ -88,10 +88,9 @@ impl fmt::Display for HlError {
                 "Checksum error in blk_{block_id}: expected {expected:#010x}, got {actual:#010x}"
             ),
             HlError::SafeMode(msg) => write!(f, "NameNode is in safe mode: {msg}"),
-            HlError::InsufficientReplication { wanted, available } => write!(
-                f,
-                "could only be replicated to {available} nodes instead of {wanted}"
-            ),
+            HlError::InsufficientReplication { wanted, available } => {
+                write!(f, "could only be replicated to {available} nodes instead of {wanted}")
+            }
             HlError::Codec(msg) => write!(f, "codec error: {msg}"),
             HlError::Config(msg) => write!(f, "configuration error: {msg}"),
             HlError::JobFailed(msg) => write!(f, "job failed: {msg}"),

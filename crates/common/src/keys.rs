@@ -171,9 +171,9 @@ impl SortableKey for String {
             match b {
                 0x00 => break,
                 0x01 => {
-                    let (&esc, rest2) = buf
-                        .split_first()
-                        .ok_or_else(|| HlError::Codec("dangling escape in ordered string".into()))?;
+                    let (&esc, rest2) = buf.split_first().ok_or_else(|| {
+                        HlError::Codec("dangling escape in ordered string".into())
+                    })?;
                     *buf = rest2;
                     match esc {
                         0x01 => out.push(0x00),
@@ -285,10 +285,7 @@ mod tests {
         let p = Pair("carrier".to_string(), -42i64);
         assert_eq!(Pair::<String, i64>::from_bytes(&p.to_bytes()).unwrap(), p);
         let nested = Pair(Pair(1u64, 2u64), "tail".to_string());
-        assert_eq!(
-            Pair::<Pair<u64, u64>, String>::from_bytes(&nested.to_bytes()).unwrap(),
-            nested
-        );
+        assert_eq!(Pair::<Pair<u64, u64>, String>::from_bytes(&nested.to_bytes()).unwrap(), nested);
     }
 
     #[test]

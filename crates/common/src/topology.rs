@@ -167,10 +167,7 @@ mod tests {
         let t = Topology::striped(6, 3);
         // reader node0 (rack0); holders: node1 (rack1), node3 (rack0), node0
         assert_eq!(t.best_locality(NodeId(0), &[NodeId(1)]), Some(Locality::OffRack));
-        assert_eq!(
-            t.best_locality(NodeId(0), &[NodeId(1), NodeId(3)]),
-            Some(Locality::RackLocal)
-        );
+        assert_eq!(t.best_locality(NodeId(0), &[NodeId(1), NodeId(3)]), Some(Locality::RackLocal));
         assert_eq!(
             t.best_locality(NodeId(0), &[NodeId(1), NodeId(3), NodeId(0)]),
             Some(Locality::NodeLocal)

@@ -43,10 +43,8 @@ impl ByteSize {
             Some(b't') => (&lower[..lower.len() - 1], Self::TIB),
             _ => (lower, 1),
         };
-        let value: f64 = num
-            .trim()
-            .parse()
-            .map_err(|_| HlError::Config(format!("cannot parse size {s:?}")))?;
+        let value: f64 =
+            num.trim().parse().map_err(|_| HlError::Config(format!("cannot parse size {s:?}")))?;
         if value < 0.0 {
             return Err(HlError::Config(format!("negative size {s:?}")));
         }

@@ -50,7 +50,10 @@ pub struct Fig2Result {
     pub arms: Vec<SchedulingArm>,
 }
 
-fn run_arm(scale: Scale, locality_aware: bool) -> (SchedulingArm, Vec<(u64, Vec<String>)>, u64, u64) {
+fn run_arm(
+    scale: Scale,
+    locality_aware: bool,
+) -> (SchedulingArm, Vec<(u64, Vec<String>)>, u64, u64) {
     let mut config = Configuration::with_defaults();
     // Block size scaled with the corpus so the job always has a few dozen
     // map tasks (the real course data was many 64 MB blocks; our physical
@@ -68,10 +71,8 @@ fn run_arm(scale: Scale, locality_aware: bool) -> (SchedulingArm, Vec<(u64, Vec<
     let input_bytes = text.len() as u64;
     cluster.dfs.namenode.mkdirs("/in").unwrap();
     let t = cluster.now;
-    let put = cluster
-        .dfs
-        .put(&mut cluster.net, t, "/in/corpus.txt", text.as_bytes(), None)
-        .unwrap();
+    let put =
+        cluster.dfs.put(&mut cluster.net, t, "/in/corpus.txt", text.as_bytes(), None).unwrap();
     cluster.now = put.completed_at;
     cluster.net.reset_accounting();
 
@@ -156,17 +157,9 @@ mod tests {
         let maps = aware.locality.0 + aware.locality.1 + aware.locality.2;
         assert!(maps >= 10, "need a real task population, got {maps}");
         // Locality-aware: nearly everything data-local.
-        assert!(
-            aware.locality.0 * 10 >= maps * 9,
-            "aware: {:?} of {maps}",
-            aware.locality
-        );
+        assert!(aware.locality.0 * 10 >= maps * 9, "aware: {:?} of {maps}", aware.locality);
         // FIFO: a clear chunk is remote (3 of 8 nodes hold any block).
-        assert!(
-            fifo.locality.0 < maps * 3 / 4,
-            "fifo should lose locality: {:?}",
-            fifo.locality
-        );
+        assert!(fifo.locality.0 < maps * 3 / 4, "fifo should lose locality: {:?}", fifo.locality);
         assert!(fifo.remote_input_bytes > aware.remote_input_bytes);
         assert!(fifo.elapsed >= aware.elapsed);
     }

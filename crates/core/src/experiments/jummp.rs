@@ -92,9 +92,7 @@ fn run_arm(scale: Scale, maneuver: bool) -> (JummpArm, usize, u64) {
     dfs.namenode.check_heartbeats(later);
 
     // Stage the dataset on the 6 members.
-    let (text, _) = CorpusGen::new(99)
-        .with_vocab(200)
-        .generate(scale.pick(20_000, 100_000));
+    let (text, _) = CorpusGen::new(99).with_vocab(200).generate(scale.pick(20_000, 100_000));
     dfs.namenode.mkdirs("/data").unwrap();
     let put = dfs.put(&mut net, later, "/data/corpus.txt", text.as_bytes(), None).unwrap();
     let mut now = put.completed_at;
@@ -205,10 +203,7 @@ mod tests {
         // Naive: shrunk to 2 nodes; with 3x replication and 4 preemptions
         // some blocks lost every replica.
         assert_eq!(r.naive.live_nodes, 2);
-        assert!(
-            r.naive.missing_blocks > 0,
-            "4 preemptions at replication 3 must lose blocks"
-        );
+        assert!(r.naive.missing_blocks > 0, "4 preemptions at replication 3 must lose blocks");
         assert!(!r.naive.data_intact);
     }
 

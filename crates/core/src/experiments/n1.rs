@@ -81,12 +81,8 @@ pub fn run(scale: Scale) -> N1Result {
         c.now = put.completed_at;
         let report = match which {
             0 => c.run_job(&wordcount::wordcount("/in/corpus.txt", "/out", 4)).unwrap(),
-            1 => c
-                .run_job(&wordcount::wordcount_combiner("/in/corpus.txt", "/out", 4))
-                .unwrap(),
-            _ => c
-                .run_job(&wordcount::wordcount_inmapper("/in/corpus.txt", "/out", 4))
-                .unwrap(),
+            1 => c.run_job(&wordcount::wordcount_combiner("/in/corpus.txt", "/out", 4)).unwrap(),
+            _ => c.run_job(&wordcount::wordcount_inmapper("/in/corpus.txt", "/out", 4)).unwrap(),
         };
         rows.push(row(name, &report));
     }

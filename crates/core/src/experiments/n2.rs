@@ -70,9 +70,7 @@ pub fn run(scale: Scale) -> N2Result {
             _ => c.run_job(&airline::avg_delay_inmapper("/in/2008.csv", "/out")).unwrap(),
         };
         let output = c.read_output("/out").unwrap();
-        let parsed = airline::parse_output(
-            &output.lines().map(str::to_string).collect::<Vec<_>>(),
-        );
+        let parsed = airline::parse_output(&output.lines().map(str::to_string).collect::<Vec<_>>());
         rows.push(MonoidRow {
             name,
             shuffle_bytes: report.shuffle_bytes(),
@@ -131,7 +129,12 @@ mod tests {
     fn traffic_ranking_v1_worst_v3_best() {
         let r = run(Scale::Quick);
         let (v1, v2, v3) = (&r.rows[0], &r.rows[1], &r.rows[2]);
-        assert!(v1.shuffle_bytes > 8 * v2.shuffle_bytes, "{} vs {}", v1.shuffle_bytes, v2.shuffle_bytes);
+        assert!(
+            v1.shuffle_bytes > 8 * v2.shuffle_bytes,
+            "{} vs {}",
+            v1.shuffle_bytes,
+            v2.shuffle_bytes
+        );
         assert!(v2.shuffle_bytes >= v3.shuffle_bytes);
         // v3 emits ~carriers-per-task records; v1 emits per flight.
         assert_eq!(v1.map_output_records, r.flights as u64);

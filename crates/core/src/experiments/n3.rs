@@ -71,10 +71,8 @@ pub fn run(scale: Scale) -> N3Result {
         let mut c = MrCluster::new(ClusterSpec::course_hadoop(8), config).unwrap();
         c.dfs.namenode.mkdirs("/in").unwrap();
         let t = c.now;
-        let put = c
-            .dfs
-            .put(&mut c.net, t, "/in/ratings.dat", data.ratings.as_bytes(), None)
-            .unwrap();
+        let put =
+            c.dfs.put(&mut c.net, t, "/in/ratings.dat", data.ratings.as_bytes(), None).unwrap();
         c.now = put.completed_at;
         c.register_side_file("/cache/movies.dat", data.movies.clone().into_bytes());
 
@@ -82,8 +80,12 @@ pub fn run(scale: Scale) -> N3Result {
             c.run_job(&movielens::genre_stats_naive("/in/ratings.dat", "/cache/movies.dat", "/out"))
                 .unwrap()
         } else {
-            c.run_job(&movielens::genre_stats_cached("/in/ratings.dat", "/cache/movies.dat", "/out"))
-                .unwrap()
+            c.run_job(&movielens::genre_stats_cached(
+                "/in/ratings.dat",
+                "/cache/movies.dat",
+                "/out",
+            ))
+            .unwrap()
         };
         times.push(report.elapsed());
         reads.push(report.counters.get("Side Files", "reads"));

@@ -73,7 +73,9 @@ pub fn run(scale: Scale) -> N4Result {
     c.now = put.completed_at;
     let staging = put.completed_at.since(t0);
     let report = c.run_job(&airline::avg_delay_combiner("/in/2008.csv", "/out")).unwrap();
-    if std::env::var("N4_DEBUG").is_ok() { eprintln!("{report}"); }
+    if std::env::var("N4_DEBUG").is_ok() {
+        eprintln!("{report}");
+    }
     let mut cluster_out: Vec<String> =
         c.read_output("/out").unwrap().lines().map(str::to_string).collect();
     cluster_out.sort();
@@ -91,7 +93,11 @@ impl fmt::Display for N4Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "N4 — same jar, serial vs 8-node cluster, {} flights", self.flights)?;
         writeln!(f, "  serial (LocalJobRunner, 1 lane): {}", self.serial)?;
-        writeln!(f, "  cluster (8 nodes over HDFS):     {}  (+ staging {})", self.cluster, self.staging)?;
+        writeln!(
+            f,
+            "  cluster (8 nodes over HDFS):     {}  (+ staging {})",
+            self.cluster, self.staging
+        )?;
         writeln!(
             f,
             "  -> {:.1}x speedup with zero code changes; outputs identical: {}",

@@ -67,13 +67,10 @@ pub fn run(_scale: Scale) -> N5Result {
             let mut dfs = Dfs::format(&config, &spec).unwrap();
             let mut net = hl_cluster::network::ClusterNet::new(&spec);
             dfs.namenode.mkdirs("/data").unwrap();
-            let put = dfs
-                .put_synthetic(&mut net, SimTime::ZERO, "/data/set", bytes, None)
-                .unwrap();
+            let put = dfs.put_synthetic(&mut net, SimTime::ZERO, "/data/set", bytes, None).unwrap();
             let hdfs_time = put.completed_at.since(SimTime::ZERO);
             let mut source = PipeResource::new("campus-scratch", SOURCE_STREAM_BW);
-            let source_time =
-                source.charge(SimTime::ZERO, bytes).end.since(SimTime::ZERO);
+            let source_time = source.charge(SimTime::ZERO, bytes).end.since(SimTime::ZERO);
             StagingRow {
                 name,
                 bytes,
@@ -123,13 +120,15 @@ mod tests {
     #[test]
     fn staging_times_match_paper_claims() {
         let r = run(Scale::Quick);
-        let by_name = |needle: &str| {
-            r.rows.iter().find(|row| row.name.contains(needle)).unwrap()
-        };
+        let by_name = |needle: &str| r.rows.iter().find(|row| row.name.contains(needle)).unwrap();
         // "less than five minutes" for the 10 GB Yahoo set.
         assert!(by_name("Yahoo").total < SimDuration::from_mins(5), "{}", by_name("Yahoo").total);
         // "over an hour" for the 171 GB Google trace.
-        assert!(by_name("Google").total > SimDuration::from_hours(1), "{}", by_name("Google").total);
+        assert!(
+            by_name("Google").total > SimDuration::from_hours(1),
+            "{}",
+            by_name("Google").total
+        );
         // MovieLens is nearly instant.
         assert!(by_name("MovieLens").total < SimDuration::from_mins(1));
         // The airline set sits between Yahoo and Google.

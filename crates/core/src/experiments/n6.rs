@@ -86,11 +86,7 @@ pub fn run(scale: Scale) -> N6Result {
     let mut task_deaths = 0;
     while c.live_tracker_nodes().len() > 5 && submissions < 60 {
         submissions += 1;
-        let job = wordcount::wordcount(
-            "/in/corpus.txt",
-            &format!("/out/attempt{submissions}"),
-            2,
-        );
+        let job = wordcount::wordcount("/in/corpus.txt", &format!("/out/attempt{submissions}"), 2);
         let mut job = job;
         job.conf.leaks_memory = true;
         job.conf.speculative = false;
@@ -109,8 +105,7 @@ pub fn run(scale: Scale) -> N6Result {
     let from = c.now;
     c.dfs.run_protocol(&mut c.net, from, from + dead_after);
     c.now = from + dead_after;
-    let under_replicated_peak = c.dfs.namenode.under_replicated().len()
-        + count_pending(&c);
+    let under_replicated_peak = c.dfs.namenode.under_replicated().len() + count_pending(&c);
     // Let the monitor work for a while (paper: students kept resubmitting
     // instead — we measure the clean path here; the stuck path is Phase 4).
     let recover_window = SimDuration::from_mins(scale.pick(15, 120));
@@ -214,10 +209,7 @@ mod tests {
             r.storm_task_deaths,
             r.daemons_crashed
         );
-        assert!(
-            r.under_replicated_peak > 0,
-            "dead DataNodes must expose under-replication"
-        );
+        assert!(r.under_replicated_peak > 0, "dead DataNodes must expose under-replication");
         assert!(
             r.under_replicated_after_recovery < r.under_replicated_peak.max(1),
             "the monitor must make progress: {} -> {}",

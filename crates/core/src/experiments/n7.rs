@@ -44,7 +44,12 @@ pub struct N7Result {
     pub without_cleanup: ArmStats,
 }
 
-fn run_arm(name: &'static str, sessions: usize, cleanup: Option<SimDuration>, seed: u64) -> ArmStats {
+fn run_arm(
+    name: &'static str,
+    sessions: usize,
+    cleanup: Option<SimDuration>,
+    seed: u64,
+) -> ArmStats {
     let mut campus = Campus::new(16);
     if let Some(period) = cleanup {
         campus.scheduler.cleanup_period = period;
@@ -91,7 +96,12 @@ fn run_arm(name: &'static str, sessions: usize, cleanup: Option<SimDuration>, se
 pub fn run(scale: Scale) -> N7Result {
     let sessions = scale.pick(24, 80);
     N7Result {
-        with_cleanup: run_arm("15-min cleanup cron", sessions, Some(SimDuration::from_mins(15)), 42),
+        with_cleanup: run_arm(
+            "15-min cleanup cron",
+            sessions,
+            Some(SimDuration::from_mins(15)),
+            42,
+        ),
         without_cleanup: run_arm("no cleanup", sessions, None, 42),
     }
 }

@@ -110,18 +110,10 @@ mod tests {
     fn scaled_times_land_in_paper_bands() {
         let r = run(Scale::Quick);
         // Best implementation: "several minutes" at 10M ratings.
-        assert!(
-            r.cached_scaled < SimDuration::from_mins(30),
-            "cached scaled {}",
-            r.cached_scaled
-        );
+        assert!(r.cached_scaled < SimDuration::from_mins(30), "cached scaled {}", r.cached_scaled);
         assert!(r.cached_scaled > SimDuration::from_secs(5));
         // Fully naive per-record rereads: "several hours".
-        assert!(
-            r.naive_scaled > SimDuration::from_hours(1),
-            "naive scaled {}",
-            r.naive_scaled
-        );
+        assert!(r.naive_scaled > SimDuration::from_hours(1), "naive scaled {}", r.naive_scaled);
         // Order(s) of magnitude apart.
         assert!(r.factor() > 10.0, "factor {:.1}", r.factor());
     }

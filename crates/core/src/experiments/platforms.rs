@@ -151,12 +151,7 @@ mod tests {
         let dedicated = &r.rows[1];
         let myhadoop = &r.rows[2];
         assert!(myhadoop.total < vm.total, "{} vs {}", myhadoop.total, vm.total);
-        assert!(
-            myhadoop.total < dedicated.total,
-            "{} vs {}",
-            myhadoop.total,
-            dedicated.total
-        );
+        assert!(myhadoop.total < dedicated.total, "{} vs {}", myhadoop.total, dedicated.total);
         // The VM's killer is staging through the 1 MB/s NIC.
         assert!(vm.staging > vm.setup + vm.job);
         // The dedicated cluster's killer is the deadline queue.

@@ -98,10 +98,7 @@ pub fn run(_scale: Scale) -> SurveyTables {
 }
 
 fn fmt_cell(c: &Cell) -> String {
-    format!(
-        "{:.2}±{:.2} (paper {:.2}±{:.2})",
-        c.measured.0, c.measured.1, c.paper.0, c.paper.1
-    )
+    format!("{:.2}±{:.2} (paper {:.2}±{:.2})", c.measured.0, c.measured.1, c.paper.0, c.paper.1)
 }
 
 impl fmt::Display for SurveyTables {

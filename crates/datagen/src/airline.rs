@@ -46,9 +46,7 @@ pub struct AirlineTruth {
 impl AirlineTruth {
     /// Average arrival delay for a carrier.
     pub fn avg_delay(&self, carrier: &str) -> Option<f64> {
-        self.per_carrier
-            .get(carrier)
-            .map(|&(n, sum)| sum as f64 / n as f64)
+        self.per_carrier.get(carrier).map(|&(n, sum)| sum as f64 / n as f64)
     }
 
     /// Carrier with the lowest average delay.
@@ -89,11 +87,7 @@ impl AirlineGen {
             // Skewed delay: mostly near the mean, occasional big blowups —
             // a crude two-component mixture.
             let base: f64 = rng.gen_range(-1.0..1.0) * spread + mean;
-            let delay = if rng.gen_bool(0.02) {
-                base + rng.gen_range(60.0..240.0)
-            } else {
-                base
-            };
+            let delay = if rng.gen_bool(0.02) { base + rng.gen_range(60.0..240.0) } else { base };
             let arr_delay = delay.round() as i64;
             let dep_delay = (delay * rng.gen_range(0.5..1.0)).round() as i64;
             let month = rng.gen_range(1..=12u32);
@@ -151,10 +145,7 @@ mod tests {
     fn header_is_skipped_by_parser() {
         assert_eq!(parse_carrier_delay(HEADER), None);
         assert_eq!(parse_carrier_delay("junk"), None);
-        assert_eq!(
-            parse_carrier_delay("2008,1,2,3,900,DL,123,-4,0,ATL,ORD,600"),
-            Some(("DL", -4))
-        );
+        assert_eq!(parse_carrier_delay("2008,1,2,3,900,DL,123,-4,0,ATL,ORD,600"), Some(("DL", -4)));
     }
 
     #[test]

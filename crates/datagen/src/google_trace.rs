@@ -105,8 +105,7 @@ impl GoogleTraceGen {
                     ts += rng.gen_range(10_000..500_000);
                     let terminal = if attempt < resubmits {
                         // Something went wrong, hence the resubmission.
-                        [event::EVICT, event::FAIL, event::KILL, event::LOST]
-                            [rng.gen_range(0..4)]
+                        [event::EVICT, event::FAIL, event::KILL, event::LOST][rng.gen_range(0..4)]
                     } else {
                         event::FINISH
                     };

@@ -16,9 +16,24 @@ use rand_chacha::ChaCha8Rng;
 
 /// The 18 MovieLens genres.
 pub const GENRES: [&str; 18] = [
-    "Action", "Adventure", "Animation", "Children", "Comedy", "Crime", "Documentary", "Drama",
-    "Fantasy", "Film-Noir", "Horror", "Musical", "Mystery", "Romance", "Sci-Fi", "Thriller",
-    "War", "Western",
+    "Action",
+    "Adventure",
+    "Animation",
+    "Children",
+    "Comedy",
+    "Crime",
+    "Documentary",
+    "Drama",
+    "Fantasy",
+    "Film-Noir",
+    "Horror",
+    "Musical",
+    "Mystery",
+    "Romance",
+    "Sci-Fi",
+    "Thriller",
+    "War",
+    "Western",
 ];
 
 /// Per-genre rating statistics (the assignment's part 1).
@@ -30,10 +45,12 @@ pub struct GenreStats {
 
 impl GenreStats {
     fn add(&mut self, genre: &str, rating: f64) {
-        let e = self
-            .per_genre
-            .entry(genre.to_string())
-            .or_insert((0, 0.0, f64::INFINITY, f64::NEG_INFINITY));
+        let e = self.per_genre.entry(genre.to_string()).or_insert((
+            0,
+            0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ));
         e.0 += 1;
         e.1 += rating;
         e.2 = e.2.min(rating);
@@ -166,10 +183,7 @@ impl MovieLensGen {
             *truth.ratings_per_user.entry(user).or_default() += 1;
             for g in &movie_genres[(movie - 1) as usize] {
                 truth.genre_stats.add(g, rating);
-                *truth
-                    .user_genre_counts
-                    .entry((user, g.to_string()))
-                    .or_default() += 1;
+                *truth.user_genre_counts.entry((user, g.to_string())).or_default() += 1;
             }
         }
 

@@ -36,11 +36,8 @@ pub mod paper {
     ];
 
     /// Table III rows: `(material, mean, std)` on the 1–4 usefulness scale.
-    pub const TABLE3: [(&str, f64, f64); 3] = [
-        ("Lecture", 3.0, 0.9),
-        ("In-class lab", 3.6, 0.7),
-        ("Hadoop cluster tutorial", 2.9, 0.82),
-    ];
+    pub const TABLE3: [(&str, f64, f64); 3] =
+        [("Lecture", 3.0, 0.9), ("In-class lab", 3.6, 0.7), ("Hadoop cluster tutorial", 2.9, 0.82)];
 
     /// Table IV counts: `(year, count)`, total 29.
     pub const TABLE4: [(&str, u32); 4] =
@@ -94,11 +91,17 @@ pub struct SurveyResponse {
 
 /// Sample n values, then iterate fit-to-moments + clamp so the final
 /// clamped sample still matches `(mean, std)` closely.
-fn sample_fitted(rng: &mut ChaCha8Rng, n: usize, mean: f64, std: f64, lo: f64, hi: f64) -> Vec<f64> {
+fn sample_fitted(
+    rng: &mut ChaCha8Rng,
+    n: usize,
+    mean: f64,
+    std: f64,
+    lo: f64,
+    hi: f64,
+) -> Vec<f64> {
     // Approximate normal: sum of 4 uniforms (Irwin–Hall), then fit.
-    let mut v: Vec<f64> = (0..n)
-        .map(|_| (0..4).map(|_| rng.gen_range(-1.0f64..1.0)).sum::<f64>())
-        .collect();
+    let mut v: Vec<f64> =
+        (0..n).map(|_| (0..4).map(|_| rng.gen_range(-1.0f64..1.0)).sum::<f64>()).collect();
     for _ in 0..60 {
         fit_moments(&mut v, mean, std);
         clamp_all(&mut v, lo, hi);
@@ -121,14 +124,10 @@ pub fn generate(seed: u64) -> Vec<SurveyResponse> {
         columns_before.push(sample_fitted(&mut rng, n, bm, bs, 0.0, 10.0));
         columns_after.push(sample_fitted(&mut rng, n, am, as_, 0.0, 10.0));
     }
-    let time_cols: Vec<Vec<f64>> = paper::TABLE2
-        .iter()
-        .map(|&(_, m, s)| sample_fitted(&mut rng, n, m, s, 1.0, 4.0))
-        .collect();
-    let use_cols: Vec<Vec<f64>> = paper::TABLE3
-        .iter()
-        .map(|&(_, m, s)| sample_fitted(&mut rng, n, m, s, 1.0, 4.0))
-        .collect();
+    let time_cols: Vec<Vec<f64>> =
+        paper::TABLE2.iter().map(|&(_, m, s)| sample_fitted(&mut rng, n, m, s, 1.0, 4.0)).collect();
+    let use_cols: Vec<Vec<f64>> =
+        paper::TABLE3.iter().map(|&(_, m, s)| sample_fitted(&mut rng, n, m, s, 1.0, 4.0)).collect();
 
     // Exact Table IV counts, then shuffle assignment across students.
     let mut years = Vec::with_capacity(n);

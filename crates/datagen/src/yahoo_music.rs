@@ -76,8 +76,7 @@ impl YahooMusicGen {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
 
         // Album quality offsets: 30..=70 base mean, distinct-ish.
-        let quality: Vec<f64> =
-            (0..self.num_albums).map(|_| rng.gen_range(30.0..70.0)).collect();
+        let quality: Vec<f64> = (0..self.num_albums).map(|_| rng.gen_range(30.0..70.0)).collect();
 
         let mut songs = String::new();
         let album_of = |song: u32| song % self.num_albums;

@@ -160,11 +160,8 @@ pub fn balance(
     let mut bytes_moved = 0;
 
     for _ in 0..max_moves {
-        let rows: Vec<_> = report(dfs)
-            .nodes
-            .into_iter()
-            .filter(|n| n.alive && !n.decommissioning)
-            .collect();
+        let rows: Vec<_> =
+            report(dfs).nodes.into_iter().filter(|n| n.alive && !n.decommissioning).collect();
         if rows.len() < 2 {
             break;
         }
@@ -199,8 +196,7 @@ pub fn balance(
         let (block, len) = (meta.id, meta.len);
 
         // Copy src -> dst, then drop the src replica.
-        let Some(payload) = dfs.datanode(src.node).and_then(|dn| dn.payload(block)).cloned()
-        else {
+        let Some(payload) = dfs.datanode(src.node).and_then(|dn| dn.payload(block)).cloned() else {
             break;
         };
         let read = net.read_local_disk(t, src.node, len);
@@ -259,8 +255,7 @@ pub fn decommission_node(
             // Name the blocks that are stuck, not just the fact: the
             // operator needs to know *what* cannot find a new home.
             let stuck = dfs.namenode.decommission_stuck_blocks(node);
-            let mut listed: Vec<String> =
-                stuck.iter().take(8).map(|b| b.to_string()).collect();
+            let mut listed: Vec<String> = stuck.iter().take(8).map(|b| b.to_string()).collect();
             if stuck.len() > listed.len() {
                 listed.push(format!("... {} more", stuck.len() - listed.len()));
             }

@@ -22,6 +22,7 @@ use bytes::Bytes;
 use hl_cluster::network::ClusterNet;
 use hl_cluster::node::ClusterSpec;
 use hl_common::prelude::*;
+use hl_metrics::{MetricsRegistry, MetricsSnapshot};
 
 use crate::block::{split_into_blocks, split_synthetic, BlockId, BlockPayload, FIRST_GEN_STAMP};
 use crate::datanode::DataNode;
@@ -128,6 +129,9 @@ pub struct Dfs {
     armed_fault: Option<PipelineFault>,
     /// Client-side read failover state (banned DataNodes + backoff).
     dead_nodes: DeadNodes,
+    /// Instruments for the "dfs.client" and "datanode.*" daemons
+    /// (per-node I/O bytes, pipeline recoveries, read failovers).
+    pub metrics: MetricsRegistry,
 }
 
 impl Dfs {
@@ -149,6 +153,7 @@ impl Dfs {
             disk_bw: spec.node.disk_bw,
             armed_fault: None,
             dead_nodes: DeadNodes::new(0x4446_5343), // "DFSC"
+            metrics: MetricsRegistry::new(),
         })
     }
 
@@ -324,6 +329,7 @@ impl Dfs {
                 )));
             }
             gen_stamp = self.namenode.bump_gen_stamp(t, path, id)?;
+            self.metrics.incr("dfs.client", "pipeline.recoveries", 1);
             let mut lost_survivors = Vec::new();
             for &node in &survivors {
                 let ok = self
@@ -357,11 +363,15 @@ impl Dfs {
         payload: BlockPayload,
         gen_stamp: u64,
     ) -> Result<()> {
+        let len = payload.len();
         let dn = self
             .datanodes
             .get_mut(&node)
             .ok_or_else(|| HlError::DaemonDown(format!("datanode/{node}")))?;
         dn.store_block_stamped(id, payload, gen_stamp)?;
+        let daemon = format!("datanode.{node}");
+        self.metrics.incr(&daemon, "bytes.written", len);
+        self.metrics.incr(&daemon, "blocks.written", 1);
         let free = dn.free_bytes();
         // Keep the NameNode's view of free space current.
         self.namenode.update_free_space(node, free);
@@ -437,6 +447,7 @@ impl Dfs {
         for holder in healthy.into_iter().chain(banned) {
             let alive = self.datanodes.get(&holder).map(|d| d.alive).unwrap_or(false);
             if !alive {
+                self.metrics.incr("dfs.client", "read.failovers", 1);
                 self.dead_nodes.record_failure(t, holder);
                 continue;
             }
@@ -444,6 +455,9 @@ impl Dfs {
                 Ok(data) => {
                     self.dead_nodes.record_success(holder);
                     let len = data.len() as u64;
+                    let daemon = format!("datanode.{holder}");
+                    self.metrics.incr(&daemon, "bytes.read", len);
+                    self.metrics.incr(&daemon, "blocks.read", 1);
                     let done = match reader {
                         Some(r) => net.read_remote(t, r, holder, len).end,
                         None => {
@@ -456,6 +470,7 @@ impl Dfs {
                     return Ok(Timed { value: data, completed_at: done });
                 }
                 Err(HlError::ChecksumMismatch { .. }) => {
+                    self.metrics.incr("dfs.client", "read.corrupt_replicas", 1);
                     // Quarantine locally and tell the NameNode. The holder
                     // was alive a moment ago; skip quietly if it vanished.
                     let Some(dn) = self.datanodes.get_mut(&holder) else { continue };
@@ -463,11 +478,18 @@ impl Dfs {
                     let report = self.datanodes[&holder].block_report();
                     self.namenode.process_block_report(t, holder, &report);
                     // Reading the corrupt copy still cost a disk pass.
-                    t = net.read_local_disk(t, holder, self.namenode.block(id).map(|b| b.len).unwrap_or(0)).end;
+                    t = net
+                        .read_local_disk(
+                            t,
+                            holder,
+                            self.namenode.block(id).map(|b| b.len).unwrap_or(0),
+                        )
+                        .end;
                 }
                 Err(_) => {
                     // IO-class failure: strike the node so later reads
                     // back off from it.
+                    self.metrics.incr("dfs.client", "read.failovers", 1);
                     self.dead_nodes.record_failure(t, holder);
                     continue;
                 }
@@ -555,11 +577,10 @@ impl Dfs {
                     // stamp — stamping it FIRST_GEN would make every
                     // re-replicated copy of a recovered block look stale
                     // at its next block report, an invalidation churn loop.
-                    let source = self
-                        .datanodes
-                        .get(&from)
-                        .filter(|d| d.alive)
-                        .and_then(|d| Some((d.payload(block).cloned()?, d.gen_stamp_of(block)?)));
+                    let source =
+                        self.datanodes.get(&from).filter(|d| d.alive).and_then(|d| {
+                            Some((d.payload(block).cloned()?, d.gen_stamp_of(block)?))
+                        });
                     match source {
                         Some((p, gs)) => {
                             let len = p.len();
@@ -572,6 +593,9 @@ impl Dfs {
                                 .map(|d| d.store_block_stamped(block, p, gs).is_ok())
                                 .unwrap_or(false);
                             if stored {
+                                let daemon = format!("datanode.{to}");
+                                self.metrics.incr(&daemon, "bytes.written", len);
+                                self.metrics.incr(&daemon, "blocks.rereplicated", 1);
                                 self.namenode.block_received(write.end, to, block);
                             } else {
                                 self.namenode.replication_failed(block);
@@ -600,12 +624,41 @@ impl Dfs {
         }
     }
 
+    // ----------------------------------------------------------- metrics
+
+    /// Refresh the per-DataNode gauges (blocks held, free disk, liveness).
+    fn sample_datanode_gauges(&mut self) {
+        let nodes: Vec<NodeId> = self.datanodes.keys().copied().collect();
+        for node in nodes {
+            let dn = &self.datanodes[&node];
+            let held = i64::try_from(dn.block_report().len()).unwrap_or(i64::MAX);
+            let free = i64::try_from(dn.free_bytes()).unwrap_or(i64::MAX);
+            let up = i64::from(dn.alive);
+            let daemon = format!("datanode.{node}");
+            self.metrics.set_gauge(&daemon, "blocks.held", held);
+            self.metrics.set_gauge(&daemon, "disk.free_bytes", free);
+            self.metrics.set_gauge(&daemon, "up", up);
+        }
+    }
+
+    /// One DFS-wide metrics snapshot at virtual time `at`: gauges are
+    /// refreshed from live state, then the NameNode's registry and the
+    /// client/DataNode registry merge into a single sorted snapshot.
+    pub fn metrics_snapshot(&mut self, at: SimTime) -> MetricsSnapshot {
+        self.namenode.sample_gauges();
+        self.sample_datanode_gauges();
+        let mut snap = self.namenode.metrics.snapshot(at);
+        snap.merge(&self.metrics.snapshot(at));
+        snap
+    }
+
     // ------------------------------------------------------------ faults
 
     /// Crash a DataNode daemon (blocks stay on disk).
     pub fn crash_datanode(&mut self, node: NodeId) {
         if let Some(dn) = self.datanodes.get_mut(&node) {
             dn.crash();
+            self.metrics.incr(&format!("datanode.{node}"), "crashes", 1);
         }
     }
 
@@ -626,6 +679,9 @@ impl Dfs {
             // Keys collected from this very map one statement up.
             let Some(dn) = self.datanodes.get_mut(&node) else { continue };
             dn.restart();
+            let daemon = format!("datanode.{node}");
+            self.metrics.restart_daemon(&daemon);
+            self.metrics.incr(&daemon, "restarts", 1);
             let scan_time = dn.scan_duration(scan_bw);
             dn.scan_blocks();
             report_times.push((now + scan_time, node));
@@ -708,14 +764,10 @@ mod tests {
         let local = dfs.read(&mut net, t0, "/d/f", Some(NodeId(0))).unwrap();
         assert_eq!(net.remote_bytes(), 0, "node-local read moves nothing");
         // A reader with no replica must cross the network.
-        let off: Vec<NodeId> =
-            (0..4u32).map(NodeId).filter(|n| !holders.contains(n)).collect();
+        let off: Vec<NodeId> = (0..4u32).map(NodeId).filter(|n| !holders.contains(n)).collect();
         let remote = dfs.read(&mut net, local.completed_at, "/d/f", Some(off[0])).unwrap();
         assert!(net.remote_bytes() >= 1024);
-        assert!(
-            remote.completed_at.since(local.completed_at)
-                > local.completed_at.since(t0)
-        );
+        assert!(remote.completed_at.since(local.completed_at) > local.completed_at.since(t0));
     }
 
     #[test]
@@ -825,8 +877,7 @@ mod tests {
     fn put_respects_custom_replication() {
         let (mut dfs, mut net, _) = setup(5);
         dfs.namenode.mkdirs("/d").unwrap();
-        dfs.put_with_replication(&mut net, SimTime::ZERO, "/d/r2", &[1u8; 10], None, 2)
-            .unwrap();
+        dfs.put_with_replication(&mut net, SimTime::ZERO, "/d/r2", &[1u8; 10], None, 2).unwrap();
         assert_eq!(dfs.file_blocks("/d/r2").unwrap()[0].2.len(), 2);
     }
 
@@ -840,11 +891,8 @@ mod tests {
         dfs.arm_pipeline_fault(PipelineFault::KillTarget { after_stores: 1 });
         let put = dfs.put(&mut net, SimTime::ZERO, "/d/f", &data, None).unwrap();
 
-        let dead: Vec<NodeId> = dfs
-            .datanode_ids()
-            .into_iter()
-            .filter(|&n| !dfs.datanode(n).unwrap().alive)
-            .collect();
+        let dead: Vec<NodeId> =
+            dfs.datanode_ids().into_iter().filter(|&n| !dfs.datanode(n).unwrap().alive).collect();
         assert_eq!(dead.len(), 1, "the armed fault killed one pipeline target");
         let victim = dead[0];
 
@@ -935,8 +983,7 @@ mod tests {
         let (mut dfs, mut net, _) = setup(4);
         dfs.namenode.mkdirs("/d").unwrap();
         dfs.arm_pipeline_fault(PipelineFault::CrashWriter { after_blocks: 2 });
-        let err =
-            dfs.put(&mut net, SimTime::ZERO, "/d/open", &[5u8; 3000], None).unwrap_err();
+        let err = dfs.put(&mut net, SimTime::ZERO, "/d/open", &[5u8; 3000], None).unwrap_err();
         assert!(err.to_string().contains("crashed"), "clean writer-death error: {err}");
         assert!(dfs.namenode.lease("/d/open").is_some(), "file stays open for write");
         assert!(!dfs.namenode.namespace().file("/d/open").unwrap().complete);
@@ -997,5 +1044,37 @@ mod tests {
         assert_eq!(got.value, data);
         let again = dfs.read(&mut net, got.completed_at, "/d/f", None).unwrap();
         assert_eq!(again.value, data);
+    }
+
+    #[test]
+    fn restart_preserves_counters_and_resets_gauges_without_double_count() {
+        let (mut dfs, mut net, _) = setup(4);
+        dfs.namenode.mkdirs("/d").unwrap();
+        dfs.put(&mut net, SimTime::ZERO, "/d/f", &[5u8; 5000], None).unwrap();
+        let before = dfs.metrics_snapshot(SimTime::ZERO);
+        let written = before.counter_across_daemons("bytes.written");
+        assert!(written >= 3 * 5000, "3 replicas of 5000 bytes: {written}");
+        let adds = before.counter("namenode", "rpc.add_block");
+        assert!(adds >= 5);
+        assert!(before.gauge("namenode", "blocks.total") >= 5);
+
+        let r = dfs.restart_all(&mut net, SimTime::ZERO).unwrap();
+        let after = dfs.metrics_snapshot(r.completed_at);
+        // Monotonic counters carry across the restart unchanged — the
+        // restart must neither re-count the pre-crash history (double
+        // count) nor lose it.
+        assert_eq!(after.counter_across_daemons("bytes.written"), written);
+        assert_eq!(after.counter("namenode", "rpc.add_block"), adds);
+        assert_eq!(after.counter("namenode", "restarts"), 1);
+        assert_eq!(after.counter_across_daemons("restarts"), 1 + 4);
+        // Gauges were re-sampled from post-restart live state.
+        assert_eq!(after.gauge("namenode", "safemode.on"), 0);
+        assert_eq!(after.counter("namenode", "safemode.entered"), 1);
+
+        // A second restart counts exactly once more.
+        let r2 = dfs.restart_all(&mut net, r.completed_at).unwrap();
+        let snap2 = dfs.metrics_snapshot(r2.completed_at);
+        assert_eq!(snap2.counter("namenode", "restarts"), 2);
+        assert_eq!(snap2.counter_across_daemons("bytes.written"), written);
     }
 }

@@ -114,14 +114,10 @@ impl Writable for EditOp {
             3 => EditOp::Close { path: String::read(buf)? },
             4 => EditOp::Delete { path: String::read(buf)?, recursive: bool::read(buf)? },
             5 => EditOp::Rename { src: String::read(buf)?, dst: String::read(buf)? },
-            6 => EditOp::SetReplication {
-                path: String::read(buf)?,
-                replication: u32::read(buf)?,
-            },
-            7 => EditOp::BumpGenStamp {
-                block: BlockId(read_vu64(buf)?),
-                gen_stamp: read_vu64(buf)?,
-            },
+            6 => EditOp::SetReplication { path: String::read(buf)?, replication: u32::read(buf)? },
+            7 => {
+                EditOp::BumpGenStamp { block: BlockId(read_vu64(buf)?), gen_stamp: read_vu64(buf)? }
+            }
             8 => EditOp::AbandonBlock {
                 path: String::read(buf)?,
                 block: BlockId(read_vu64(buf)?),
@@ -253,7 +249,10 @@ mod tests {
             },
             EditOp::BumpGenStamp { block: BlockId(1), gen_stamp: 1002 },
             EditOp::Close { path: "/user/alice/data.txt".into() },
-            EditOp::Rename { src: "/user/alice/data.txt".into(), dst: "/user/alice/final.txt".into() },
+            EditOp::Rename {
+                src: "/user/alice/data.txt".into(),
+                dst: "/user/alice/final.txt".into(),
+            },
         ]
     }
 

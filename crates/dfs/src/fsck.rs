@@ -103,8 +103,7 @@ pub fn fsck(dfs: &Dfs, root: &str) -> hl_common::Result<FsckReport> {
             // construction: no replica yet is the pipeline mid-flight (or
             // a crashed writer's tail awaiting lease recovery), not data
             // loss — HDFS fsck likewise skips open blocks.
-            let under_construction =
-                lease.is_some() && i + 1 == f.blocks.len() && live == 0;
+            let under_construction = lease.is_some() && i + 1 == f.blocks.len() && live == 0;
             if under_construction {
                 // Counted in detail, excluded from the verdict.
             } else if live == 0 {
@@ -171,7 +170,12 @@ impl fmt::Display for FsckReport {
             }
         }
         writeln!(f, "Status: {}", if self.is_healthy() { "HEALTHY" } else { "CORRUPT" })?;
-        writeln!(f, " Total size:\t{} B ({})", self.total_size, ByteSize::display(self.total_size))?;
+        writeln!(
+            f,
+            " Total size:\t{} B ({})",
+            self.total_size,
+            ByteSize::display(self.total_size)
+        )?;
         writeln!(f, " Total blocks:\t{}", self.total_blocks)?;
         writeln!(f, " Under-replicated blocks:\t{}", self.under_replicated)?;
         writeln!(f, " Missing blocks:\t{}", self.missing)?;

@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use hl_common::config::keys;
 use hl_common::prelude::*;
+use hl_metrics::MetricsRegistry;
 
 use crate::block::{BlockId, ReplicaMeta, FIRST_GEN_STAMP};
 use crate::editlog::{EditLog, EditOp};
@@ -75,6 +76,9 @@ pub struct NameNode {
     leases: LeaseManager,
     /// Safe-mode state machine.
     pub safemode: SafeMode,
+    /// Instruments for the "namenode" daemon (RPC ops, edit-log ops,
+    /// safe-mode transitions, namespace/replication gauges).
+    pub metrics: MetricsRegistry,
     topology: Topology,
     heartbeat_interval: SimDuration,
     dead_after: SimDuration,
@@ -106,6 +110,7 @@ impl NameNode {
             invalidations: Vec::new(),
             leases: LeaseManager::new(lease_soft, lease_hard),
             safemode: SafeMode::new(threshold, extension),
+            metrics: MetricsRegistry::new(),
             topology,
             heartbeat_interval: SimDuration::from_secs(heartbeat_secs),
             dead_after: SimDuration::from_secs(heartbeat_secs * dead_after_beats),
@@ -145,18 +150,18 @@ impl NameNode {
     /// NameNode whose replica locations are still empty (the chaos
     /// harness's crash-recovery oracle).
     pub fn block_manifest(&self) -> Vec<(BlockId, u64, u32)> {
-        self.blocks
-            .iter()
-            .map(|(&id, b)| (id, b.len, b.expected_replication))
-            .collect()
+        self.blocks.iter().map(|(&id, b)| (id, b.len, b.expected_replication)).collect()
     }
 
     /// Live replica locations of a block (empty when missing).
     pub fn block_locations(&self, id: BlockId) -> Vec<NodeId> {
-        self.blocks
-            .get(&id)
-            .map(|b| b.locations.iter().copied().collect())
-            .unwrap_or_default()
+        self.blocks.get(&id).map(|b| b.locations.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Append one op to the edit log and count it.
+    fn journal(&mut self, op: EditOp) {
+        self.editlog.append(op);
+        self.metrics.incr("namenode", "editlog.ops", 1);
     }
 
     fn guard_safemode(&self) -> Result<()> {
@@ -172,17 +177,18 @@ impl NameNode {
 
     /// A DataNode registers (daemon start).
     pub fn register_datanode(&mut self, now: SimTime, node: NodeId, free_bytes: u64) {
-        self.datanodes
-            .insert(node, DataNodeInfo { last_heartbeat: now, free_bytes, alive: true });
+        self.datanodes.insert(node, DataNodeInfo { last_heartbeat: now, free_bytes, alive: true });
     }
 
     /// Heartbeat from a DataNode. Revives nodes the monitor had declared
     /// dead (their replicas come back via the next block report).
     pub fn heartbeat(&mut self, now: SimTime, node: NodeId, free_bytes: u64) {
-        let info = self
-            .datanodes
-            .entry(node)
-            .or_insert(DataNodeInfo { last_heartbeat: now, free_bytes, alive: true });
+        self.metrics.incr("namenode", "rpc.heartbeat", 1);
+        let info = self.datanodes.entry(node).or_insert(DataNodeInfo {
+            last_heartbeat: now,
+            free_bytes,
+            alive: true,
+        });
         info.last_heartbeat = now;
         info.free_bytes = free_bytes;
         info.alive = true;
@@ -222,9 +228,14 @@ impl NameNode {
                 b.locations.remove(&node);
             }
         }
+        if !newly_dead.is_empty() {
+            self.metrics.incr("namenode", "datanodes.declared_dead", newly_dead.len() as u64);
+        }
         // Losing replicas can regress the safe-mode census.
         let (reported, expected) = self.block_census();
-        self.safemode.update(now, reported, expected);
+        if self.safemode.update(now, reported, expected) {
+            self.metrics.incr("namenode", "safemode.exited", 1);
+        }
         // The lease monitor rides the same sweep (its SimTime clock tick).
         self.check_leases(now);
         newly_dead
@@ -247,8 +258,8 @@ impl NameNode {
         node: NodeId,
         report: &[ReplicaMeta],
     ) -> bool {
-        let reported: BTreeMap<BlockId, u64> =
-            report.iter().map(|r| (r.id, r.gen_stamp)).collect();
+        self.metrics.incr("namenode", "rpc.block_report", 1);
+        let reported: BTreeMap<BlockId, u64> = report.iter().map(|r| (r.id, r.gen_stamp)).collect();
         for (id, info) in self.blocks.iter_mut() {
             match reported.get(id) {
                 Some(&gs) if gs < info.gen_stamp => {
@@ -269,12 +280,17 @@ impl NameNode {
             }
         }
         let (reported, expected) = self.block_census();
-        self.safemode.update(now, reported, expected)
+        let exited = self.safemode.update(now, reported, expected);
+        if exited {
+            self.metrics.incr("namenode", "safemode.exited", 1);
+        }
+        exited
     }
 
     /// A DataNode confirms receipt of one block (pipeline write or
     /// completed re-replication).
     pub fn block_received(&mut self, now: SimTime, node: NodeId, id: BlockId) -> Vec<DnCommand> {
+        self.metrics.incr("namenode", "rpc.block_received", 1);
         let mut commands = Vec::new();
         if let Some(info) = self.blocks.get_mut(&id) {
             info.locations.insert(node);
@@ -295,7 +311,9 @@ impl NameNode {
             }
         }
         let (reported, expected) = self.block_census();
-        self.safemode.update(now, reported, expected);
+        if self.safemode.update(now, reported, expected) {
+            self.metrics.incr("namenode", "safemode.exited", 1);
+        }
         commands
     }
 
@@ -309,9 +327,10 @@ impl NameNode {
 
     /// `hadoop fs -mkdir -p`.
     pub fn mkdirs(&mut self, path: &str) -> Result<()> {
+        self.metrics.incr("namenode", "rpc.mkdirs", 1);
         self.guard_safemode()?;
         self.namespace.mkdirs(path)?;
-        self.editlog.append(EditOp::Mkdirs { path: path.to_string() });
+        self.journal(EditOp::Mkdirs { path: path.to_string() });
         Ok(())
     }
 
@@ -324,12 +343,12 @@ impl NameNode {
         block_size: Option<u64>,
         holder: &str,
     ) -> Result<()> {
+        self.metrics.incr("namenode", "rpc.create_file", 1);
         self.guard_safemode()?;
         let replication = replication.unwrap_or(self.default_replication);
         let block_size = block_size.unwrap_or(self.default_block_size);
         self.namespace.create_file(path, replication, block_size, now)?;
-        self.editlog
-            .append(EditOp::Create { path: path.to_string(), replication, block_size, at: now });
+        self.journal(EditOp::Create { path: path.to_string(), replication, block_size, at: now });
         self.leases.acquire(now, path, holder);
         Ok(())
     }
@@ -343,6 +362,7 @@ impl NameNode {
         len: u64,
         writer: Option<NodeId>,
     ) -> Result<(BlockId, Vec<NodeId>)> {
+        self.metrics.incr("namenode", "rpc.add_block", 1);
         self.guard_safemode()?;
         let file = self.namespace.file(path)?;
         let (replication, block_size) = (file.replication, file.block_size);
@@ -354,8 +374,14 @@ impl NameNode {
             .map(|(&node, i)| Candidate { node, free_bytes: i.free_bytes })
             .collect();
         let id = BlockId(self.next_block_id);
-        let targets =
-            placement::choose_targets(&self.topology, &candidates, writer, replication, len.min(block_size), id.0);
+        let targets = placement::choose_targets(
+            &self.topology,
+            &candidates,
+            writer,
+            replication,
+            len.min(block_size),
+            id.0,
+        );
         if targets.is_empty() {
             return Err(HlError::InsufficientReplication { wanted: replication, available: 0 });
         }
@@ -363,8 +389,7 @@ impl NameNode {
         let gen_stamp = self.next_gen_stamp;
         self.next_gen_stamp += 1;
         self.namespace.append_block(path, id, len)?;
-        self.editlog
-            .append(EditOp::AddBlock { path: path.to_string(), block: id, len, gen_stamp });
+        self.journal(EditOp::AddBlock { path: path.to_string(), block: id, len, gen_stamp });
         self.blocks.insert(
             id,
             BlockInfo {
@@ -384,6 +409,7 @@ impl NameNode {
     /// still carrying the old stamp are invalidated when they next report.
     /// Counts as writer progress, so the lease renews too.
     pub fn bump_gen_stamp(&mut self, now: SimTime, path: &str, id: BlockId) -> Result<u64> {
+        self.metrics.incr("namenode", "rpc.bump_gen_stamp", 1);
         let info = self
             .blocks
             .get_mut(&id)
@@ -391,25 +417,27 @@ impl NameNode {
         let gen_stamp = self.next_gen_stamp;
         self.next_gen_stamp += 1;
         info.gen_stamp = gen_stamp;
-        self.editlog.append(EditOp::BumpGenStamp { block: id, gen_stamp });
+        self.journal(EditOp::BumpGenStamp { block: id, gen_stamp });
         self.leases.renew(now, path);
         Ok(gen_stamp)
     }
 
     /// Close a file and release its write lease.
     pub fn complete_file(&mut self, path: &str) -> Result<()> {
+        self.metrics.incr("namenode", "rpc.complete_file", 1);
         self.guard_safemode()?;
         self.namespace.complete_file(path)?;
-        self.editlog.append(EditOp::Close { path: path.to_string() });
+        self.journal(EditOp::Close { path: path.to_string() });
         self.leases.release(path);
         Ok(())
     }
 
     /// Delete a path; replicas of freed blocks get invalidation commands.
     pub fn delete(&mut self, path: &str, recursive: bool) -> Result<Vec<DnCommand>> {
+        self.metrics.incr("namenode", "rpc.delete", 1);
         self.guard_safemode()?;
         let freed = self.namespace.delete(path, recursive)?;
-        self.editlog.append(EditOp::Delete { path: path.to_string(), recursive });
+        self.journal(EditOp::Delete { path: path.to_string(), recursive });
         self.leases.release_under(path);
         let mut commands = Vec::new();
         for id in freed {
@@ -426,6 +454,7 @@ impl NameNode {
     /// queues re-replication; lowering it queues excess-replica
     /// invalidation (both handled by the next monitor pass).
     pub fn set_replication(&mut self, path: &str, replication: u32) -> Result<Vec<BlockId>> {
+        self.metrics.incr("namenode", "rpc.set_replication", 1);
         self.guard_safemode()?;
         if replication == 0 {
             return Err(HlError::Config("replication must be >= 1".into()));
@@ -438,16 +467,16 @@ impl NameNode {
                 info.expected_replication = replication;
             }
         }
-        self.editlog
-            .append(EditOp::SetReplication { path: path.to_string(), replication });
+        self.journal(EditOp::SetReplication { path: path.to_string(), replication });
         Ok(blocks)
     }
 
     /// Rename a path (an open file's lease follows it).
     pub fn rename(&mut self, src: &str, dst: &str) -> Result<()> {
+        self.metrics.incr("namenode", "rpc.rename", 1);
         self.guard_safemode()?;
         self.namespace.rename(src, dst)?;
-        self.editlog.append(EditOp::Rename { src: src.to_string(), dst: dst.to_string() });
+        self.journal(EditOp::Rename { src: src.to_string(), dst: dst.to_string() });
         self.leases.rename(src, dst);
         Ok(())
     }
@@ -473,6 +502,7 @@ impl NameNode {
     /// when the file is already closed, `Ok(false)` when recovery was
     /// started — the next lease check finalizes it.
     pub fn recover_lease(&mut self, path: &str) -> Result<bool> {
+        self.metrics.incr("namenode", "rpc.recover_lease", 1);
         let file = self.namespace.file(path)?;
         if file.complete {
             self.leases.release(path);
@@ -500,6 +530,9 @@ impl NameNode {
             if self.finalize_lease(&path) {
                 finalized.push(path);
             }
+        }
+        if !finalized.is_empty() {
+            self.metrics.incr("namenode", "leases.recovered", finalized.len() as u64);
         }
         finalized
     }
@@ -532,13 +565,12 @@ impl NameNode {
             if self.namespace.abandon_block(path, last, len).is_err() {
                 break;
             }
-            self.editlog
-                .append(EditOp::AbandonBlock { path: path.to_string(), block: last, len });
+            self.journal(EditOp::AbandonBlock { path: path.to_string(), block: last, len });
             self.blocks.remove(&last);
             tail.pop();
         }
         if self.namespace.complete_file(path).is_ok() {
-            self.editlog.append(EditOp::Close { path: path.to_string() });
+            self.journal(EditOp::Close { path: path.to_string() });
         }
         self.leases.release(path);
         true
@@ -554,25 +586,21 @@ impl NameNode {
         self.blocks
             .iter()
             .filter_map(|(&id, b)| {
-                let counted = b
-                    .locations
-                    .iter()
-                    .filter(|n| !self.decommissioning.contains(n))
-                    .count() as u32;
+                let counted =
+                    b.locations.iter().filter(|n| !self.decommissioning.contains(n)).count() as u32;
                 let have = counted + b.pending_replicas;
-                (have < b.expected_replication && !b.locations.is_empty())
-                    .then_some((id, counted, b.expected_replication))
+                (have < b.expected_replication && !b.locations.is_empty()).then_some((
+                    id,
+                    counted,
+                    b.expected_replication,
+                ))
             })
             .collect()
     }
 
     /// Blocks with zero live replicas — data loss until a holder returns.
     pub fn missing_blocks(&self) -> Vec<BlockId> {
-        self.blocks
-            .iter()
-            .filter(|(_, b)| b.locations.is_empty())
-            .map(|(&id, _)| id)
-            .collect()
+        self.blocks.iter().filter(|(_, b)| b.locations.is_empty()).map(|(&id, _)| id).collect()
     }
 
     /// One replication-monitor pass: emit copy commands for
@@ -592,11 +620,8 @@ impl NameNode {
         for (block, node) in pending {
             commands.push(DnCommand::Invalidate { block, node });
         }
-        let under: Vec<BlockId> = self
-            .under_replicated()
-            .into_iter()
-            .map(|(id, _, _)| id)
-            .collect();
+        let under: Vec<BlockId> =
+            self.under_replicated().into_iter().map(|(id, _, _)| id).collect();
         for id in under {
             if commands.len() >= max_tasks {
                 break;
@@ -612,19 +637,10 @@ impl NameNode {
             let candidates: Vec<Candidate> = live
                 .iter()
                 .filter(|n| !holders.contains(n) && !self.decommissioning.contains(*n))
-                .map(|&node| Candidate {
-                    node,
-                    free_bytes: self.datanodes[&node].free_bytes,
-                })
+                .map(|&node| Candidate { node, free_bytes: self.datanodes[&node].free_bytes })
                 .collect();
-            let targets = placement::choose_targets(
-                &self.topology,
-                &candidates,
-                None,
-                1,
-                info.len,
-                id.0,
-            );
+            let targets =
+                placement::choose_targets(&self.topology, &candidates, None, 1, info.len, id.0);
             if let Some(&to) = targets.first() {
                 if let Some(info) = self.blocks.get_mut(&id) {
                     info.pending_replicas += 1;
@@ -651,6 +667,9 @@ impl NameNode {
                 info.locations.remove(&victim);
                 commands.push(DnCommand::Invalidate { block: id, node: victim });
             }
+        }
+        if !commands.is_empty() {
+            self.metrics.incr("namenode", "replication.commands", commands.len() as u64);
         }
         commands
     }
@@ -721,6 +740,7 @@ impl NameNode {
     pub fn checkpoint(&mut self) {
         self.fsimage = self.namespace.clone();
         self.editlog.checkpoint();
+        self.metrics.incr("namenode", "checkpoints", 1);
     }
 
     /// Simulate a full NameNode restart: rebuild the namespace from
@@ -751,7 +771,37 @@ impl NameNode {
             info.alive = false;
         }
         self.safemode = SafeMode::new(self.safemode.threshold, self.safemode.extension);
+        // Restart semantics: point-in-time gauges died with the process,
+        // monotonic counters and histograms survive (no double-counting).
+        self.metrics.restart_daemon("namenode");
+        self.metrics.incr("namenode", "restarts", 1);
+        self.metrics.incr("namenode", "safemode.entered", 1);
         Ok(())
+    }
+
+    /// Refresh the "namenode" gauges from live state. Called by the DFS
+    /// aggregator just before every snapshot so the gauges reflect the
+    /// namespace/replication picture at snapshot time.
+    pub fn sample_gauges(&mut self) {
+        fn g(n: usize) -> i64 {
+            i64::try_from(n).unwrap_or(i64::MAX)
+        }
+        let (reported, total) = self.block_census();
+        let under = g(self.under_replicated().len());
+        let missing = g(self.missing_blocks().len());
+        let open = g(self.open_files().len());
+        let live = g(self.live_datanodes().len());
+        let pending = g(self.editlog.len());
+        let ram = i64::try_from(self.metadata_ram_bytes()).unwrap_or(i64::MAX);
+        self.metrics.set_gauge("namenode", "blocks.total", g(total));
+        self.metrics.set_gauge("namenode", "blocks.reported", g(reported));
+        self.metrics.set_gauge("namenode", "blocks.under_replicated", under);
+        self.metrics.set_gauge("namenode", "blocks.missing", missing);
+        self.metrics.set_gauge("namenode", "leases.open", open);
+        self.metrics.set_gauge("namenode", "datanodes.live", live);
+        self.metrics.set_gauge("namenode", "safemode.on", i64::from(self.safemode.is_on()));
+        self.metrics.set_gauge("namenode", "editlog.pending_ops", pending);
+        self.metrics.set_gauge("namenode", "metadata.ram_bytes", ram);
     }
 
     /// Rough bytes of NameNode RAM the metadata occupies (the Figure 2
@@ -761,11 +811,8 @@ impl NameNode {
     pub fn metadata_ram_bytes(&self) -> u64 {
         let (dirs, files, _) = self.namespace.stats();
         let inode_bytes = 150 * (dirs + files) as u64;
-        let block_bytes: u64 = self
-            .blocks
-            .values()
-            .map(|b| 150 + 30 * b.locations.len() as u64)
-            .sum();
+        let block_bytes: u64 =
+            self.blocks.values().map(|b| 150 + 30 * b.locations.len() as u64).sum();
         inode_bytes + block_bytes
     }
 }
@@ -862,9 +909,7 @@ mod tests {
         }
         nn.check_heartbeats(later);
         let work = nn.replication_work(later, 100);
-        let affected = nn
-            .under_replicated()
-            .len();
+        let affected = nn.under_replicated().len();
         assert_eq!(affected, 0, "all under-replicated blocks have pending work");
         assert!(!work.is_empty());
         for cmd in &work {

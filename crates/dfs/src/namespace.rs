@@ -130,9 +130,8 @@ impl Namespace {
                 INode::Directory(children) => children,
                 INode::File(_) => return Err(HlError::NotADirectory(path.to_string())),
             };
-            node = children
-                .entry(part.clone())
-                .or_insert_with(|| INode::Directory(BTreeMap::new()));
+            node =
+                children.entry(part.clone()).or_insert_with(|| INode::Directory(BTreeMap::new()));
             if let INode::File(_) = node {
                 return Err(HlError::NotADirectory(path.to_string()));
             }
@@ -149,12 +148,9 @@ impl Namespace {
         now: SimTime,
     ) -> Result<()> {
         let parts = parse_path(path)?;
-        let (name, parent) = parts
-            .split_last()
-            .ok_or_else(|| HlError::AlreadyExists("/".to_string()))?;
-        let node = self
-            .walk_mut(parent)
-            .ok_or_else(|| HlError::FileNotFound(join_path(parent)))?;
+        let (name, parent) =
+            parts.split_last().ok_or_else(|| HlError::AlreadyExists("/".to_string()))?;
+        let node = self.walk_mut(parent).ok_or_else(|| HlError::FileNotFound(join_path(parent)))?;
         let children = match node {
             INode::Directory(children) => children,
             INode::File(_) => return Err(HlError::NotADirectory(join_path(parent))),
@@ -240,20 +236,17 @@ impl Namespace {
 
     /// Is the path a directory?
     pub fn is_dir(&self, path: &str) -> bool {
-        matches!(
-            parse_path(path).ok().and_then(|p| self.walk(&p)),
-            Some(INode::Directory(_))
-        )
+        matches!(parse_path(path).ok().and_then(|p| self.walk(&p)), Some(INode::Directory(_)))
     }
 
     /// List a directory (one row per child) or a file (one row).
     pub fn list(&self, path: &str) -> Result<Vec<FileStatus>> {
         let parts = parse_path(path)?;
-        let node = self
-            .walk(&parts)
-            .ok_or_else(|| HlError::FileNotFound(path.to_string()))?;
+        let node = self.walk(&parts).ok_or_else(|| HlError::FileNotFound(path.to_string()))?;
         let status = |path: String, node: &INode| match node {
-            INode::Directory(_) => FileStatus { path, is_dir: true, len: 0, replication: 0, blocks: 0 },
+            INode::Directory(_) => {
+                FileStatus { path, is_dir: true, len: 0, replication: 0, blocks: 0 }
+            }
             INode::File(f) => FileStatus {
                 path,
                 is_dir: false,
@@ -279,12 +272,9 @@ impl Namespace {
     /// Returns the block ids freed so the BlockManager can invalidate them.
     pub fn delete(&mut self, path: &str, recursive: bool) -> Result<Vec<BlockId>> {
         let parts = parse_path(path)?;
-        let (name, parent) = parts
-            .split_last()
-            .ok_or_else(|| HlError::Config("cannot delete /".to_string()))?;
-        let node = self
-            .walk_mut(parent)
-            .ok_or_else(|| HlError::FileNotFound(path.to_string()))?;
+        let (name, parent) =
+            parts.split_last().ok_or_else(|| HlError::Config("cannot delete /".to_string()))?;
+        let node = self.walk_mut(parent).ok_or_else(|| HlError::FileNotFound(path.to_string()))?;
         let children = match node {
             INode::Directory(children) => children,
             INode::File(_) => return Err(HlError::NotADirectory(join_path(parent))),
@@ -310,24 +300,21 @@ impl Namespace {
         if self.exists(dst) {
             return Err(HlError::AlreadyExists(dst.to_string()));
         }
-        let (dst_name, dst_parent) = dst_parts
-            .split_last()
-            .ok_or_else(|| HlError::AlreadyExists("/".to_string()))?;
+        let (dst_name, dst_parent) =
+            dst_parts.split_last().ok_or_else(|| HlError::AlreadyExists("/".to_string()))?;
         if !matches!(self.walk(dst_parent), Some(INode::Directory(_))) {
             return Err(HlError::FileNotFound(join_path(dst_parent)));
         }
 
         let src_parts = parse_path(src)?;
-        let (src_name, src_parent) = src_parts
-            .split_last()
-            .ok_or_else(|| HlError::Config("cannot rename /".to_string()))?;
-        let node = self
-            .walk_mut(src_parent)
-            .ok_or_else(|| HlError::FileNotFound(src.to_string()))?;
+        let (src_name, src_parent) =
+            src_parts.split_last().ok_or_else(|| HlError::Config("cannot rename /".to_string()))?;
+        let node =
+            self.walk_mut(src_parent).ok_or_else(|| HlError::FileNotFound(src.to_string()))?;
         let moved = match node {
-            INode::Directory(children) => children
-                .remove(src_name)
-                .ok_or_else(|| HlError::FileNotFound(src.to_string()))?,
+            INode::Directory(children) => {
+                children.remove(src_name).ok_or_else(|| HlError::FileNotFound(src.to_string()))?
+            }
             INode::File(_) => return Err(HlError::NotADirectory(join_path(src_parent))),
         };
         if let Some(INode::Directory(children)) = self.walk_mut(dst_parent) {
@@ -348,9 +335,7 @@ impl Namespace {
     /// All files under `path` (depth-first), as `(path, &FileNode)`.
     pub fn files_under(&self, path: &str) -> Result<Vec<(String, &FileNode)>> {
         let parts = parse_path(path)?;
-        let node = self
-            .walk(&parts)
-            .ok_or_else(|| HlError::FileNotFound(path.to_string()))?;
+        let node = self.walk(&parts).ok_or_else(|| HlError::FileNotFound(path.to_string()))?;
         let mut out = Vec::new();
         walk_files(node, &mut parts.clone(), &mut out);
         Ok(out)

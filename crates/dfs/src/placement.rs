@@ -53,11 +53,9 @@ pub fn choose_targets(
     // Replica 2: prefer a different rack than the first.
     if replication >= 2 {
         let first_rack = topology.rack(first);
-        let pick = pick_rotating(
-            &usable,
-            rotation,
-            |c| !chosen.contains(&c.node) && topology.rack(c.node) != first_rack,
-        )
+        let pick = pick_rotating(&usable, rotation, |c| {
+            !chosen.contains(&c.node) && topology.rack(c.node) != first_rack
+        })
         .or_else(|| pick_rotating(&usable, rotation, |c| !chosen.contains(&c.node)));
         if let Some(n) = pick {
             chosen.push(n);
@@ -67,11 +65,9 @@ pub fn choose_targets(
     // Replica 3: same rack as the second, different node.
     if replication >= 3 && chosen.len() == 2 {
         let second_rack = topology.rack(chosen[1]);
-        let pick = pick_rotating(
-            &usable,
-            rotation.wrapping_add(1),
-            |c| !chosen.contains(&c.node) && topology.rack(c.node) == second_rack,
-        )
+        let pick = pick_rotating(&usable, rotation.wrapping_add(1), |c| {
+            !chosen.contains(&c.node) && topology.rack(c.node) == second_rack
+        })
         .or_else(|| {
             pick_rotating(&usable, rotation.wrapping_add(1), |c| !chosen.contains(&c.node))
         });
@@ -99,15 +95,16 @@ fn pick_rotating(
     mut ok: impl FnMut(&Candidate) -> bool,
 ) -> Option<NodeId> {
     let n = usable.len();
-    (0..n)
-        .map(|i| &usable[(rotation as usize + i) % n])
-        .find(|c| ok(c))
-        .map(|c| c.node)
+    (0..n).map(|i| &usable[(rotation as usize + i) % n]).find(|c| ok(c)).map(|c| c.node)
 }
 
 /// Order replica holders by read preference for a reader at `reader`:
 /// node-local first, then rack-local, then off-rack (ties by node id).
-pub fn order_for_read(topology: &Topology, reader: Option<NodeId>, holders: &[NodeId]) -> Vec<NodeId> {
+pub fn order_for_read(
+    topology: &Topology,
+    reader: Option<NodeId>,
+    holders: &[NodeId],
+) -> Vec<NodeId> {
     let mut ordered: Vec<NodeId> = holders.to_vec();
     ordered.sort_by_key(|&h| match reader {
         Some(r) => (topology.locality(r, h).distance(), h.0),

@@ -69,13 +69,12 @@ impl<'a> DfsShell<'a> {
     ///
     /// Supported: `-ls p`, `-mkdir p`, `-put l p`, `-copyFromLocal l p`,
     /// `-get p l`, `-copyToLocal p l`, `-cat p`, `-rm p`, `-rmr p`,
-    /// `-du p`, `-fsck p`, `-setrep n p`, `-report`,
+    /// `-du p`, `-fsck p`, `-setrep n p`, `-report`, `-metrics`,
     /// `-safemode enter|leave|get`, `-recoverLease p`.
     pub fn run(&mut self, now: SimTime, line: &str) -> Result<ShellOutput> {
         let args: Vec<&str> = line.split_whitespace().collect();
-        let (cmd, rest) = args
-            .split_first()
-            .ok_or_else(|| HlError::Config("empty command".into()))?;
+        let (cmd, rest) =
+            args.split_first().ok_or_else(|| HlError::Config("empty command".into()))?;
         match (*cmd, rest) {
             ("-ls", [path]) => {
                 let rows = self.dfs.namenode.list(path)?;
@@ -125,11 +124,8 @@ impl<'a> DfsShell<'a> {
                 let rows = self.dfs.namenode.list(path)?;
                 let mut out = String::new();
                 for r in &rows {
-                    let size = if r.is_dir {
-                        self.dfs.namenode.namespace().du(&r.path)?
-                    } else {
-                        r.len
-                    };
+                    let size =
+                        if r.is_dir { self.dfs.namenode.namespace().du(&r.path)? } else { r.len };
                     out.push_str(&format!("{:>12}  {}\n", size, r.path));
                 }
                 out.push_str(&format!(
@@ -139,9 +135,8 @@ impl<'a> DfsShell<'a> {
                 Ok(ShellOutput { stdout: out, completed_at: now })
             }
             ("-setrep", [n, path]) => {
-                let replication: u32 = n
-                    .parse()
-                    .map_err(|_| HlError::Config(format!("bad replication {n:?}")))?;
+                let replication: u32 =
+                    n.parse().map_err(|_| HlError::Config(format!("bad replication {n:?}")))?;
                 self.dfs.namenode.set_replication(path, replication)?;
                 // The monitor adds/trims one replica per block per pass;
                 // a few passes converge any realistic setrep delta.
@@ -179,6 +174,11 @@ impl<'a> DfsShell<'a> {
             ("-report", []) => {
                 let r = crate::admin::report(self.dfs);
                 Ok(ShellOutput { stdout: r.to_string(), completed_at: now })
+            }
+            ("-metrics", []) => {
+                let snap = self.dfs.metrics_snapshot(now);
+                let text = hl_metrics::MetricsReport(&snap).to_string();
+                Ok(ShellOutput { stdout: text, completed_at: now })
             }
             ("-fsck", [path]) => {
                 let report = fsck::fsck(self.dfs, path)?;
@@ -233,9 +233,7 @@ mod tests {
         let cat = shell.run(put.completed_at, "-cat /user/alice/input/data.txt").unwrap();
         assert_eq!(cat.stdout, "hello hadoop hello hdfs\n");
 
-        let get = shell
-            .run(cat.completed_at, "-get /user/alice/input/data.txt out.txt")
-            .unwrap();
+        let get = shell.run(cat.completed_at, "-get /user/alice/input/data.txt out.txt").unwrap();
         assert_eq!(shell.local.read("out.txt").unwrap(), b"hello hadoop hello hdfs\n");
         let _ = get;
 
@@ -342,6 +340,23 @@ mod tests {
         let cat = shell.run(SimTime(1), "-cat /d/open").unwrap();
         assert_eq!(cat.stdout.len(), 512);
         assert!(shell.run(SimTime(1), "-recoverLease /nope").is_err());
+    }
+
+    #[test]
+    fn metrics_verb_renders_the_cluster_report() {
+        let (mut dfs, mut net, mut local) = setup();
+        local.write("f", vec![1u8; 600]);
+        let mut shell = DfsShell { dfs: &mut dfs, net: &mut net, local: &mut local };
+        shell.run(SimTime::ZERO, "-mkdir /d").unwrap();
+        let put = shell.run(SimTime::ZERO, "-put f /d/f").unwrap();
+        let out = shell.run(put.completed_at, "-metrics").unwrap();
+        assert!(out.stdout.starts_with("Metrics report at "));
+        assert!(out.stdout.contains("Name: namenode"));
+        assert!(out.stdout.contains("rpc.add_block"));
+        assert!(out.stdout.contains("Name: datanode.node000"));
+        assert!(out.stdout.contains("bytes.written"));
+        // Malformed invocations are rejected.
+        assert!(shell.run(SimTime::ZERO, "-metrics /x").is_err());
     }
 
     #[test]

@@ -75,9 +75,7 @@ impl Writable for Cell {
                 v.copy_from_slice(&buf[..take]);
                 *buf = &buf[take..];
                 if take != len {
-                    return Err(hl_common::error::HlError::Codec(
-                        "truncated cell value".into(),
-                    ));
+                    return Err(hl_common::error::HlError::Codec("truncated cell value".into()));
                 }
                 Some(v)
             }
@@ -130,10 +128,7 @@ mod tests {
 
     #[test]
     fn tombstone_wins_timestamp_ties() {
-        let mut cells = vec![
-            Cell::put("r", "c", 5, b"v".to_vec()),
-            Cell::tombstone("r", "c", 5),
-        ];
+        let mut cells = vec![Cell::put("r", "c", 5, b"v".to_vec()), Cell::tombstone("r", "c", 5)];
         sort_canonical(&mut cells);
         assert!(cells[0].is_tombstone());
     }

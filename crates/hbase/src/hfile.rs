@@ -84,9 +84,8 @@ impl HFile {
     /// Cells are canonical-sorted, so the first hit is the winner.
     pub fn get(&self, row: &str, column: &str) -> Option<&Cell> {
         // Binary search for the group start, then check the first entry.
-        let idx = self
-            .cells
-            .partition_point(|c| (c.row.as_str(), c.column.as_str()) < (row, column));
+        let idx =
+            self.cells.partition_point(|c| (c.row.as_str(), c.column.as_str()) < (row, column));
         let c = self.cells.get(idx)?;
         (c.row == row && c.column == column).then_some(c)
     }
@@ -138,8 +137,9 @@ mod tests {
         let mut net = ClusterNet::new(&spec);
         dfs.namenode.mkdirs("/hbase/t/r0").unwrap();
 
-        let (warm, t1) = HFile::create(&mut dfs, &mut net, SimTime::ZERO, "/hbase/t/r0/hf0", sample_cells())
-            .unwrap();
+        let (warm, t1) =
+            HFile::create(&mut dfs, &mut net, SimTime::ZERO, "/hbase/t/r0/hf0", sample_cells())
+                .unwrap();
         assert!(t1 >= SimTime::ZERO);
         // The file is a real replicated HDFS file.
         let located = dfs.file_blocks("/hbase/t/r0/hf0").unwrap();

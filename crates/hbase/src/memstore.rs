@@ -28,10 +28,8 @@ impl MemStore {
 
     /// Insert a cell (put or tombstone).
     pub fn insert(&mut self, cell: Cell) {
-        self.bytes += cell.row.len()
-            + cell.column.len()
-            + 16
-            + cell.value.as_ref().map_or(0, Vec::len);
+        self.bytes +=
+            cell.row.len() + cell.column.len() + 16 + cell.value.as_ref().map_or(0, Vec::len);
         self.cells.insert(key_of(&cell), cell.value);
     }
 
@@ -40,10 +38,7 @@ impl MemStore {
     pub fn get(&self, row: &str, column: &str) -> Option<Option<&[u8]>> {
         let lo = (row.to_string(), column.to_string(), std::cmp::Reverse(u64::MAX), false);
         let hi = (row.to_string(), column.to_string(), std::cmp::Reverse(0), true);
-        self.cells
-            .range(lo..=hi)
-            .next()
-            .map(|(_, v)| v.as_deref())
+        self.cells.range(lo..=hi).next().map(|(_, v)| v.as_deref())
     }
 
     /// Approximate resident bytes.
@@ -124,11 +119,7 @@ mod tests {
             cells.iter().map(|c| (c.row.clone(), c.column.clone())).collect();
         assert_eq!(
             keys,
-            vec![
-                ("a".into(), "x".into()),
-                ("a".into(), "y".into()),
-                ("b".into(), "x".into())
-            ]
+            vec![("a".into(), "x".into()), ("a".into(), "y".into()), ("b".into(), "x".into())]
         );
         assert!(m.is_empty());
         assert_eq!(m.bytes(), 0);

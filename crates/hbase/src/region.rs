@@ -137,7 +137,12 @@ impl Region {
     /// Major compaction: merge all HFiles + memstore into one HFile,
     /// dropping shadowed versions and tombstones, and delete the old files
     /// from HDFS.
-    pub fn compact(&mut self, dfs: &mut Dfs, net: &mut ClusterNet, now: SimTime) -> Result<SimTime> {
+    pub fn compact(
+        &mut self,
+        dfs: &mut Dfs,
+        net: &mut ClusterNet,
+        now: SimTime,
+    ) -> Result<SimTime> {
         let mut all: Vec<Cell> = self.memstore.drain_sorted();
         for hf in &self.hfiles {
             all.extend(hf.cells.iter().cloned());
@@ -217,7 +222,12 @@ mod tests {
         let mut t = SimTime::ZERO;
         for i in 0..20 {
             t = r
-                .insert(&mut dfs, &mut net, t, Cell::put(&format!("row{i:02}"), "c", i, vec![i as u8]))
+                .insert(
+                    &mut dfs,
+                    &mut net,
+                    t,
+                    Cell::put(&format!("row{i:02}"), "c", i, vec![i as u8]),
+                )
                 .unwrap();
         }
         assert!(!r.hfiles.is_empty(), "small threshold must have flushed");
@@ -289,13 +299,12 @@ mod tests {
         let mut r = Region::new("", "/hbase/t/r0", 1 << 20);
         let mut t = SimTime::ZERO;
         for row in ["a", "b", "c", "d"] {
-            t = r.insert(&mut dfs, &mut net, t, Cell::put(row, "x", 1, row.as_bytes().to_vec())).unwrap();
+            t = r
+                .insert(&mut dfs, &mut net, t, Cell::put(row, "x", 1, row.as_bytes().to_vec()))
+                .unwrap();
         }
         let mid = r.scan("b", Some("d"));
-        assert_eq!(
-            mid.iter().map(|(r, _, _)| r.as_str()).collect::<Vec<_>>(),
-            vec!["b", "c"]
-        );
+        assert_eq!(mid.iter().map(|(r, _, _)| r.as_str()).collect::<Vec<_>>(), vec!["b", "c"]);
         assert_eq!(r.scan("", None).len(), 4);
         assert!(r.scan("x", None).is_empty());
     }

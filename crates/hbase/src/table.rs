@@ -123,7 +123,12 @@ impl HTable {
     }
 
     /// Flush every region.
-    pub fn flush_all(&mut self, dfs: &mut Dfs, net: &mut ClusterNet, now: SimTime) -> Result<SimTime> {
+    pub fn flush_all(
+        &mut self,
+        dfs: &mut Dfs,
+        net: &mut ClusterNet,
+        now: SimTime,
+    ) -> Result<SimTime> {
         let mut t = now;
         for r in &mut self.regions {
             t = r.flush(dfs, net, t)?;
@@ -132,7 +137,12 @@ impl HTable {
     }
 
     /// Major-compact every region.
-    pub fn compact_all(&mut self, dfs: &mut Dfs, net: &mut ClusterNet, now: SimTime) -> Result<SimTime> {
+    pub fn compact_all(
+        &mut self,
+        dfs: &mut Dfs,
+        net: &mut ClusterNet,
+        now: SimTime,
+    ) -> Result<SimTime> {
         let mut t = now;
         for r in &mut self.regions {
             t = r.compact(dfs, net, t)?;
@@ -171,7 +181,8 @@ impl HTable {
         self.next_region += 2;
         for hf in &old.hfiles {
             for c in &hf.cells {
-                let target = if c.row.as_str() < split_row.as_str() { &mut left } else { &mut right };
+                let target =
+                    if c.row.as_str() < split_row.as_str() { &mut left } else { &mut right };
                 t = target.insert(dfs, net, t, c.clone())?;
             }
         }
@@ -259,9 +270,7 @@ mod tests {
         table.split_threshold = 20;
         let mut now = SimTime::ZERO;
         for i in 0..60u32 {
-            now = table
-                .put(&mut dfs, &mut net, now, &format!("k{i:03}"), "c", vec![1])
-                .unwrap();
+            now = table.put(&mut dfs, &mut net, now, &format!("k{i:03}"), "c", vec![1]).unwrap();
         }
         assert!(table.regions.len() > 1);
         let mid = table.scan("k010", Some("k030"));
@@ -276,7 +285,9 @@ mod tests {
         let mut table = HTable::create(&mut dfs, "t").unwrap();
         let mut now = SimTime::ZERO;
         for i in 0..30u32 {
-            now = table.put(&mut dfs, &mut net, now, &format!("r{i:02}"), "c", vec![i as u8]).unwrap();
+            now = table
+                .put(&mut dfs, &mut net, now, &format!("r{i:02}"), "c", vec![i as u8])
+                .unwrap();
         }
         now = table.flush_all(&mut dfs, &mut net, now).unwrap();
         now = table.compact_all(&mut dfs, &mut net, now).unwrap();
@@ -295,7 +306,9 @@ mod tests {
         let (mut dfs, mut net) = setup();
         let mut table = HTable::create(&mut dfs, "t").unwrap();
         let now = SimTime::ZERO;
-        table.apply(&mut dfs, &mut net, now, Cell::put("r", "c", 1000, b"explicit".to_vec())).unwrap();
+        table
+            .apply(&mut dfs, &mut net, now, Cell::put("r", "c", 1000, b"explicit".to_vec()))
+            .unwrap();
         // The next auto put must land above ts 1000, not shadow-under it.
         table.put(&mut dfs, &mut net, now, "r", "c", b"auto".to_vec()).unwrap();
         assert_eq!(table.get("r", "c").as_deref(), Some(b"auto".as_slice()));

@@ -76,7 +76,11 @@ impl Baseline {
              version = 1\n",
         );
         let total: u64 = self.counts.values().sum();
-        out.push_str(&format!("# {} grandfathered violations across {} buckets\n", total, self.counts.len()));
+        out.push_str(&format!(
+            "# {} grandfathered violations across {} buckets\n",
+            total,
+            self.counts.len()
+        ));
         for ((rule, file), count) in &self.counts {
             out.push_str(&format!(
                 "\n[[entry]]\nrule = {}\nfile = {}\ncount = {}\n",

@@ -426,11 +426,8 @@ mod tests {
     #[test]
     fn numbers_including_suffixes_and_ranges() {
         let toks = kinds("0 1_000u64 0x7F 2.5 0..5");
-        let nums: Vec<_> = toks
-            .iter()
-            .filter(|(k, _)| *k == TokKind::NumLit)
-            .map(|(_, t)| t.clone())
-            .collect();
+        let nums: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::NumLit).map(|(_, t)| t.clone()).collect();
         assert_eq!(nums, vec!["0", "1_000u64", "0x7F", "2.5", "0", "5"]);
     }
 

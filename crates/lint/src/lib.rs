@@ -33,10 +33,8 @@ use std::path::Path;
 pub fn lint_source_all_rules(file: &str, src: &str, manifest: &Manifest) -> Vec<Violation> {
     let sf = ScannedFile::new(src);
     let mut violations = rules::lint_tokens(file, &sf, &RuleId::all());
-    let impls: Vec<_> = rules::collect_writable_impls(&sf)
-        .into_iter()
-        .map(|im| (file.to_string(), im))
-        .collect();
+    let impls: Vec<_> =
+        rules::collect_writable_impls(&sf).into_iter().map(|im| (file.to_string(), im)).collect();
     for (f, im) in &impls {
         if !im.macro_template && !manifest.types.contains_key(&im.type_name) {
             let mut v = Violation {
@@ -90,8 +88,9 @@ pub fn lint_workspace(root: &Path) -> Result<WorkspaceLint, String> {
         .map_err(|e| format!("scanning workspace at {}: {e}", root.display()))?;
     let manifest_path = root.join("crates/lint/writable-manifest.toml");
     let manifest = match std::fs::read_to_string(&manifest_path) {
-        Ok(text) => Manifest::parse(&text)
-            .map_err(|e| format!("{}: {e}", manifest_path.display()))?,
+        Ok(text) => {
+            Manifest::parse(&text).map_err(|e| format!("{}: {e}", manifest_path.display()))?
+        }
         Err(_) => Manifest::default(), // absent manifest: every impl flags
     };
 
@@ -112,10 +111,7 @@ pub fn lint_workspace(root: &Path) -> Result<WorkspaceLint, String> {
                     file: rel.clone(),
                     line: im.line,
                     col: im.col,
-                    message: format!(
-                        "`impl Writable for {}` unregistered (waived)",
-                        im.type_name
-                    ),
+                    message: format!("`impl Writable for {}` unregistered (waived)", im.type_name),
                     waived: true,
                 });
                 continue;
@@ -124,8 +120,7 @@ pub fn lint_workspace(root: &Path) -> Result<WorkspaceLint, String> {
         }
     }
     violations.extend(manifest.check(root, &impls));
-    violations.sort_by(|a, b| {
-        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
-    });
+    violations
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     Ok(WorkspaceLint { violations, files_scanned: files.len() })
 }

@@ -67,9 +67,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: hadooplab-lint [--root DIR] <check | baseline [--force-grow] | dump FILE>"
-    );
+    eprintln!("usage: hadooplab-lint [--root DIR] <check | baseline [--force-grow] | dump FILE>");
     ExitCode::from(2)
 }
 

@@ -112,7 +112,8 @@ pub fn rules_for_path(path: &str) -> Vec<RuleId> {
         || path.starts_with("crates/provision/src/")
         || path.starts_with("crates/hbase/src/")
         || path.starts_with("crates/core/src/")
-        || path.starts_with("crates/chaos/src/");
+        || path.starts_with("crates/chaos/src/")
+        || path.starts_with("crates/metrics/src/");
     if sim_facing {
         rules.push(RuleId::R2);
     }
@@ -249,8 +250,7 @@ fn rule_r3(file: &str, sf: &ScannedFile, out: &mut Vec<Violation>) {
         }
         if toks[i].kind == TokKind::Ident && toks[i].text == "as" {
             let target = toks[i + 1].text.as_str();
-            if toks[i + 1].kind == TokKind::Ident
-                && (NARROW.contains(&target) || target == "usize")
+            if toks[i + 1].kind == TokKind::Ident && (NARROW.contains(&target) || target == "usize")
             {
                 push(
                     out,
@@ -409,9 +409,7 @@ pub fn collect_writable_impls(sf: &ScannedFile) -> Vec<WritableImpl> {
         let mut k = for_at + 1;
         // Skip leading `&`, lifetimes, `mut`.
         while k < toks.len()
-            && (toks[k].text == "&"
-                || toks[k].kind == TokKind::Lifetime
-                || toks[k].text == "mut")
+            && (toks[k].text == "&" || toks[k].kind == TokKind::Lifetime || toks[k].text == "mut")
         {
             k += 1;
         }
@@ -494,7 +492,8 @@ mod tests {
 
     #[test]
     fn r3_catches_narrowing_but_not_widening() {
-        let v = active("fn f(n: u64) { let a = n as u32; let b = n as usize; let c = 3u32 as u64; }");
+        let v =
+            active("fn f(n: u64) { let a = n as u32; let b = n as usize; let c = 3u32 as u64; }");
         let r3: Vec<_> = v.iter().filter(|v| v.rule == RuleId::R3).collect();
         assert_eq!(r3.len(), 2);
         assert!(r3[0].message.contains("as u32"));
@@ -515,7 +514,9 @@ mod tests {
 
     #[test]
     fn waiver_downgrades_to_waived() {
-        let v = all_rules("fn f(n: u64) {\n  // lint:allow(R3): n < 100 by construction\n  let a = n as u32;\n}");
+        let v = all_rules(
+            "fn f(n: u64) {\n  // lint:allow(R3): n < 100 by construction\n  let a = n as u32;\n}",
+        );
         let r3: Vec<_> = v.iter().filter(|v| v.rule == RuleId::R3).collect();
         assert_eq!(r3.len(), 1);
         assert!(r3[0].waived);
@@ -533,11 +534,8 @@ mod tests {
              #[cfg(test)]\nmod t { impl Writable for TestOnly {} }",
         );
         let impls = collect_writable_impls(&sf);
-        let names: Vec<_> = impls
-            .iter()
-            .filter(|i| !i.macro_template)
-            .map(|i| i.type_name.as_str())
-            .collect();
+        let names: Vec<_> =
+            impls.iter().filter(|i| !i.macro_template).map(|i| i.type_name.as_str()).collect();
         assert_eq!(names, vec!["Cell", "Pair", "EditOp", "(tuple)"]);
         assert_eq!(impls.iter().filter(|i| i.macro_template).count(), 1);
         assert_eq!(impls[0].line, 1);

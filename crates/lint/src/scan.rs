@@ -99,9 +99,7 @@ fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
                         .map(|t| t.text.as_str())
                         .collect();
                     let is_test_attr = match idents.first() {
-                        Some(&"cfg") => {
-                            idents.contains(&"test") && !idents.contains(&"not")
-                        }
+                        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
                         Some(&"test") => true,
                         _ => false,
                     };

@@ -263,10 +263,7 @@ mod tests {
         let mut sink: Vec<(String, u64)> = Vec::new();
         let mut ctx = MapContext::new(&mut scope, &mut sink);
         TokenCounter.map(0, "a b a", &mut ctx);
-        assert_eq!(
-            sink,
-            vec![("a".into(), 1), ("b".into(), 1), ("a".into(), 1)]
-        );
+        assert_eq!(sink, vec![("a".into(), 1), ("b".into(), 1), ("a".into(), 1)]);
         assert_eq!(scope.counters.task(TaskCounter::MapOutputRecords), 3);
     }
 

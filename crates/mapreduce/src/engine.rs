@@ -29,8 +29,11 @@ use hl_common::prelude::*;
 use hl_common::topology::Locality;
 use hl_common::writable::Writable;
 use hl_dfs::client::Dfs;
+use hl_metrics::{MetricsRegistry, MetricsSnapshot};
 
-use crate::api::{Combiner, MapContext, MapOutputSink, Mapper, ReduceContext, Reducer, SideFiles, TaskScope};
+use crate::api::{
+    Combiner, MapContext, MapOutputSink, Mapper, ReduceContext, Reducer, SideFiles, TaskScope,
+};
 use crate::history::JobHistory;
 use crate::job::Job;
 use crate::merge::merge_groups;
@@ -91,6 +94,9 @@ pub struct MrCluster {
     pub history: JobHistory,
     /// Jobs that failed outright this session.
     pub failed_jobs: u32,
+    /// Instruments for the "jobtracker" daemon (job/task lifecycle,
+    /// spill/shuffle/merge accounting, blacklist events).
+    pub metrics: MetricsRegistry,
 }
 
 impl MrCluster {
@@ -98,10 +104,8 @@ impl MrCluster {
     pub fn new(spec: ClusterSpec, config: Configuration) -> Result<Self> {
         let dfs = Dfs::format(&config, &spec)?;
         let net = ClusterNet::new(&spec);
-        let map_slots =
-            config.get_usize(hl_common::config::keys::MAPRED_MAP_SLOTS, 8)?;
-        let reduce_slots =
-            config.get_usize(hl_common::config::keys::MAPRED_REDUCE_SLOTS, 4)?;
+        let map_slots = config.get_usize(hl_common::config::keys::MAPRED_MAP_SLOTS, 8)?;
+        let reduce_slots = config.get_usize(hl_common::config::keys::MAPRED_REDUCE_SLOTS, 4)?;
         let max_tracker_failures =
             config.get_u32(hl_common::config::keys::MAPRED_MAX_TRACKER_FAILURES, 4)?.max(1);
         let max_tracker_blacklists =
@@ -138,6 +142,7 @@ impl MrCluster {
             locality_aware: true,
             history: JobHistory::default(),
             failed_jobs: 0,
+            metrics: MetricsRegistry::new(),
         })
     }
 
@@ -172,6 +177,7 @@ impl MrCluster {
             Some(t) if t.health.alive => {
                 t.health.alive = false;
                 t.health.crashes += 1;
+                self.metrics.incr("jobtracker", "trackers.crashed", 1);
                 true
             }
             _ => false,
@@ -184,6 +190,7 @@ impl MrCluster {
         if self.jobtracker.alive {
             self.jobtracker.alive = false;
             self.jobtracker.crashes += 1;
+            self.metrics.incr("jobtracker", "crashes", 1);
         }
     }
 
@@ -191,6 +198,9 @@ impl MrCluster {
     pub fn restart_jobtracker(&mut self) {
         let now = self.now;
         self.jobtracker.restart(now);
+        // Gauges reset with the process; counters/histograms carry across.
+        self.metrics.restart_daemon("jobtracker");
+        self.metrics.incr("jobtracker", "restarts", 1);
     }
 
     /// Restart every dead TaskTracker (and its colocated DataNode daemon).
@@ -199,13 +209,18 @@ impl MrCluster {
     /// re-registering TaskTrackers on a real JobTracker.
     pub fn restart_dead_trackers(&mut self) {
         let now = self.now;
+        let mut restarted = 0u64;
         for (node, t) in self.trackers.iter_mut() {
             if !t.health.alive {
                 t.health.restart(now);
+                restarted += 1;
                 if let Some(dn) = self.dfs.datanode_mut(*node) {
                     dn.restart();
                 }
             }
+        }
+        if restarted > 0 {
+            self.metrics.incr("jobtracker", "trackers.restarted", restarted);
         }
         self.blacklist_strikes.clear();
     }
@@ -231,11 +246,7 @@ impl MrCluster {
 
     /// Nodes with a live TaskTracker.
     pub fn live_tracker_nodes(&self) -> Vec<NodeId> {
-        self.trackers
-            .iter()
-            .filter(|(_, t)| t.health.alive)
-            .map(|(&n, _)| n)
-            .collect()
+        self.trackers.iter().filter(|(_, t)| t.health.alive).map(|(&n, _)| n).collect()
     }
 
     /// Register a side file for tasks to read (the distributed cache). If
@@ -305,9 +316,11 @@ impl MrCluster {
         }
         let job_id = format!("job_{:04}", self.next_job_id);
         self.next_job_id += 1;
+        self.metrics.incr("jobtracker", "jobs.submitted", 1);
         let submitted_at = self.now;
-        self.log
-            .log_with(submitted_at, "jobtracker", || format!("{job_id} ({}) submitted", job.conf.name));
+        self.log.log_with(submitted_at, "jobtracker", || {
+            format!("{job_id} ({}) submitted", job.conf.name)
+        });
 
         self.dfs.namenode.mkdirs(&job.conf.output_path)?;
         let splits = compute_splits(&self.dfs, &job.conf.input_paths)?;
@@ -316,16 +329,18 @@ impl MrCluster {
         match result {
             Ok(report) => {
                 self.now = report.finished_at;
+                self.record_job_metrics(&report);
                 self.history.record(&report);
                 let (now, elapsed) = (self.now, report.elapsed());
-                self.log
-                    .log_with(now, "jobtracker", || format!("{job_id} completed in {elapsed}"));
+                self.log.log_with(now, "jobtracker", || format!("{job_id} completed in {elapsed}"));
                 Ok(report)
             }
             Err(e) => {
                 // Failed jobs clean their output directory.
                 self.failed_jobs += 1;
-                let cmds = self.dfs.namenode.delete(&job.conf.output_path, true).unwrap_or_default();
+                self.metrics.incr("jobtracker", "jobs.failed", 1);
+                let cmds =
+                    self.dfs.namenode.delete(&job.conf.output_path, true).unwrap_or_default();
                 let now = self.now;
                 self.dfs.apply_commands(&mut self.net, now, &cmds);
                 let now = self.now;
@@ -333,6 +348,51 @@ impl MrCluster {
                 Err(e)
             }
         }
+    }
+
+    /// Fold one completed job's report into the "jobtracker" instruments:
+    /// spill/shuffle/merge byte counters from the job counters, per-kind
+    /// task-duration histograms, and blacklist events.
+    fn record_job_metrics(&mut self, report: &JobReport) {
+        self.metrics.incr("jobtracker", "jobs.completed", 1);
+        self.metrics.observe("jobtracker", "job.duration_ms", report.elapsed().as_micros() / 1000);
+        self.metrics.incr(
+            "jobtracker",
+            "shuffle.bytes",
+            report.counters.task(TaskCounter::ReduceShuffleBytes),
+        );
+        self.metrics.incr(
+            "jobtracker",
+            "spill.records",
+            report.counters.task(TaskCounter::SpilledRecords),
+        );
+        let blacklisted = report.counters.get("Job Counters", "Trackers blacklisted");
+        if blacklisted > 0 {
+            self.metrics.incr("jobtracker", "blacklist.events", blacklisted);
+        }
+        for t in &report.tasks {
+            let ms = t.duration().as_micros() / 1000;
+            match t.kind {
+                TaskKind::Map => self.metrics.observe("jobtracker", "map.duration_ms", ms),
+                TaskKind::Reduce => self.metrics.observe("jobtracker", "reduce.duration_ms", ms),
+            }
+        }
+    }
+
+    /// One cluster-wide metrics snapshot at the engine's virtual `now`:
+    /// DFS (NameNode + client + DataNodes) merged with the JobTracker's
+    /// instruments and the network's per-link export.
+    pub fn metrics_snapshot(&mut self) -> MetricsSnapshot {
+        let at = self.now;
+        self.net.export_metrics(at, &mut self.metrics);
+        let live = i64::try_from(self.live_tracker_nodes().len()).unwrap_or(i64::MAX);
+        let black = i64::try_from(self.blacklisted_trackers().len()).unwrap_or(i64::MAX);
+        self.metrics.set_gauge("jobtracker", "trackers.live", live);
+        self.metrics.set_gauge("jobtracker", "trackers.blacklisted", black);
+        self.metrics.set_gauge("jobtracker", "up", i64::from(self.jobtracker.alive));
+        let mut snap = self.dfs.metrics_snapshot(at);
+        snap.merge(&self.metrics.snapshot(at));
+        snap
     }
 
     fn run_phases<M, R, C>(
@@ -372,9 +432,7 @@ impl MrCluster {
                 )));
             }
             // Earliest-free slot...
-            let si = (0..slots.len())
-                .min_by_key(|&i| (slots[i].free_at, slots[i].node.0))
-                .unwrap();
+            let si = (0..slots.len()).min_by_key(|&i| (slots[i].free_at, slots[i].node.0)).unwrap();
             let node = slots[si].node;
             // ...picks its best pending split: locality first, then order.
             let topo = self.net.topology().clone();
@@ -443,9 +501,7 @@ impl MrCluster {
                         // too many failed attempts (crashed or not).
                         let strikes = job_failures.entry(node).or_insert(0);
                         *strikes += 1;
-                        if *strikes >= self.max_tracker_failures
-                            && !job_blacklist.contains(&node)
-                        {
+                        if *strikes >= self.max_tracker_failures && !job_blacklist.contains(&node) {
                             job_blacklist.push(node);
                             counters.incr("Job Counters", "Trackers blacklisted", 1);
                             let n = *strikes;
@@ -481,9 +537,7 @@ impl MrCluster {
                 let median = durations[durations.len() / 2].max(1);
                 let straggler_ids: Vec<usize> = tasks
                     .iter()
-                    .filter(|t| {
-                        t.kind == TaskKind::Map && t.duration().as_micros() > 2 * median
-                    })
+                    .filter(|t| t.kind == TaskKind::Map && t.duration().as_micros() > 2 * median)
                     .map(|t| t.id as usize)
                     .collect();
                 for split_idx in straggler_ids {
@@ -493,12 +547,10 @@ impl MrCluster {
                         .unwrap()
                         .node;
                     // Earliest slot on a different node.
-                    let candidates: Vec<usize> = (0..slots.len())
-                        .filter(|&i| slots[i].node != old_node)
-                        .collect();
-                    let Some(&si) = candidates
-                        .iter()
-                        .min_by_key(|&&i| (slots[i].free_at, slots[i].node.0))
+                    let candidates: Vec<usize> =
+                        (0..slots.len()).filter(|&i| slots[i].node != old_node).collect();
+                    let Some(&si) =
+                        candidates.iter().min_by_key(|&&i| (slots[i].free_at, slots[i].node.0))
                     else {
                         continue;
                     };
@@ -526,12 +578,8 @@ impl MrCluster {
             }
         }
 
-        let maps_done = outputs
-            .iter()
-            .flatten()
-            .map(|(_, _, end)| *end)
-            .max()
-            .unwrap_or(submitted_at);
+        let maps_done =
+            outputs.iter().flatten().map(|(_, _, end)| *end).max().unwrap_or(submitted_at);
 
         // --------------------------------------------------- reduce phase
         let num_reduces = job.conf.num_reduces;
@@ -585,9 +633,7 @@ impl MrCluster {
                         }
                         let strikes = job_failures.entry(node).or_insert(0);
                         *strikes += 1;
-                        if *strikes >= self.max_tracker_failures
-                            && !job_blacklist.contains(&node)
-                        {
+                        if *strikes >= self.max_tracker_failures && !job_blacklist.contains(&node) {
                             job_blacklist.push(node);
                             counters.incr("Job Counters", "Trackers blacklisted", 1);
                             let n = *strikes;
@@ -662,16 +708,11 @@ impl MrCluster {
 
         // Read the split's block through the DFS client (charged, verified,
         // locality-aware).
-        let read = self
-            .dfs
-            .read_block(&mut self.net, t, split.block, Some(node), &split.path)?;
+        let read = self.dfs.read_block(&mut self.net, t, split.block, Some(node), &split.path)?;
         let block_bytes = read.value;
         t = read.completed_at;
-        let locality = self
-            .net
-            .topology()
-            .best_locality(node, &split.holders)
-            .unwrap_or(Locality::OffRack);
+        let locality =
+            self.net.topology().best_locality(node, &split.holders).unwrap_or(Locality::OffRack);
 
         // Stitch the boundary line: previous block's last byte decides
         // whether our first partial line is ours; following block(s) finish
@@ -692,7 +733,8 @@ impl MrCluster {
             match self.dfs.peek_block_bytes(prev) {
                 Some(b) => b.last().copied(),
                 None => {
-                    let got = self.dfs.read_block(&mut self.net, t, prev, Some(node), &split.path)?;
+                    let got =
+                        self.dfs.read_block(&mut self.net, t, prev, Some(node), &split.path)?;
                     t = got.completed_at;
                     got.value.last().copied()
                 }
@@ -720,8 +762,7 @@ impl MrCluster {
         }
 
         // Run the mapper for real.
-        let mut scope =
-            TaskScope::new(self.side_files.clone(), self.spec.node.disk_bw);
+        let mut scope = TaskScope::new(self.side_files.clone(), self.spec.node.disk_bw);
         // Register always-reported counters up front so the job report
         // shows the group even for empty map output.
         let mut sink_counters = Counters::new();
@@ -737,9 +778,7 @@ impl MrCluster {
         {
             let mut ctx = MapContext::new(&mut scope, &mut sink);
             mapper.setup(&mut ctx);
-            for (off, line) in
-                LineReader::new(prev_byte, &data, split.len as usize, split.offset)
-            {
+            for (off, line) in LineReader::new(prev_byte, &data, split.len as usize, split.offset) {
                 records += 1;
                 mapper.map(off, &line, &mut ctx);
             }
@@ -778,12 +817,20 @@ impl MrCluster {
         let disk_bw = self.spec.node.disk_bw.max(1);
         if output.spill_bytes_written > 0 {
             t += SimDuration::for_transfer(output.spill_bytes_written, disk_bw);
-            task_counters
-                .incr_fs(FileSystemCounter::FileBytesWritten, output.spill_bytes_written);
+            task_counters.incr_fs(FileSystemCounter::FileBytesWritten, output.spill_bytes_written);
         }
         if output.spill_bytes_read > 0 {
             t += SimDuration::for_transfer(output.spill_bytes_read, disk_bw);
             task_counters.incr_fs(FileSystemCounter::FileBytesRead, output.spill_bytes_read);
+        }
+        if output.num_spills > 0 {
+            self.metrics.incr("jobtracker", "spill.count", u64::from(output.num_spills));
+            self.metrics.incr("jobtracker", "spill.bytes", output.spill_bytes_written);
+        }
+        if output.num_spills > 1 {
+            // Multiple spill runs force an on-disk merge pass at map end.
+            self.metrics.incr("jobtracker", "merge.passes", 1);
+            self.metrics.incr("jobtracker", "merge.bytes", output.spill_bytes_read);
         }
 
         // The paper's heap-leak mechanism: a buggy task can OOM the
@@ -871,8 +918,7 @@ impl MrCluster {
         task_counters.merge(&scope.counters);
         task_counters.incr_task(TaskCounter::ReduceInputRecords, records);
 
-        let cpu =
-            mul_dur(job.conf.reduce_cpu_per_record * records + scope.extra_time, factor);
+        let cpu = mul_dur(job.conf.reduce_cpu_per_record * records + scope.extra_time, factor);
         let mut t = shuffle_done + cpu;
 
         // Heap hook for reduces too.
@@ -942,8 +988,7 @@ impl<K: SortableKey, V: Writable, C: Combiner<K = K, V = V>> MapOutputSink<K, V>
     for SpillSink<K, V, C>
 {
     fn collect(&mut self, key: K, value: V) {
-        self.buf
-            .collect(&key, &value, self.combiner.as_mut(), &mut self.counters);
+        self.buf.collect(&key, &value, self.combiner.as_mut(), &mut self.counters);
     }
 }
 
@@ -1033,6 +1078,45 @@ mod tests {
     }
 
     #[test]
+    fn metrics_track_job_lifecycle_and_spills() {
+        let mut cluster = small_cluster();
+        stage(&mut cluster, "/in/data.txt", &corpus(5000));
+        let job = Job::new(
+            JobConf::new("wc-metrics").input("/in/data.txt").output("/out/wcm").reduces(2),
+            || WcMap,
+            || WcReduce,
+        );
+        let report = cluster.run_job(&job).unwrap();
+        let snap = cluster.metrics_snapshot();
+        assert_eq!(snap.counter("jobtracker", "jobs.submitted"), 1);
+        assert_eq!(snap.counter("jobtracker", "jobs.completed"), 1);
+        assert_eq!(snap.counter("jobtracker", "jobs.failed"), 0);
+        assert_eq!(
+            snap.counter("jobtracker", "shuffle.bytes"),
+            report.counters.task(TaskCounter::ReduceShuffleBytes),
+        );
+        assert_eq!(
+            snap.counter("jobtracker", "spill.records"),
+            report.counters.task(TaskCounter::SpilledRecords),
+        );
+        // Task-duration histograms hold one sample per task.
+        let maps = report.num_maps() as u64;
+        match snap.get("jobtracker", "map.duration_ms") {
+            Some(hl_metrics::MetricValue::Histogram(h)) => assert_eq!(h.count(), maps),
+            other => panic!("map.duration_ms missing: {other:?}"),
+        }
+        // The merged snapshot spans every subsystem.
+        assert!(snap.counter("namenode", "rpc.add_block") > 0);
+        assert!(snap.counter_across_daemons("bytes.read") > 0);
+        assert!(snap.gauge("jobtracker", "trackers.live") == 4);
+        assert!(snap.gauge("network", "remote.bytes") >= 0);
+        // Snapshots are deterministic: rendering twice is byte-identical.
+        let again = cluster.metrics_snapshot();
+        use hl_common::writable::Writable;
+        assert_eq!(snap.to_bytes(), again.to_bytes());
+    }
+
+    #[test]
     fn wordcount_end_to_end_is_correct() {
         let mut cluster = small_cluster();
         let text = corpus(5000);
@@ -1055,10 +1139,7 @@ mod tests {
         }
         assert_eq!(counts, expected);
         // Counters add up.
-        assert_eq!(
-            report.counters.task(TaskCounter::MapInputRecords),
-            text.lines().count() as u64
-        );
+        assert_eq!(report.counters.task(TaskCounter::MapInputRecords), text.lines().count() as u64);
         assert_eq!(report.counters.task(TaskCounter::MapOutputRecords), 5000);
         assert_eq!(report.counters.task(TaskCounter::ReduceOutputRecords), 6);
         assert!(report.elapsed() > SimDuration::ZERO);
@@ -1119,10 +1200,7 @@ mod tests {
         let mut cluster = small_cluster();
         stage(&mut cluster, "/in/data.txt", &corpus(500));
         let job = Job::new(
-            JobConf::new("flaky")
-                .input("/in/data.txt")
-                .output("/out/flaky")
-                .fail_first_attempts(2),
+            JobConf::new("flaky").input("/in/data.txt").output("/out/flaky").fail_first_attempts(2),
             || WcMap,
             || WcReduce,
         );
@@ -1175,10 +1253,8 @@ mod tests {
         }
         assert!(crashed, "heap leaks must eventually kill a tasktracker");
         // The colocated DataNode died too.
-        let dead: Vec<NodeId> = (0..4u32)
-            .map(NodeId)
-            .filter(|n| !cluster.live_tracker_nodes().contains(n))
-            .collect();
+        let dead: Vec<NodeId> =
+            (0..4u32).map(NodeId).filter(|n| !cluster.live_tracker_nodes().contains(n)).collect();
         for n in &dead {
             assert!(!cluster.dfs.datanode(*n).unwrap().alive);
         }
@@ -1215,10 +1291,7 @@ mod tests {
         cluster.set_slow_node(NodeId(3), 50.0);
 
         let slow_job = Job::new(
-            JobConf::new("no-spec")
-                .input("/in/data.txt")
-                .output("/out/nospec")
-                .speculative(false),
+            JobConf::new("no-spec").input("/in/data.txt").output("/out/nospec").speculative(false),
             || WcMap,
             || WcReduce,
         );

@@ -11,7 +11,9 @@ use hl_common::counters::{Counters, FileSystemCounter, TaskCounter};
 use hl_common::prelude::*;
 use rayon::prelude::*;
 
-use crate::api::{Combiner, MapContext, MapOutputSink, Mapper, ReduceContext, Reducer, SideFiles, TaskScope};
+use crate::api::{
+    Combiner, MapContext, MapOutputSink, Mapper, ReduceContext, Reducer, SideFiles, TaskScope,
+};
 use crate::job::Job;
 use crate::merge::merge_groups;
 use crate::sortbuf::{SortBuffer, SortedRun};
@@ -157,8 +159,7 @@ impl LocalRunner {
         });
 
         let mut counters = Counters::new();
-        let mut map_outputs: Vec<crate::sortbuf::MapOutput> =
-            Vec::with_capacity(map_results.len());
+        let mut map_outputs: Vec<crate::sortbuf::MapOutput> = Vec::with_capacity(map_results.len());
         let mut map_times = Vec::with_capacity(map_results.len());
         for r in map_results {
             let r = r?;
@@ -194,10 +195,14 @@ impl LocalRunner {
                                 groups += 1;
                                 let mut ks = kbytes;
                                 let key =
-                                    <M::KOut as hl_common::keys::SortableKey>::decode_ordered(&mut ks)?;
+                                    <M::KOut as hl_common::keys::SortableKey>::decode_ordered(
+                                        &mut ks,
+                                    )?;
                                 let values: Result<Vec<M::VOut>> = vlist
                                     .iter()
-                                    .map(|b| <M::VOut as hl_common::writable::Writable>::from_bytes(b))
+                                    .map(|b| {
+                                        <M::VOut as hl_common::writable::Writable>::from_bytes(b)
+                                    })
                                     .collect();
                                 let values = values?;
                                 records += values.len() as u64;
@@ -236,19 +241,30 @@ struct MapTaskResult<K> {
 }
 
 impl<K> MapTaskResult<K> {
-    fn new(output: crate::sortbuf::MapOutput, counters: Counters, virtual_time: SimDuration) -> Self {
+    fn new(
+        output: crate::sortbuf::MapOutput,
+        counters: Counters,
+        virtual_time: SimDuration,
+    ) -> Self {
         MapTaskResult { output, counters, virtual_time, _marker: std::marker::PhantomData }
     }
 }
 
-struct LocalSink<K: hl_common::keys::SortableKey, V: hl_common::writable::Writable, C: Combiner<K = K, V = V>> {
+struct LocalSink<
+    K: hl_common::keys::SortableKey,
+    V: hl_common::writable::Writable,
+    C: Combiner<K = K, V = V>,
+> {
     buf: SortBuffer<K, V>,
     combiner: Option<C>,
     counters: Counters,
 }
 
-impl<K: hl_common::keys::SortableKey, V: hl_common::writable::Writable, C: Combiner<K = K, V = V>>
-    MapOutputSink<K, V> for LocalSink<K, V, C>
+impl<
+        K: hl_common::keys::SortableKey,
+        V: hl_common::writable::Writable,
+        C: Combiner<K = K, V = V>,
+    > MapOutputSink<K, V> for LocalSink<K, V, C>
 {
     fn collect(&mut self, key: K, value: V) {
         self.buf.collect(&key, &value, self.combiner.as_mut(), &mut self.counters);
@@ -339,9 +355,8 @@ mod tests {
             .unwrap();
         let mut prunner = LocalRunner::parallel(8);
         prunner.split_bytes = 8 * 1024;
-        let parallel = prunner
-            .run(&job, &[("in.txt".into(), data.into_bytes())], &SideFiles::new())
-            .unwrap();
+        let parallel =
+            prunner.run(&job, &[("in.txt".into(), data.into_bytes())], &SideFiles::new()).unwrap();
         let mut a = serial.output.clone();
         let mut b = parallel.output.clone();
         a.sort();
@@ -356,10 +371,7 @@ mod tests {
         let report = LocalRunner::serial()
             .run(
                 &job,
-                &[
-                    ("a.txt".into(), b"x y\n".to_vec()),
-                    ("b.txt".into(), b"y z\n".to_vec()),
-                ],
+                &[("a.txt".into(), b"x y\n".to_vec()), ("b.txt".into(), b"y z\n".to_vec())],
                 &SideFiles::new(),
             )
             .unwrap();
@@ -372,8 +384,7 @@ mod tests {
     #[test]
     fn empty_input_runs_cleanly() {
         let job = Job::new(conf(), || WcMap, || WcReduce);
-        let report =
-            LocalRunner::serial().run(&job, &[], &SideFiles::new()).unwrap();
+        let report = LocalRunner::serial().run(&job, &[], &SideFiles::new()).unwrap();
         assert!(report.output.is_empty());
     }
 

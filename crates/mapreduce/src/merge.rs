@@ -42,10 +42,8 @@ impl<'a> MergeIter<'a> {
         for r in 0..runs.len() {
             tree[leaves + r] = r as u32;
         }
-        let heads = runs
-            .iter()
-            .map(|run| if run.is_empty() { None } else { Some(run.key(0)) })
-            .collect();
+        let heads =
+            runs.iter().map(|run| if run.is_empty() { None } else { Some(run.key(0)) }).collect();
         let mut it = MergeIter { runs, pos: vec![0; runs.len()], heads, leaves, tree };
         for n in (1..leaves).rev() {
             it.tree[n] = it.play(it.tree[2 * n], it.tree[2 * n + 1]);
@@ -203,11 +201,7 @@ mod tests {
 
     #[test]
     fn group_values_keep_run_order() {
-        let merged = merge_runs(&[
-            run(&[("k", 10)]),
-            run(&[("k", 20)]),
-            run(&[("k", 30)]),
-        ]);
+        let merged = merge_runs(&[run(&[("k", 10)]), run(&[("k", 20)]), run(&[("k", 30)])]);
         let values: Vec<u64> = merged[0]
             .1
             .iter()
@@ -220,10 +214,7 @@ mod tests {
     fn equal_keys_within_one_run_stay_contiguous() {
         // Repeated keys inside a single run must drain before a later run
         // with the same key contributes — run order, then intra-run order.
-        let merged = merge_runs(&[
-            run(&[("k", 1), ("k", 2)]),
-            run(&[("k", 3), ("k", 4)]),
-        ]);
+        let merged = merge_runs(&[run(&[("k", 1), ("k", 2)]), run(&[("k", 3), ("k", 4)])]);
         let values: Vec<u64> = merged[0]
             .1
             .iter()
@@ -235,9 +226,8 @@ mod tests {
     #[test]
     fn non_power_of_two_run_counts() {
         for nruns in 1usize..=9 {
-            let runs: Vec<SortedRun> = (0..nruns)
-                .map(|r| run(&[("a", r as u64), ("z", 100 + r as u64)]))
-                .collect();
+            let runs: Vec<SortedRun> =
+                (0..nruns).map(|r| run(&[("a", r as u64), ("z", 100 + r as u64)])).collect();
             let merged = merge_runs(&runs);
             assert_eq!(merged.len(), 2, "{nruns} runs");
             assert_eq!(merged[0].1.len(), nruns);
@@ -253,10 +243,7 @@ mod tests {
 
     #[test]
     fn streaming_iter_matches_collected() {
-        let runs = vec![
-            run(&[("b", 2), ("d", 4)]),
-            run(&[("a", 1), ("c", 3)]),
-        ];
+        let runs = vec![run(&[("b", 2), ("d", 4)]), run(&[("a", 1), ("c", 3)])];
         let streamed: Vec<(Vec<u8>, Vec<u8>)> =
             merge_iter(&runs).map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
         let collected: Vec<(Vec<u8>, Vec<u8>)> = merge_runs(&runs)

@@ -202,11 +202,7 @@ impl fmt::Display for JobReport {
                 t.end,
                 t.duration(),
                 t.locality.map(|l| format!("  [{}]", l.label())).unwrap_or_default(),
-                if t.attempts > 1 {
-                    format!("  attempts={}", t.attempts)
-                } else {
-                    String::new()
-                },
+                if t.attempts > 1 { format!("  attempts={}", t.attempts) } else { String::new() },
             )?;
         }
         Ok(())

@@ -368,10 +368,9 @@ impl<K: SortableKey, V: Writable> SortBuffer<K, V> {
                 Some(c) => combine_entries::<K, V, C>(&arena, entries, c, counters),
                 // Without a combiner the run just references the shared
                 // spill arena — zero copying.
-                None => SortedRun::from_parts(
-                    arena.clone(),
-                    entries.iter().map(|e| e.slot).collect(),
-                ),
+                None => {
+                    SortedRun::from_parts(arena.clone(), entries.iter().map(|e| e.slot).collect())
+                }
             };
             self.spill_bytes_written += run.bytes();
             spill.push(run);
@@ -462,8 +461,7 @@ where
         while j < entries.len() && key_slice(arena, &entries[j].slot) == kbytes {
             j += 1;
         }
-        let vlist: Vec<&[u8]> =
-            entries[i..j].iter().map(|e| val_slice(arena, &e.slot)).collect();
+        let vlist: Vec<&[u8]> = entries[i..j].iter().map(|e| val_slice(arena, &e.slot)).collect();
         combine_group::<K, V, C>(kbytes, &vlist, combiner, counters, &mut out);
         i = j;
     }
@@ -485,10 +483,8 @@ fn combine_group<K, V, C>(
 {
     let mut kslice = kbytes;
     let key = K::decode_ordered(&mut kslice).expect("combiner key round-trip");
-    let values: Vec<V> = vlist
-        .iter()
-        .map(|b| V::from_bytes(b).expect("combiner value round-trip"))
-        .collect();
+    let values: Vec<V> =
+        vlist.iter().map(|b| V::from_bytes(b).expect("combiner value round-trip")).collect();
     counters.incr_task(TaskCounter::CombineInputRecords, values.len() as u64);
     let mut folded = Vec::new();
     combiner.combine(&key, values, &mut folded);
@@ -528,7 +524,11 @@ mod tests {
     fn single_partition_sorts_by_key() {
         let mut counters = Counters::new();
         let mut buf: SortBuffer<String, u64> = SortBuffer::new(1, usize::MAX >> 1);
-        collect_all(&mut buf, &[("pear", 1), ("apple", 2), ("mango", 3), ("apple", 4)], &mut counters);
+        collect_all(
+            &mut buf,
+            &[("pear", 1), ("apple", 2), ("mango", 3), ("apple", 4)],
+            &mut counters,
+        );
         let out = buf.finish::<NoC>(None, &mut counters);
         let keys: Vec<String> = out.partitions[0]
             .iter()
@@ -550,10 +550,8 @@ mod tests {
         let mut buf: SortBuffer<String, u64> = SortBuffer::new(1, usize::MAX >> 1);
         collect_all(&mut buf, &[("k", 3), ("k", 1), ("k", 2)], &mut counters);
         let out = buf.finish::<NoC>(None, &mut counters);
-        let values: Vec<u64> = out.partitions[0]
-            .iter()
-            .map(|(_, v)| u64::from_bytes(v).unwrap())
-            .collect();
+        let values: Vec<u64> =
+            out.partitions[0].iter().map(|(_, v)| u64::from_bytes(v).unwrap()).collect();
         assert_eq!(values, vec![3, 1, 2]);
     }
 
@@ -561,8 +559,7 @@ mod tests {
     fn partitioning_is_stable_and_complete() {
         let mut counters = Counters::new();
         let mut buf: SortBuffer<String, u64> = SortBuffer::new(4, usize::MAX >> 1);
-        let pairs: Vec<(String, u64)> =
-            (0..100).map(|i| (format!("key{i}"), i as u64)).collect();
+        let pairs: Vec<(String, u64)> = (0..100).map(|i| (format!("key{i}"), i as u64)).collect();
         for (k, v) in &pairs {
             buf.collect::<NoC>(k, v, None, &mut counters);
         }
@@ -629,10 +626,8 @@ mod tests {
         }
         let out = buf.finish::<NoC>(None, &mut counters);
         assert_eq!(out.total_records(), 100);
-        let values: std::collections::BTreeSet<u64> = out.partitions[0]
-            .iter()
-            .map(|(_, v)| u64::from_bytes(v).unwrap())
-            .collect();
+        let values: std::collections::BTreeSet<u64> =
+            out.partitions[0].iter().map(|(_, v)| u64::from_bytes(v).unwrap()).collect();
         assert_eq!(values.len(), 100, "no values lost or duplicated");
     }
 

@@ -36,12 +36,7 @@ pub fn compute_splits(dfs: &Dfs, input_paths: &[String]) -> Result<Vec<InputSpli
     let mut splits = Vec::new();
     for path in input_paths {
         let files: Vec<String> = if dfs.namenode.namespace().is_dir(path) {
-            dfs.namenode
-                .list(path)?
-                .into_iter()
-                .filter(|s| !s.is_dir)
-                .map(|s| s.path)
-                .collect()
+            dfs.namenode.list(path)?.into_iter().filter(|s| !s.is_dir).map(|s| s.path).collect()
         } else {
             vec![path.clone()]
         };

@@ -244,8 +244,7 @@ fn no_combiner_equivalent(pairs: &[(String, u64)], parts: usize, limit: usize) {
     for (k, v) in pairs {
         rbuf.collect::<String, u64, NoCombiner<String, u64>>(k, v, None, &mut ref_counters);
     }
-    let rout =
-        rbuf.finish::<String, u64, NoCombiner<String, u64>>(None, &mut ref_counters);
+    let rout = rbuf.finish::<String, u64, NoCombiner<String, u64>>(None, &mut ref_counters);
     for p in 0..parts {
         assert_eq!(out.partitions[p].to_pairs(), rout.partitions[p], "partition {p}");
     }
@@ -268,9 +267,7 @@ impl Prng {
 
 fn gen_pairs(rng: &mut Prng, n: usize, vocab: usize) -> Vec<(String, u64)> {
     (0..n)
-        .map(|_| {
-            (format!("w{:03}", rng.next() as usize % vocab.max(1)), rng.next() % 1000)
-        })
+        .map(|_| (format!("w{:03}", rng.next() as usize % vocab.max(1)), rng.next() % 1000))
         .collect()
 }
 

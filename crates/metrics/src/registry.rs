@@ -1,0 +1,459 @@
+//! The metrics registry and its deterministic snapshots.
+//!
+//! Instruments are keyed `(daemon, name)` — `("namenode",
+//! "rpc.add_block")`, `("datanode.node003", "bytes.read")` — and come in
+//! the three classic kinds: monotonic [`MetricValue::Counter`]s,
+//! point-in-time [`MetricValue::Gauge`]s, and log2
+//! [`MetricValue::Histogram`]s. Storage is a `BTreeMap`, so iteration,
+//! snapshots, and serialization are deterministic by construction.
+
+use std::collections::BTreeMap;
+
+use hl_common::writable::{read_vu64, write_vu64, Writable};
+use hl_common::{HlError, Result, SimTime};
+
+use crate::histogram::Histogram;
+
+/// One instrument's current value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic count — survives a daemon restart.
+    Counter(u64),
+    /// Point-in-time level — reset to 0 by a daemon restart.
+    Gauge(i64),
+    /// Log2-bucketed sample distribution — survives a daemon restart.
+    Histogram(Box<Histogram>),
+}
+
+impl MetricValue {
+    /// Kind name for reports ("counter", "gauge", "histogram").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+const TAG_COUNTER: u8 = 0;
+const TAG_GAUGE: u8 = 1;
+const TAG_HISTOGRAM: u8 = 2;
+
+impl Writable for MetricValue {
+    fn write(&self, buf: &mut Vec<u8>) {
+        match self {
+            MetricValue::Counter(v) => {
+                buf.push(TAG_COUNTER);
+                write_vu64(*v, buf);
+            }
+            MetricValue::Gauge(v) => {
+                buf.push(TAG_GAUGE);
+                // ZigZag so small negatives stay small.
+                write_vu64(((*v << 1) ^ (*v >> 63)) as u64, buf);
+            }
+            MetricValue::Histogram(h) => {
+                buf.push(TAG_HISTOGRAM);
+                h.write(buf);
+            }
+        }
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        let tag = u8::read(buf)?;
+        match tag {
+            TAG_COUNTER => Ok(MetricValue::Counter(read_vu64(buf)?)),
+            TAG_GAUGE => {
+                let z = read_vu64(buf)?;
+                Ok(MetricValue::Gauge(((z >> 1) as i64) ^ -((z & 1) as i64)))
+            }
+            TAG_HISTOGRAM => Ok(MetricValue::Histogram(Box::new(Histogram::read(buf)?))),
+            other => Err(HlError::Codec(format!("bad MetricValue tag {other}"))),
+        }
+    }
+}
+
+/// One `(daemon, name, value)` row of a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSample {
+    /// Owning daemon ("namenode", "datanode.node003", "jobtracker", ...).
+    pub daemon: String,
+    /// Instrument name within the daemon ("rpc.add_block", ...).
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+impl Writable for MetricSample {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.daemon.write(buf);
+        self.name.write(buf);
+        self.value.write(buf);
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(MetricSample {
+            daemon: String::read(buf)?,
+            name: String::read(buf)?,
+            value: MetricValue::read(buf)?,
+        })
+    }
+}
+
+/// A point-in-time, virtual-time-stamped copy of every instrument,
+/// sorted by `(daemon, name)`. Serialization via [`Writable`] is
+/// canonical: equal snapshots encode to equal bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Virtual timestamp of the snapshot, in micros since sim start.
+    pub at_micros: u64,
+    /// Every instrument, in `(daemon, name)` order.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Look up one sample.
+    pub fn get(&self, daemon: &str, name: &str) -> Option<&MetricValue> {
+        self.samples
+            .binary_search_by(|s| (s.daemon.as_str(), s.name.as_str()).cmp(&(daemon, name)))
+            .ok()
+            .map(|i| &self.samples[i].value)
+    }
+
+    /// Counter value (0 when absent or not a counter).
+    pub fn counter(&self, daemon: &str, name: &str) -> u64 {
+        match self.get(daemon, name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value (0 when absent or not a gauge).
+    pub fn gauge(&self, daemon: &str, name: &str) -> i64 {
+        match self.get(daemon, name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Sum of every counter named `name` across all daemons (fleet-wide
+    /// roll-up, e.g. total `bytes.read` over every DataNode).
+    pub fn counter_across_daemons(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| match &s.value {
+                MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Merge another snapshot into this one: counters add, gauges add,
+    /// histograms merge, disjoint keys union. The timestamp takes the
+    /// later of the two. Used to aggregate per-subsystem registries
+    /// (DFS + engine + network) into one cluster-wide snapshot.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.at_micros = self.at_micros.max(other.at_micros);
+        let mut map: BTreeMap<(String, String), MetricValue> =
+            self.samples.drain(..).map(|s| ((s.daemon, s.name), s.value)).collect();
+        for s in &other.samples {
+            let key = (s.daemon.clone(), s.name.clone());
+            match map.get_mut(&key) {
+                None => {
+                    map.insert(key, s.value.clone());
+                }
+                Some(MetricValue::Counter(a)) => {
+                    if let MetricValue::Counter(b) = &s.value {
+                        *a = a.saturating_add(*b);
+                    }
+                }
+                Some(MetricValue::Gauge(a)) => {
+                    if let MetricValue::Gauge(b) = &s.value {
+                        *a = a.saturating_add(*b);
+                    }
+                }
+                Some(MetricValue::Histogram(a)) => {
+                    if let MetricValue::Histogram(b) = &s.value {
+                        a.merge(b);
+                    }
+                }
+            }
+        }
+        self.samples = map
+            .into_iter()
+            .map(|((daemon, name), value)| MetricSample { daemon, name, value })
+            .collect();
+    }
+}
+
+impl Writable for MetricsSnapshot {
+    fn write(&self, buf: &mut Vec<u8>) {
+        write_vu64(self.at_micros, buf);
+        self.samples.write(buf);
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(MetricsSnapshot { at_micros: read_vu64(buf)?, samples: Vec::read(buf)? })
+    }
+}
+
+/// The live instrument store one subsystem owns.
+///
+/// Zero-dependency and wall-clock-free: `SimTime` enters only at
+/// [`MetricsRegistry::snapshot`] time, stamped by the caller's virtual
+/// clock. Kind mismatches (a counter name later used as a gauge) never
+/// panic — the instrument is deterministically re-created at the new
+/// kind, which keeps daemon code panic-free (lint rule R1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<(String, String), MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to a monotonic counter, creating it at 0 first.
+    pub fn incr(&mut self, daemon: &str, name: &str, delta: u64) {
+        let e = self
+            .entries
+            .entry((daemon.to_string(), name.to_string()))
+            .or_insert(MetricValue::Counter(0));
+        match e {
+            MetricValue::Counter(v) => *v = v.saturating_add(delta),
+            _ => *e = MetricValue::Counter(delta),
+        }
+    }
+
+    /// Set a gauge to an absolute level.
+    pub fn set_gauge(&mut self, daemon: &str, name: &str, level: i64) {
+        self.entries.insert((daemon.to_string(), name.to_string()), MetricValue::Gauge(level));
+    }
+
+    /// Add (possibly negative) `delta` to a gauge, creating it at 0 first.
+    pub fn add_gauge(&mut self, daemon: &str, name: &str, delta: i64) {
+        let e = self
+            .entries
+            .entry((daemon.to_string(), name.to_string()))
+            .or_insert(MetricValue::Gauge(0));
+        match e {
+            MetricValue::Gauge(v) => *v = v.saturating_add(delta),
+            _ => *e = MetricValue::Gauge(delta),
+        }
+    }
+
+    /// Record one sample into a histogram, creating it empty first.
+    pub fn observe(&mut self, daemon: &str, name: &str, sample: u64) {
+        let e = self
+            .entries
+            .entry((daemon.to_string(), name.to_string()))
+            .or_insert_with(|| MetricValue::Histogram(Box::new(Histogram::new())));
+        if !matches!(e, MetricValue::Histogram(_)) {
+            *e = MetricValue::Histogram(Box::new(Histogram::new()));
+        }
+        if let MetricValue::Histogram(h) = e {
+            h.record(sample);
+        }
+    }
+
+    /// Read a counter (0 when absent).
+    pub fn counter(&self, daemon: &str, name: &str) -> u64 {
+        match self.entries.get(&(daemon.to_string(), name.to_string())) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Read a gauge (0 when absent).
+    pub fn gauge(&self, daemon: &str, name: &str) -> i64 {
+        match self.entries.get(&(daemon.to_string(), name.to_string())) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Read a histogram, if present.
+    pub fn histogram(&self, daemon: &str, name: &str) -> Option<&Histogram> {
+        match self.entries.get(&(daemon.to_string(), name.to_string())) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The restart contract: a restarting daemon's **gauges** reset to 0
+    /// (the level died with the process) while its **counters** and
+    /// **histograms** carry across — restarting must never double- or
+    /// re-count history. Other daemons' instruments are untouched.
+    pub fn restart_daemon(&mut self, daemon: &str) {
+        for ((d, _), v) in self.entries.iter_mut() {
+            if d == daemon {
+                if let MetricValue::Gauge(level) = v {
+                    *level = 0;
+                }
+            }
+        }
+    }
+
+    /// Number of registered instruments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Snapshot every instrument at virtual time `at`.
+    pub fn snapshot(&self, at: SimTime) -> MetricsSnapshot {
+        MetricsSnapshot {
+            at_micros: at.as_micros(),
+            samples: self
+                .entries
+                .iter()
+                .map(|((daemon, name), value)| MetricSample {
+                    daemon: daemon.clone(),
+                    name: name.clone(),
+                    value: value.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_coexist_per_daemon() {
+        let mut r = MetricsRegistry::new();
+        r.incr("namenode", "rpc.mkdirs", 2);
+        r.incr("namenode", "rpc.mkdirs", 1);
+        r.set_gauge("namenode", "safemode.on", 1);
+        r.add_gauge("namenode", "leases.open", 3);
+        r.add_gauge("namenode", "leases.open", -1);
+        r.observe("jobtracker", "map.duration_ms", 900);
+        assert_eq!(r.counter("namenode", "rpc.mkdirs"), 3);
+        assert_eq!(r.gauge("namenode", "safemode.on"), 1);
+        assert_eq!(r.gauge("namenode", "leases.open"), 2);
+        assert_eq!(r.histogram("jobtracker", "map.duration_ms").unwrap().count(), 1);
+        // Same name under a different daemon is a different instrument.
+        r.incr("datanode.node000", "rpc.mkdirs", 7);
+        assert_eq!(r.counter("namenode", "rpc.mkdirs"), 3);
+        assert_eq!(r.counter("datanode.node000", "rpc.mkdirs"), 7);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn restart_resets_gauges_but_preserves_monotonic_counters() {
+        let mut r = MetricsRegistry::new();
+        r.incr("namenode", "rpc.add_block", 11);
+        r.set_gauge("namenode", "blocks.under_replicated", 4);
+        r.observe("namenode", "report.size", 80);
+        r.incr("datanode.node001", "bytes.read", 4096);
+        r.set_gauge("datanode.node001", "blocks.held", 9);
+
+        r.restart_daemon("namenode");
+        // The restarted daemon: counters and histograms intact, gauges 0.
+        assert_eq!(r.counter("namenode", "rpc.add_block"), 11);
+        assert_eq!(r.histogram("namenode", "report.size").unwrap().count(), 1);
+        assert_eq!(r.gauge("namenode", "blocks.under_replicated"), 0);
+        // Unrelated daemons: fully untouched.
+        assert_eq!(r.counter("datanode.node001", "bytes.read"), 4096);
+        assert_eq!(r.gauge("datanode.node001", "blocks.held"), 9);
+        // A second restart must not double-count anything.
+        r.restart_daemon("namenode");
+        assert_eq!(r.counter("namenode", "rpc.add_block"), 11);
+    }
+
+    #[test]
+    fn kind_mismatch_recreates_instead_of_panicking() {
+        let mut r = MetricsRegistry::new();
+        r.incr("d", "x", 5);
+        r.set_gauge("d", "x", -2);
+        assert_eq!(r.gauge("d", "x"), -2);
+        r.observe("d", "x", 1);
+        assert_eq!(r.histogram("d", "x").unwrap().count(), 1);
+        r.incr("d", "x", 9);
+        assert_eq!(r.counter("d", "x"), 9);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_looks_up() {
+        let mut r = MetricsRegistry::new();
+        r.incr("z-daemon", "a", 1);
+        r.incr("a-daemon", "z", 2);
+        r.set_gauge("a-daemon", "a", -3);
+        let snap = r.snapshot(SimTime(42));
+        assert_eq!(snap.at_micros, 42);
+        let keys: Vec<(&str, &str)> =
+            snap.samples.iter().map(|s| (s.daemon.as_str(), s.name.as_str())).collect();
+        assert_eq!(keys, vec![("a-daemon", "a"), ("a-daemon", "z"), ("z-daemon", "a")]);
+        assert_eq!(snap.counter("a-daemon", "z"), 2);
+        assert_eq!(snap.gauge("a-daemon", "a"), -3);
+        assert_eq!(snap.counter("missing", "nope"), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_and_unions() {
+        let mut a = MetricsRegistry::new();
+        a.incr("dn", "bytes.read", 100);
+        a.set_gauge("dn", "blocks", 5);
+        a.observe("jt", "ms", 10);
+        let mut b = MetricsRegistry::new();
+        b.incr("dn", "bytes.read", 50);
+        b.set_gauge("dn", "blocks", 2);
+        b.observe("jt", "ms", 20);
+        b.incr("nn", "ops", 1);
+
+        let mut snap = a.snapshot(SimTime(10));
+        snap.merge(&b.snapshot(SimTime(7)));
+        assert_eq!(snap.at_micros, 10);
+        assert_eq!(snap.counter("dn", "bytes.read"), 150);
+        assert_eq!(snap.gauge("dn", "blocks"), 7);
+        assert_eq!(snap.counter("nn", "ops"), 1);
+        match snap.get("jt", "ms").unwrap() {
+            MetricValue::Histogram(h) => assert_eq!(h.count(), 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert_eq!(snap.counter_across_daemons("bytes.read"), 150);
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips() {
+        let mut r = MetricsRegistry::new();
+        r.incr("namenode", "rpc.mkdirs", 3);
+        r.set_gauge("namenode", "delta", -7);
+        r.set_gauge("namenode", "big", i64::MIN);
+        r.observe("jobtracker", "map.duration_ms", 512);
+        r.observe("jobtracker", "map.duration_ms", 0);
+        let snap = r.snapshot(SimTime(1_000_000));
+        let bytes = snap.to_bytes();
+        assert_eq!(MetricsSnapshot::from_bytes(&bytes).unwrap(), snap);
+        // Canonical: same registry, same bytes.
+        assert_eq!(r.snapshot(SimTime(1_000_000)).to_bytes(), bytes);
+        let empty = MetricsSnapshot::default();
+        assert_eq!(MetricsSnapshot::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn metric_sample_and_value_round_trip() {
+        for value in [
+            MetricValue::Counter(u64::MAX),
+            MetricValue::Counter(0),
+            MetricValue::Gauge(-1),
+            MetricValue::Gauge(i64::MAX),
+            MetricValue::Gauge(i64::MIN),
+            MetricValue::Histogram(Box::new(Histogram::new())),
+        ] {
+            let s = MetricSample { daemon: "d".into(), name: "n".into(), value };
+            assert_eq!(MetricSample::from_bytes(&s.to_bytes()).unwrap(), s);
+            assert_eq!(MetricValue::from_bytes(&s.value.to_bytes()).unwrap(), s.value);
+        }
+        assert!(MetricValue::from_bytes(&[9]).is_err());
+    }
+}

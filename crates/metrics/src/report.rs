@@ -1,0 +1,99 @@
+//! Text rendering of a metrics snapshot, styled after `dfsadmin -report`
+//! and the Hadoop 1.x NameNode/JobTracker metrics pages: one section per
+//! daemon, one aligned line per instrument, histograms summarized with
+//! count/mean/quantile bounds.
+
+use std::fmt;
+
+use crate::histogram::Histogram;
+use crate::registry::{MetricValue, MetricsSnapshot};
+
+/// Renders a [`MetricsSnapshot`] as the operator-facing report.
+pub struct MetricsReport<'a>(pub &'a MetricsSnapshot);
+
+fn fmt_histogram(f: &mut fmt::Formatter<'_>, h: &Histogram) -> fmt::Result {
+    match (h.mean(), h.quantile_bound(500), h.quantile_bound(950), h.max()) {
+        (Some(mean), Some(p50), Some(p95), Some(max)) => {
+            write!(f, "count={} mean={mean} p50<={p50} p95<={p95} max={max}", h.count())
+        }
+        _ => write!(f, "count=0"),
+    }
+}
+
+impl fmt::Display for MetricsReport<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snap = self.0;
+        writeln!(
+            f,
+            "Metrics report at {}.{:06}s (virtual)",
+            snap.at_micros / 1_000_000,
+            snap.at_micros % 1_000_000
+        )?;
+        writeln!(f, "Instruments: {}", snap.samples.len())?;
+        let mut current_daemon: Option<&str> = None;
+        for s in &snap.samples {
+            if current_daemon != Some(s.daemon.as_str()) {
+                writeln!(f, "\nName: {}", s.daemon)?;
+                writeln!(f, "{}", "-".repeat(6 + s.daemon.len()))?;
+                current_daemon = Some(s.daemon.as_str());
+            }
+            write!(f, "  {:<42} ", s.name)?;
+            match &s.value {
+                MetricValue::Counter(v) => writeln!(f, "= {v}")?,
+                MetricValue::Gauge(v) => writeln!(f, "~ {v}")?,
+                MetricValue::Histogram(h) => {
+                    fmt_histogram(f, h)?;
+                    writeln!(f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use hl_common::SimTime;
+
+    #[test]
+    fn report_groups_by_daemon_and_marks_kinds() {
+        let mut r = MetricsRegistry::new();
+        r.incr("namenode", "rpc.mkdirs", 3);
+        r.set_gauge("namenode", "safemode.on", 1);
+        r.observe("jobtracker", "map.duration_ms", 100);
+        r.observe("jobtracker", "map.duration_ms", 5000);
+        let snap = r.snapshot(SimTime(2_500_000));
+        let text = MetricsReport(&snap).to_string();
+        assert!(text.starts_with("Metrics report at 2.500000s (virtual)\n"));
+        assert!(text.contains("Instruments: 3\n"));
+        assert!(text.contains("\nName: namenode\n"));
+        assert!(text.contains("\nName: jobtracker\n"));
+        assert!(text.contains("rpc.mkdirs"));
+        assert!(text.contains("= 3"));
+        assert!(text.contains("~ 1"));
+        assert!(text.contains("count=2"));
+        assert!(text.contains("p95<=8191"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_header_only() {
+        let snap = MetricsSnapshot::default();
+        let text = MetricsReport(&snap).to_string();
+        assert!(text.contains("Instruments: 0"));
+        assert!(!text.contains("Name:"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mut r = MetricsRegistry::new();
+        r.incr("b", "x", 1);
+        r.incr("a", "y", 2);
+        let s1 = MetricsReport(&r.snapshot(SimTime(7))).to_string();
+        let s2 = MetricsReport(&r.snapshot(SimTime(7))).to_string();
+        assert_eq!(s1, s2);
+        // Daemons appear in sorted order.
+        assert!(s1.find("Name: a").unwrap() < s1.find("Name: b").unwrap());
+    }
+}

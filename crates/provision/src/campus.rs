@@ -40,8 +40,7 @@ impl Campus {
         if self.scheduler.cleanup_due(self.now) {
             swept = self.ports.cleanup_all();
             if swept > 0 {
-                self.log
-                    .log(self.now, "cleanup-cron", format!("swept {swept} orphaned daemon(s)"));
+                self.log.log(self.now, "cleanup-cron", format!("swept {swept} orphaned daemon(s)"));
             }
         }
         swept

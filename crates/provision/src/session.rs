@@ -341,8 +341,11 @@ mod tests {
         let mut spec = SessionSpec::diligent("b");
         spec.misconfigured_paths = true;
         let messy = Session::new(spec).run(&mut campus);
-        let (SessionOutcome::Success { cluster_up: fast, .. },
-             SessionOutcome::Success { cluster_up: slow, .. }) = (clean, messy) else {
+        let (
+            SessionOutcome::Success { cluster_up: fast, .. },
+            SessionOutcome::Success { cluster_up: slow, .. },
+        ) = (clean, messy)
+        else {
             panic!("both should succeed");
         };
         assert!(slow > fast + SimDuration::from_mins(20), "{slow} vs {fast}");
@@ -422,13 +425,11 @@ mod tests {
         let outcome = Session::new(spec).run(&mut campus);
         assert!(matches!(outcome, SessionOutcome::Success { .. }));
         // Ghosts include the HBase master + 8 region servers.
-        let master_bound = (0..8u32)
-            .any(|n| campus.ports.holder(NodeId(n), well_known::HBASE_MASTER).is_some());
+        let master_bound =
+            (0..8u32).any(|n| campus.ports.holder(NodeId(n), well_known::HBASE_MASTER).is_some());
         assert!(master_bound);
         let rs_count = (0..8u32)
-            .filter(|&n| {
-                campus.ports.holder(NodeId(n), well_known::HBASE_REGIONSERVER).is_some()
-            })
+            .filter(|&n| campus.ports.holder(NodeId(n), well_known::HBASE_REGIONSERVER).is_some())
             .count();
         assert_eq!(rs_count, 8);
     }
@@ -438,10 +439,7 @@ mod tests {
         let mut campus = Campus::new(8);
         let mut spec = SessionSpec::diligent("alice");
         spec.persistent_mode = true;
-        assert_eq!(
-            Session::new(spec).run(&mut campus),
-            SessionOutcome::PersistentModeUnsupported
-        );
+        assert_eq!(Session::new(spec).run(&mut campus), SessionOutcome::PersistentModeUnsupported);
     }
 
     #[test]

@@ -99,7 +99,9 @@ pub fn avg_delay_plain(
 ) -> Job<DelayMapper, AvgReducer, hl_mapreduce::api::NoCombiner<String, SumCount>> {
     Job::new(
         JobConf::new("airline-avg-v1-plain")
-            .map_cpu_per_record(JAVA_PARSE_CPU).input(input).output(output),
+            .map_cpu_per_record(JAVA_PARSE_CPU)
+            .input(input)
+            .output(output),
         || DelayMapper,
         || AvgReducer,
     )
@@ -112,7 +114,9 @@ pub fn avg_delay_combiner(
 ) -> Job<DelayMapper, AvgReducer, SumCountCombiner> {
     Job::with_combiner(
         JobConf::new("airline-avg-v2-combiner")
-            .map_cpu_per_record(JAVA_PARSE_CPU).input(input).output(output),
+            .map_cpu_per_record(JAVA_PARSE_CPU)
+            .input(input)
+            .output(output),
         || DelayMapper,
         || AvgReducer,
         || SumCountCombiner,
@@ -126,7 +130,9 @@ pub fn avg_delay_inmapper(
 ) -> Job<InMapperDelayMapper, AvgReducer, hl_mapreduce::api::NoCombiner<String, SumCount>> {
     Job::new(
         JobConf::new("airline-avg-v3-inmapper")
-            .map_cpu_per_record(JAVA_PARSE_CPU).input(input).output(output),
+            .map_cpu_per_record(JAVA_PARSE_CPU)
+            .input(input)
+            .output(output),
         InMapperDelayMapper::default,
         || AvgReducer,
     )
@@ -169,9 +175,27 @@ mod tests {
         let want = expected(&truth);
 
         for (name, lines) in [
-            ("v1", runner.run(&avg_delay_plain("/i", "/o"), &inputs, &SideFiles::new()).unwrap().output),
-            ("v2", runner.run(&avg_delay_combiner("/i", "/o"), &inputs, &SideFiles::new()).unwrap().output),
-            ("v3", runner.run(&avg_delay_inmapper("/i", "/o"), &inputs, &SideFiles::new()).unwrap().output),
+            (
+                "v1",
+                runner
+                    .run(&avg_delay_plain("/i", "/o"), &inputs, &SideFiles::new())
+                    .unwrap()
+                    .output,
+            ),
+            (
+                "v2",
+                runner
+                    .run(&avg_delay_combiner("/i", "/o"), &inputs, &SideFiles::new())
+                    .unwrap()
+                    .output,
+            ),
+            (
+                "v3",
+                runner
+                    .run(&avg_delay_inmapper("/i", "/o"), &inputs, &SideFiles::new())
+                    .unwrap()
+                    .output,
+            ),
         ] {
             assert_eq!(parse_output(&lines), want, "{name}");
         }

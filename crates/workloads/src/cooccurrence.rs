@@ -41,8 +41,7 @@ impl Stripe {
 
 impl Writable for Stripe {
     fn write(&self, buf: &mut Vec<u8>) {
-        let flat: Vec<(String, u64)> =
-            self.0.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        let flat: Vec<(String, u64)> = self.0.iter().map(|(k, &v)| (k.clone(), v)).collect();
         flat.write(buf);
     }
     fn read(buf: &mut &[u8]) -> Result<Self> {
@@ -55,9 +54,7 @@ fn neighbors<'a>(tokens: &'a [&'a str]) -> impl Iterator<Item = (String, String)
     tokens.iter().enumerate().flat_map(move |(i, &w)| {
         let lo = i.saturating_sub(WINDOW);
         let hi = (i + WINDOW + 1).min(tokens.len());
-        (lo..hi)
-            .filter(move |&j| j != i)
-            .map(move |j| (w.to_string(), tokens[j].to_string()))
+        (lo..hi).filter(move |&j| j != i).map(move |j| (w.to_string(), tokens[j].to_string()))
     })
 }
 
@@ -146,7 +143,11 @@ impl Reducer for StripesReducer {
 }
 
 /// The Pairs job.
-pub fn pairs(input: &str, output: &str, reduces: usize) -> Job<PairsMapper, PairsReducer, PairsSum> {
+pub fn pairs(
+    input: &str,
+    output: &str,
+    reduces: usize,
+) -> Job<PairsMapper, PairsReducer, PairsSum> {
     Job::with_combiner(
         JobConf::new("cooccurrence-pairs").input(input).output(output).reduces(reduces),
         || PairsMapper,

@@ -89,7 +89,10 @@ pub fn worst_job(
 ) -> Job<SubmitEventMapper, WorstJobReducer, hl_mapreduce::api::NoCombiner<u64, u32>> {
     Job::new(
         JobConf::new("google-trace-worst-job")
-            .map_cpu_per_record(JAVA_PARSE_CPU).input(input).output(output).reduces(1),
+            .map_cpu_per_record(JAVA_PARSE_CPU)
+            .input(input)
+            .output(output)
+            .reduces(1),
         || SubmitEventMapper,
         WorstJobReducer::default,
     )
@@ -103,7 +106,10 @@ pub fn all_resubmissions(
 ) -> Job<SubmitEventMapper, ResubmissionsReducer, hl_mapreduce::api::NoCombiner<u64, u32>> {
     Job::new(
         JobConf::new("google-trace-resubmissions")
-            .map_cpu_per_record(JAVA_PARSE_CPU).input(input).output(output).reduces(reduces),
+            .map_cpu_per_record(JAVA_PARSE_CPU)
+            .input(input)
+            .output(output)
+            .reduces(reduces),
         || SubmitEventMapper,
         || ResubmissionsReducer,
     )

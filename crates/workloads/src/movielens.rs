@@ -208,7 +208,9 @@ pub fn genre_stats_naive(
     let movies = movies.to_string();
     Job::with_combiner(
         JobConf::new("movielens-genre-stats-naive")
-            .map_cpu_per_record(JAVA_PARSE_CPU).input(ratings).output(output),
+            .map_cpu_per_record(JAVA_PARSE_CPU)
+            .input(ratings)
+            .output(output),
         move || NaiveGenreMapper { movies_path: movies.clone() },
         || GenreStatsReducer,
         || StatsCombiner,
@@ -224,7 +226,9 @@ pub fn genre_stats_cached(
     let movies = movies.to_string();
     Job::with_combiner(
         JobConf::new("movielens-genre-stats-cached")
-            .map_cpu_per_record(JAVA_PARSE_CPU).input(ratings).output(output),
+            .map_cpu_per_record(JAVA_PARSE_CPU)
+            .input(ratings)
+            .output(output),
         move || CachedGenreMapper::new(movies.clone()),
         || GenreStatsReducer,
         || StatsCombiner,
@@ -241,7 +245,10 @@ pub fn most_active_user(
     let movies = movies.to_string();
     Job::new(
         JobConf::new("movielens-most-active")
-            .map_cpu_per_record(JAVA_PARSE_CPU).input(ratings).output(output).reduces(1),
+            .map_cpu_per_record(JAVA_PARSE_CPU)
+            .input(ratings)
+            .output(output)
+            .reduces(1),
         move || UserActivityMapper::new(movies.clone()),
         MostActiveUserReducer::default,
     )
@@ -254,7 +261,9 @@ mod tests {
     use hl_mapreduce::api::SideFiles;
     use hl_mapreduce::local::LocalRunner;
 
-    fn setup(ratings: usize) -> (Vec<(String, Vec<u8>)>, SideFiles, hl_datagen::movielens::MovieLensData) {
+    fn setup(
+        ratings: usize,
+    ) -> (Vec<(String, Vec<u8>)>, SideFiles, hl_datagen::movielens::MovieLensData) {
         let data = MovieLensGen::new(77).generate(ratings);
         let inputs = vec![("ratings.dat".to_string(), data.ratings.clone().into_bytes())];
         let mut side = SideFiles::new();

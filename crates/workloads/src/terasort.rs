@@ -46,9 +46,7 @@ pub fn sample_cut_points(text: &str, num_reduces: usize) -> Vec<String> {
     if tokens.is_empty() || num_reduces <= 1 {
         return Vec::new();
     }
-    (1..num_reduces)
-        .map(|i| tokens[i * tokens.len() / num_reduces].to_string())
-        .collect()
+    (1..num_reduces).map(|i| tokens[i * tokens.len() / num_reduces].to_string()).collect()
 }
 
 /// A total-order sorted word count: range-partitioned by the given cut
@@ -96,8 +94,7 @@ mod tests {
         let report = LocalRunner::serial()
             .run(&job, &[("c.txt".to_string(), text.into_bytes())], &SideFiles::new())
             .unwrap();
-        let keys: Vec<&str> =
-            report.output.iter().map(|l| l.split_once('\t').unwrap().0).collect();
+        let keys: Vec<&str> = report.output.iter().map(|l| l.split_once('\t').unwrap().0).collect();
         assert!(!keys.is_empty());
         assert!(
             keys.windows(2).all(|w| w[0] < w[1]),
@@ -123,8 +120,7 @@ mod tests {
         let report = LocalRunner::serial()
             .run(&job, &[("c.txt".to_string(), text.into_bytes())], &SideFiles::new())
             .unwrap();
-        let keys: Vec<&str> =
-            report.output.iter().map(|l| l.split_once('\t').unwrap().0).collect();
+        let keys: Vec<&str> = report.output.iter().map(|l| l.split_once('\t').unwrap().0).collect();
         assert!(
             !keys.windows(2).all(|w| w[0] < w[1]),
             "hash partitioning should interleave ranges across partitions"

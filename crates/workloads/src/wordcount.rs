@@ -105,7 +105,11 @@ impl Reducer for TopWordReducer {
 }
 
 /// Standard WordCount job (no combiner).
-pub fn wordcount(input: &str, output: &str, reduces: usize) -> Job<WcMapper, WcReducer, hl_mapreduce::api::NoCombiner<String, u64>> {
+pub fn wordcount(
+    input: &str,
+    output: &str,
+    reduces: usize,
+) -> Job<WcMapper, WcReducer, hl_mapreduce::api::NoCombiner<String, u64>> {
     Job::new(
         JobConf::new("wordcount").input(input).output(output).reduces(reduces),
         || WcMapper,
@@ -174,19 +178,15 @@ mod tests {
         let inputs = vec![("corpus.txt".to_string(), text.into_bytes())];
         let runner = LocalRunner::serial();
 
-        let plain = runner
-            .run(&wordcount("/i", "/o", 2), &inputs, &SideFiles::new())
-            .unwrap();
+        let plain = runner.run(&wordcount("/i", "/o", 2), &inputs, &SideFiles::new()).unwrap();
         assert_eq!(counts_of(&plain.output), truth);
 
-        let combined = runner
-            .run(&wordcount_combiner("/i", "/o", 2), &inputs, &SideFiles::new())
-            .unwrap();
+        let combined =
+            runner.run(&wordcount_combiner("/i", "/o", 2), &inputs, &SideFiles::new()).unwrap();
         assert_eq!(counts_of(&combined.output), truth);
 
-        let inmapper = runner
-            .run(&wordcount_inmapper("/i", "/o", 2), &inputs, &SideFiles::new())
-            .unwrap();
+        let inmapper =
+            runner.run(&wordcount_inmapper("/i", "/o", 2), &inputs, &SideFiles::new()).unwrap();
         assert_eq!(counts_of(&inmapper.output), truth);
     }
 
@@ -198,12 +198,9 @@ mod tests {
         let mut runner = LocalRunner::serial();
         runner.split_bytes = 32 * 1024; // several map tasks
 
-        let plain = runner
-            .run(&wordcount("/i", "/o", 1), &inputs, &SideFiles::new())
-            .unwrap();
-        let inmapper = runner
-            .run(&wordcount_inmapper("/i", "/o", 1), &inputs, &SideFiles::new())
-            .unwrap();
+        let plain = runner.run(&wordcount("/i", "/o", 1), &inputs, &SideFiles::new()).unwrap();
+        let inmapper =
+            runner.run(&wordcount_inmapper("/i", "/o", 1), &inputs, &SideFiles::new()).unwrap();
         // Plain emits one record per token; in-mapper emits one per
         // distinct word per task.
         assert_eq!(plain.counters.task(TaskCounter::MapOutputRecords), 20_000);
@@ -218,10 +215,8 @@ mod tests {
     fn top_word_finds_the_zipf_head() {
         let gen = CorpusGen::new(11).with_vocab(500);
         let (text, truth) = gen.generate(30_000);
-        let expected = truth
-            .iter()
-            .max_by_key(|(w, &n)| (n, std::cmp::Reverse((*w).clone())))
-            .unwrap();
+        let expected =
+            truth.iter().max_by_key(|(w, &n)| (n, std::cmp::Reverse((*w).clone()))).unwrap();
         let report = LocalRunner::serial()
             .run(
                 &top_word("/i", "/o"),

@@ -40,10 +40,8 @@ impl Mapper for AlbumRatingMapper {
 
     fn setup(&mut self, ctx: &mut MapContext<u32, SumCount>) {
         if let Ok(bytes) = ctx.read_side_file(&self.songs_path) {
-            self.album_of = String::from_utf8_lossy(&bytes)
-                .lines()
-                .filter_map(parse_song)
-                .collect();
+            self.album_of =
+                String::from_utf8_lossy(&bytes).lines().filter_map(parse_song).collect();
         }
     }
 
@@ -121,7 +119,10 @@ pub fn best_album(
     let songs = songs.to_string();
     Job::with_combiner(
         JobConf::new("yahoo-best-album")
-            .map_cpu_per_record(JAVA_PARSE_CPU).input(ratings).output(output).reduces(1),
+            .map_cpu_per_record(JAVA_PARSE_CPU)
+            .input(ratings)
+            .output(output)
+            .reduces(1),
         move || AlbumRatingMapper::new(songs.clone()),
         BestAlbumReducer::default,
         || AlbumCombiner,
@@ -138,7 +139,10 @@ pub fn album_averages(
     let songs = songs.to_string();
     Job::with_combiner(
         JobConf::new("yahoo-album-averages")
-            .map_cpu_per_record(JAVA_PARSE_CPU).input(ratings).output(output).reduces(reduces),
+            .map_cpu_per_record(JAVA_PARSE_CPU)
+            .input(ratings)
+            .output(output)
+            .reduces(reduces),
         move || AlbumRatingMapper::new(songs.clone()),
         || AlbumAvgReducer,
         || AlbumCombiner,
@@ -195,17 +199,18 @@ mod tests {
     fn combiner_does_not_change_the_answer() {
         let (inputs, side, _) = setup(10_000);
         let runner = LocalRunner::serial();
-        let with = runner
-            .run(&best_album("/i", "/cache/songs.txt", "/o"), &inputs, &side)
-            .unwrap();
+        let with = runner.run(&best_album("/i", "/cache/songs.txt", "/o"), &inputs, &side).unwrap();
         // Same mapper/reducer without a combiner:
         let songs = "/cache/songs.txt".to_string();
-        let no_combiner: Job<AlbumRatingMapper, BestAlbumReducer, hl_mapreduce::api::NoCombiner<u32, SumCount>> =
-            Job::new(
-                JobConf::new("nc").input("/i").output("/o").reduces(1),
-                move || AlbumRatingMapper::new(songs.clone()),
-                BestAlbumReducer::default,
-            );
+        let no_combiner: Job<
+            AlbumRatingMapper,
+            BestAlbumReducer,
+            hl_mapreduce::api::NoCombiner<u32, SumCount>,
+        > = Job::new(
+            JobConf::new("nc").input("/i").output("/o").reduces(1),
+            move || AlbumRatingMapper::new(songs.clone()),
+            BestAlbumReducer::default,
+        );
         let without = runner.run(&no_combiner, &inputs, &side).unwrap();
         assert_eq!(with.output, without.output);
     }

@@ -25,7 +25,8 @@ fn main() {
         let mut cluster = MrCluster::new(ClusterSpec::course_hadoop(8), config).unwrap();
         cluster.dfs.namenode.mkdirs("/in").unwrap();
         let t = cluster.now;
-        let put = cluster.dfs.put(&mut cluster.net, t, "/in/2008.csv", csv.as_bytes(), None).unwrap();
+        let put =
+            cluster.dfs.put(&mut cluster.net, t, "/in/2008.csv", csv.as_bytes(), None).unwrap();
         cluster.now = put.completed_at;
 
         let report = match which {
@@ -43,13 +44,9 @@ fn main() {
             report.elapsed(),
         );
         let out = cluster.read_output("/out").unwrap();
-        let parsed =
-            airline::parse_output(&out.lines().map(str::to_string).collect::<Vec<_>>());
+        let parsed = airline::parse_output(&out.lines().map(str::to_string).collect::<Vec<_>>());
         let mut best: Vec<(&String, &f64)> = parsed.iter().collect();
         best.sort_by(|a, b| a.1.total_cmp(b.1));
-        println!(
-            "  best carrier by avg delay: {} ({:.2} min)\n",
-            best[0].0, best[0].1
-        );
+        println!("  best carrier by avg delay: {} ({:.2} min)\n", best[0].0, best[0].1);
     }
 }

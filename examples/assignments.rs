@@ -62,7 +62,11 @@ fn main() {
     cluster.now = put.completed_at;
     cluster.register_side_file("/cache/movies.dat", data.movies.into_bytes());
     let report = cluster
-        .run_job(&movielens::genre_stats_cached("/in/ratings.dat", "/cache/movies.dat", "/out/genres"))
+        .run_job(&movielens::genre_stats_cached(
+            "/in/ratings.dat",
+            "/cache/movies.dat",
+            "/out/genres",
+        ))
         .expect("cluster job");
     println!(
         "same jar on HDFS: {} (vs {} serial) — \"immediate speedup\"",

@@ -35,9 +35,7 @@ fn main() {
         let (id, genres) = parse_movie(line).expect("movie row");
         let row = format!("movie{id:05}");
         now = table.put(&mut dfs, &mut net, now, &row, "genres", genres.join("|")).unwrap();
-        now = table
-            .put(&mut dfs, &mut net, now, &row, "title", format!("Movie {id}"))
-            .unwrap();
+        now = table.put(&mut dfs, &mut net, now, &row, "title", format!("Movie {id}")).unwrap();
         loaded += 1;
     }
     println!("loaded {loaded} movies into 'movies' ({} region(s))", table.regions.len());

@@ -43,14 +43,17 @@ fn main() {
 
     // Corrupt one replica behind HDFS's back; a read transparently fails
     // over and the bad replica is reported + re-replicated.
-    let (block, _, holders) = shell.dfs.file_blocks("/user/student/input/2008.csv").unwrap()[0].clone();
+    let (block, _, holders) =
+        shell.dfs.file_blocks("/user/student/input/2008.csv").unwrap()[0].clone();
     println!("~ flipping a byte of {block} on {}", holders[0]);
     shell.dfs.datanode_mut(holders[0]).unwrap().corrupt_block(block, 123);
     let got = shell.dfs.read(shell.net, now, "/user/student/input/2008.csv", None).unwrap();
     println!("~ read still returned {} clean bytes (checksum failover)", got.value.len());
     shell.dfs.heartbeat_round(shell.net, got.completed_at);
-    println!("~ after one heartbeat round, replicas: {:?}\n",
-             shell.dfs.namenode.block_locations(block).len());
+    println!(
+        "~ after one heartbeat round, replicas: {:?}\n",
+        shell.dfs.namenode.block_locations(block).len()
+    );
 
     // Kill a DataNode; watch the replication monitor heal the cluster.
     let victim = holders[1];

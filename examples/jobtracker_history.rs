@@ -21,7 +21,8 @@ fn main() {
     let (text, _) = CorpusGen::new(99).with_vocab(500).generate(50_000);
     cluster.dfs.namenode.mkdirs("/in").unwrap();
     let t = cluster.now;
-    let put = cluster.dfs.put(&mut cluster.net, t, "/in/corpus.txt", text.as_bytes(), None).unwrap();
+    let put =
+        cluster.dfs.put(&mut cluster.net, t, "/in/corpus.txt", text.as_bytes(), None).unwrap();
     cluster.now = put.completed_at;
 
     // A realistic session: three WordCount variants, then both
@@ -29,12 +30,9 @@ fn main() {
     cluster.run_job(&wordcount::wordcount("/in/corpus.txt", "/out/wc", 2)).unwrap();
     cluster.run_job(&wordcount::wordcount_combiner("/in/corpus.txt", "/out/wcc", 2)).unwrap();
     cluster.run_job(&wordcount::wordcount_inmapper("/in/corpus.txt", "/out/wci", 2)).unwrap();
-    let pairs = cluster
-        .run_job(&cooccurrence::pairs("/in/corpus.txt", "/out/pairs", 4))
-        .unwrap();
-    let stripes = cluster
-        .run_job(&cooccurrence::stripes("/in/corpus.txt", "/out/stripes", 4))
-        .unwrap();
+    let pairs = cluster.run_job(&cooccurrence::pairs("/in/corpus.txt", "/out/pairs", 4)).unwrap();
+    let stripes =
+        cluster.run_job(&cooccurrence::stripes("/in/corpus.txt", "/out/stripes", 4)).unwrap();
 
     println!("{}", cluster.history);
 

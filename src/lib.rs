@@ -57,5 +57,6 @@ pub use hl_datagen as datagen;
 pub use hl_dfs as dfs;
 pub use hl_hbase as hbase;
 pub use hl_mapreduce as mapreduce;
+pub use hl_metrics as metrics;
 pub use hl_provision as provision;
 pub use hl_workloads as workloads;

@@ -53,21 +53,15 @@ fn balancer_on_a_lopsided_cluster_preserves_readability() {
     let mut payloads = Vec::new();
     for i in 0..10 {
         let data: Vec<u8> = (0..40_000u32).map(|x| ((x * 7 + i) % 251) as u8).collect();
-        dfs.put(&mut net, SimTime::ZERO, &format!("/d/f{i}"), &data, Some(NodeId(0)))
-            .unwrap();
+        dfs.put(&mut net, SimTime::ZERO, &format!("/d/f{i}"), &data, Some(NodeId(0))).unwrap();
         payloads.push(data);
     }
     let before = admin::report(&dfs).utilization_spread();
     let result = admin::balance(&mut dfs, &mut net, SimTime::ZERO, 0.02, 500);
-    assert!(
-        result.spread_after < before,
-        "before {before:.4} result {result:?}"
-    );
+    assert!(result.spread_after < before, "before {before:.4} result {result:?}");
     // Every file still reads back exactly.
     for (i, want) in payloads.iter().enumerate() {
-        let got = dfs
-            .read(&mut net, result.completed_at, &format!("/d/f{i}"), None)
-            .unwrap();
+        let got = dfs.read(&mut net, result.completed_at, &format!("/d/f{i}"), None).unwrap();
         assert_eq!(&got.value, want, "/d/f{i}");
     }
 }

@@ -28,10 +28,8 @@ fn stage_corpus(cluster: &mut MrCluster, seed: u64, words: usize) -> String {
     cluster.dfs.namenode.mkdirs("/in").unwrap();
     let (corpus, _) = CorpusGen::new(seed).generate(words);
     let t = cluster.now;
-    let put = cluster
-        .dfs
-        .put(&mut cluster.net, t, "/in/corpus.txt", corpus.as_bytes(), None)
-        .unwrap();
+    let put =
+        cluster.dfs.put(&mut cluster.net, t, "/in/corpus.txt", corpus.as_bytes(), None).unwrap();
     cluster.now = put.completed_at;
     corpus
 }
@@ -60,10 +58,7 @@ fn meltdown_drill_crashes_node_and_rereplicates() {
     // The job either survived on the other trackers or failed cleanly.
     if let Err(e) = result {
         assert!(
-            matches!(
-                e,
-                HlError::JobFailed(_) | HlError::TaskFailed(_) | HlError::DaemonDown(_)
-            ),
+            matches!(e, HlError::JobFailed(_) | HlError::TaskFailed(_) | HlError::DaemonDown(_)),
             "unclean failure: {e}"
         );
     }
@@ -112,10 +107,7 @@ fn editlog_replay_recovers_namespace_and_block_map() {
     cluster.run_job(&wordcount("/in/corpus.txt", "/out/wc", 2)).unwrap();
     cluster.dfs.namenode.mkdirs("/scratch").unwrap();
     let t = cluster.now;
-    let put = cluster
-        .dfs
-        .put(&mut cluster.net, t, "/scratch/tmp", b"temporary\n", None)
-        .unwrap();
+    let put = cluster.dfs.put(&mut cluster.net, t, "/scratch/tmp", b"temporary\n", None).unwrap();
     cluster.now = put.completed_at;
     let cmds = cluster.dfs.namenode.delete("/scratch/tmp", false).unwrap();
     let now = cluster.now;
@@ -139,9 +131,11 @@ fn editlog_replay_recovers_namespace_and_block_map() {
     assert!(cluster.dfs.namenode.safemode.is_on());
     assert_eq!(cluster.dfs.namenode.namespace(), &ns_before);
     assert_eq!(cluster.dfs.namenode.block_manifest(), manifest_before);
-    assert!(manifest_before
-        .iter()
-        .all(|&(id, _, _)| cluster.dfs.namenode.block_locations(id).is_empty()));
+    assert!(manifest_before.iter().all(|&(id, _, _)| cluster
+        .dfs
+        .namenode
+        .block_locations(id)
+        .is_empty()));
     assert!(
         matches!(cluster.dfs.namenode.mkdirs("/nope"), Err(HlError::SafeMode(_))),
         "mutations must be refused in safe mode"

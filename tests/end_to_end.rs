@@ -68,8 +68,7 @@ fn yahoo_assignment_on_the_cluster_matches_truth() {
     let mut c = cluster(128 * 1024);
     stage(&mut c, "/in/song_ratings.txt", data.ratings.as_bytes());
     c.register_side_file("/cache/songs.txt", data.songs.into_bytes());
-    c.run_job(&yahoo::best_album("/in/song_ratings.txt", "/cache/songs.txt", "/out"))
-        .unwrap();
+    c.run_job(&yahoo::best_album("/in/song_ratings.txt", "/cache/songs.txt", "/out")).unwrap();
     let out = c.read_output("/out").unwrap();
     let (album, avg) = data.truth.best_album().unwrap();
     let fields: Vec<&str> = out.trim().split('\t').collect();
@@ -141,11 +140,7 @@ fn cluster_survives_node_loss_mid_semester() {
     let out = c.read_output("/out").unwrap();
     let parsed = airline::parse_output(&out.lines().map(str::to_string).collect::<Vec<_>>());
     let best = truth.best_carrier().unwrap();
-    let got_best = parsed
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(c, _)| c.clone())
-        .unwrap();
+    let got_best = parsed.iter().min_by(|a, b| a.1.total_cmp(b.1)).map(|(c, _)| c.clone()).unwrap();
     assert_eq!(got_best, best.0);
     assert!(report.success);
 }

@@ -67,11 +67,7 @@ pub struct Bencher {
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, _f: F) {}
 
-    pub fn iter_with_setup<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(
-        &mut self,
-        _setup: SF,
-        _f: F,
-    ) {
+    pub fn iter_with_setup<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(&mut self, _setup: SF, _f: F) {
     }
 }
 

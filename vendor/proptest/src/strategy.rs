@@ -267,7 +267,11 @@ enum Atom {
     Group(Vec<(Atom, usize, usize)>),
 }
 
-fn parse_seq(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str, in_group: bool) -> Vec<(Atom, usize, usize)> {
+fn parse_seq(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+    in_group: bool,
+) -> Vec<(Atom, usize, usize)> {
     let mut seq = Vec::new();
     while let Some(&c) = chars.peek() {
         if in_group && c == ')' {
@@ -290,15 +294,15 @@ fn parse_seq(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str
             '[' => {
                 let mut ranges = Vec::new();
                 loop {
-                    let lo = chars.next().unwrap_or_else(|| panic!("unclosed class in {pattern:?}"));
+                    let lo =
+                        chars.next().unwrap_or_else(|| panic!("unclosed class in {pattern:?}"));
                     if lo == ']' {
                         break;
                     }
                     if chars.peek() == Some(&'-') {
                         chars.next();
-                        let hi = chars
-                            .next()
-                            .unwrap_or_else(|| panic!("unclosed class in {pattern:?}"));
+                        let hi =
+                            chars.next().unwrap_or_else(|| panic!("unclosed class in {pattern:?}"));
                         assert!(lo <= hi, "bad class range in {pattern:?}");
                         ranges.push((lo, hi));
                     } else {

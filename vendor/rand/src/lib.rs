@@ -74,8 +74,12 @@ impl<R: RngCore + ?Sized> Rng for R {}
 /// exactly like upstream rand's single generic impl does.
 pub trait SampleUniform: Copy + PartialOrd {
     /// Draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]` (`true`).
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 /// Multiply-shift bounded draw: maps a full 64-bit word onto `[0, span)`.
@@ -105,16 +109,24 @@ macro_rules! impl_sample_uniform_int {
 impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl SampleUniform for f64 {
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool)
-        -> Self {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
         let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
         lo + unit * (hi - lo)
     }
 }
 
 impl SampleUniform for f32 {
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool)
-        -> Self {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
         let unit = ((rng.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32);
         lo + unit * (hi - lo)
     }
