@@ -159,6 +159,9 @@ impl ChaosRunner {
         // round's protocol window.
         config.set(keys::DFS_BLOCK_SIZE, 2048u64);
         config.set(keys::DFS_HEARTBEAT_DEAD_AFTER, 20u64);
+        // Checkpoint every 32 edit-log ops so RestartNameNode drills load
+        // an fsimage and replay a short tail, not the whole journal.
+        config.set(keys::DFS_CHECKPOINT_OPS, 32u64);
         let mut cluster = MrCluster::new(spec, config)?;
         // The client's read-failover jitter stream is per-run: same seed,
         // same backoff spread, byte-identical traces.

@@ -7,7 +7,7 @@
 //! what makes every experiment in EXPERIMENTS.md exactly repeatable.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use hl_common::{SimDuration, SimTime};
 
@@ -105,6 +105,116 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// A bucketed timer wheel for per-node recurring timers (heartbeats, block
+/// reports).
+///
+/// Scheduling one [`EventQueue`] entry per DataNode per heartbeat means a
+/// 10k-node cluster keeps 10k timer events in the heap at all times, and
+/// every `pop`/`push` pays `O(log n)` against that bulk. The wheel instead
+/// coalesces timers into *rounds* of fixed `granularity`: the driver
+/// schedules **one** queue event per non-empty round and asks the wheel
+/// which keys fire. The heap holds `O(rounds)` entries instead of
+/// `O(nodes)`.
+///
+/// Determinism is preserved: keys within a round are stored in a
+/// `BTreeSet`, so [`TimerWheel::pop_due`] always yields them in key order —
+/// the same tie-break the composition layer already uses for same-instant
+/// events.
+#[derive(Debug)]
+pub struct TimerWheel<K> {
+    granularity: SimDuration,
+    /// round index -> keys due in that round, in key order.
+    rounds: BTreeMap<u64, BTreeSet<K>>,
+    /// key -> its scheduled round, for O(log n) cancel/reschedule.
+    slot: BTreeMap<K, u64>,
+}
+
+impl<K: Ord + Copy> TimerWheel<K> {
+    /// Empty wheel with the given round width. Panics on a zero width —
+    /// that would put every deadline in round 0 forever.
+    pub fn new(granularity: SimDuration) -> Self {
+        assert!(granularity.as_micros() > 0, "timer wheel granularity must be non-zero");
+        TimerWheel { granularity, rounds: BTreeMap::new(), slot: BTreeMap::new() }
+    }
+
+    /// Round a deadline up to its round index: a timer never fires early.
+    fn round_of(&self, at: SimTime) -> u64 {
+        let g = self.granularity.as_micros();
+        at.as_micros().div_ceil(g)
+    }
+
+    /// Schedule (or reschedule) `key` to fire at the first round boundary
+    /// at or after `at`. A key lives in at most one round.
+    pub fn schedule(&mut self, key: K, at: SimTime) {
+        let round = self.round_of(at);
+        if let Some(old) = self.slot.insert(key, round) {
+            if old == round {
+                return;
+            }
+            if let Some(keys) = self.rounds.get_mut(&old) {
+                keys.remove(&key);
+                if keys.is_empty() {
+                    self.rounds.remove(&old);
+                }
+            }
+        }
+        self.rounds.entry(round).or_default().insert(key);
+    }
+
+    /// Drop `key`'s pending timer, if any. Returns true if one existed.
+    pub fn cancel(&mut self, key: &K) -> bool {
+        let Some(round) = self.slot.remove(key) else {
+            return false;
+        };
+        if let Some(keys) = self.rounds.get_mut(&round) {
+            keys.remove(key);
+            if keys.is_empty() {
+                self.rounds.remove(&round);
+            }
+        }
+        true
+    }
+
+    /// The fire time of the earliest non-empty round. This is what the
+    /// driver schedules its single queue event at.
+    pub fn next_due(&self) -> Option<SimTime> {
+        let round = *self.rounds.keys().next()?;
+        Some(SimTime(round.saturating_mul(self.granularity.as_micros())))
+    }
+
+    /// Pop every key in the earliest round due at or before `now`, in key
+    /// order. Returns an empty vec when nothing is due yet.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<K> {
+        let Some((&round, _)) = self.rounds.first_key_value() else {
+            return Vec::new();
+        };
+        if round.saturating_mul(self.granularity.as_micros()) > now.as_micros() {
+            return Vec::new();
+        }
+        let keys = self.rounds.remove(&round).unwrap_or_default();
+        for key in &keys {
+            self.slot.remove(key);
+        }
+        keys.into_iter().collect()
+    }
+
+    /// Number of pending timers (keys, not rounds).
+    pub fn len(&self) -> usize {
+        self.slot.len()
+    }
+
+    /// True when no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.slot.is_empty()
+    }
+
+    /// Number of distinct rounds with pending timers — the count of queue
+    /// entries the driver actually needs.
+    pub fn rounds_pending(&self) -> usize {
+        self.rounds.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +269,68 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn wheel_coalesces_timers_into_rounds() {
+        let mut w: TimerWheel<u32> = TimerWheel::new(SimDuration::from_micros(100));
+        // 1000 nodes, deadlines spread across two rounds.
+        for node in 0..1000u32 {
+            let at = if node % 2 == 0 { SimTime(150) } else { SimTime(250) };
+            w.schedule(node, at);
+        }
+        assert_eq!(w.len(), 1000);
+        assert_eq!(w.rounds_pending(), 2); // O(rounds), not O(nodes)
+        assert_eq!(w.next_due(), Some(SimTime(200)));
+
+        // Nothing due before the round boundary.
+        assert!(w.pop_due(SimTime(199)).is_empty());
+
+        // Keys come out in key order: deterministic tie-break.
+        let due = w.pop_due(SimTime(200));
+        assert_eq!(due.len(), 500);
+        assert_eq!(due, (0..1000).filter(|n| n % 2 == 0).collect::<Vec<_>>());
+        assert_eq!(w.next_due(), Some(SimTime(300)));
+
+        let due = w.pop_due(SimTime(300));
+        assert_eq!(due, (0..1000).filter(|n| n % 2 == 1).collect::<Vec<_>>());
+        assert!(w.is_empty());
+        assert_eq!(w.next_due(), None);
+    }
+
+    #[test]
+    fn wheel_rounds_deadlines_up_never_early() {
+        let mut w: TimerWheel<&str> = TimerWheel::new(SimDuration::from_micros(100));
+        w.schedule("exact", SimTime(200));
+        w.schedule("late", SimTime(201));
+        assert_eq!(w.pop_due(SimTime(200)), vec!["exact"]);
+        // 201 rounds up to 300, not down to 200.
+        assert_eq!(w.next_due(), Some(SimTime(300)));
+        assert_eq!(w.pop_due(SimTime(300)), vec!["late"]);
+    }
+
+    #[test]
+    fn wheel_reschedule_moves_key_to_new_round() {
+        let mut w: TimerWheel<u8> = TimerWheel::new(SimDuration::from_micros(10));
+        w.schedule(7, SimTime(10));
+        w.schedule(7, SimTime(50));
+        assert_eq!(w.len(), 1);
+        assert!(w.pop_due(SimTime(10)).is_empty());
+        assert_eq!(w.pop_due(SimTime(50)), vec![7]);
+        // Rescheduling into the same round is a no-op, not a duplicate.
+        w.schedule(3, SimTime(11));
+        w.schedule(3, SimTime(19));
+        assert_eq!(w.pop_due(SimTime(20)), vec![3]);
+    }
+
+    #[test]
+    fn wheel_cancel_removes_pending_timer() {
+        let mut w: TimerWheel<u8> = TimerWheel::new(SimDuration::from_micros(10));
+        w.schedule(1, SimTime(10));
+        w.schedule(2, SimTime(10));
+        assert!(w.cancel(&1));
+        assert!(!w.cancel(&1));
+        assert_eq!(w.pop_due(SimTime(10)), vec![2]);
+        assert_eq!(w.rounds_pending(), 0);
     }
 }

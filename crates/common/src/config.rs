@@ -47,6 +47,9 @@ pub mod keys {
     /// Write-lease hard limit in seconds: past this the NameNode recovers
     /// the lease on its own (HDFS hardcodes 1 h; default here 300 s).
     pub const DFS_LEASE_HARD_LIMIT_SECS: &str = "dfs.lease.hard.limit";
+    /// Edit-log ops between automatic fsimage checkpoints (0 disables the
+    /// trigger; mirrors `fs.checkpoint.txns` of the secondary NameNode).
+    pub const DFS_CHECKPOINT_OPS: &str = "fs.checkpoint.txns";
     /// Failed attempts on one TaskTracker before a job blacklists it.
     pub const MAPRED_MAX_TRACKER_FAILURES: &str = "mapred.max.tracker.failures";
     /// Per-job blacklistings before a TaskTracker is blacklisted globally.
@@ -82,6 +85,7 @@ impl Configuration {
         c.set(keys::MAPRED_MAX_ATTEMPTS, "4");
         c.set(keys::DFS_LEASE_SOFT_LIMIT_SECS, "60");
         c.set(keys::DFS_LEASE_HARD_LIMIT_SECS, "300");
+        c.set(keys::DFS_CHECKPOINT_OPS, "10000");
         c.set(keys::MAPRED_MAX_TRACKER_FAILURES, "4");
         c.set(keys::MAPRED_MAX_TRACKER_BLACKLISTS, "3");
         c

@@ -63,6 +63,49 @@ impl Writable for ReplicaMeta {
     }
 }
 
+/// A delta block report: what changed on a DataNode since its last report.
+///
+/// HDFS 1.x sends `blockReceived` RPCs plus periodic full reports; at
+/// thousands of DataNodes the full reports dominate NameNode CPU, so the
+/// scalable protocol ships deltas (received/deleted since last report) and
+/// keeps the full report as a periodic anti-entropy sweep. `received`
+/// carries full replica metadata (the NameNode needs lengths and stamps);
+/// `deleted` needs only ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncrementalBlockReport {
+    /// Replicas added (or re-stamped) since the last report, id order.
+    pub received: Vec<ReplicaMeta>,
+    /// Replicas dropped since the last report, id order.
+    pub deleted: Vec<BlockId>,
+}
+
+impl IncrementalBlockReport {
+    /// True when the delta carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.received.is_empty() && self.deleted.is_empty()
+    }
+}
+
+impl Writable for IncrementalBlockReport {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.received.write(buf);
+        write_vu64(self.deleted.len() as u64, buf);
+        for id in &self.deleted {
+            write_vu64(id.0, buf);
+        }
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        let received = Vec::<ReplicaMeta>::read(buf)?;
+        let n = read_vu64(buf)?;
+        let mut deleted = Vec::with_capacity(usize::try_from(n.min(1024)).unwrap_or(0));
+        for _ in 0..n {
+            deleted.push(BlockId(read_vu64(buf)?));
+        }
+        Ok(IncrementalBlockReport { received, deleted })
+    }
+}
+
 /// The contents of a block replica.
 #[derive(Debug, Clone)]
 pub enum BlockPayload {
@@ -257,5 +300,24 @@ mod tests {
             assert_eq!(ReplicaMeta::from_bytes(&bytes).unwrap(), meta);
         }
         assert!(ReplicaMeta::from_bytes(&[0x80]).is_err(), "truncated input must error");
+    }
+
+    #[test]
+    fn incremental_report_round_trips() {
+        for ibr in [
+            IncrementalBlockReport::default(),
+            IncrementalBlockReport {
+                received: vec![
+                    ReplicaMeta { id: BlockId(3), len: 64, gen_stamp: FIRST_GEN_STAMP },
+                    ReplicaMeta { id: BlockId(9), len: 10, gen_stamp: 1007 },
+                ],
+                deleted: vec![BlockId(1), BlockId(u64::MAX)],
+            },
+            IncrementalBlockReport { received: Vec::new(), deleted: vec![BlockId(5)] },
+        ] {
+            let bytes = ibr.to_bytes();
+            assert_eq!(IncrementalBlockReport::from_bytes(&bytes).unwrap(), ibr);
+        }
+        assert!(IncrementalBlockReport::from_bytes(&[0x80]).is_err());
     }
 }

@@ -550,16 +550,23 @@ impl Dfs {
 
     // ----------------------------------------------------------- protocol
 
-    /// One protocol round at `now`: every live DataNode heartbeats, the
-    /// heartbeat monitor sweeps, the replication monitor schedules copies,
-    /// and those copies execute (charging the network). Returns executed
-    /// commands.
+    /// One protocol round at `now`: every live DataNode heartbeats
+    /// (piggybacking its incremental block report — the received/deleted
+    /// delta since the last round — so the NameNode hears about replica
+    /// churn without waiting for a periodic full report), the heartbeat
+    /// monitor sweeps, the replication monitor schedules copies, and those
+    /// copies execute (charging the network). Returns executed commands.
     pub fn heartbeat_round(&mut self, net: &mut ClusterNet, now: SimTime) -> Vec<DnCommand> {
         let nodes: Vec<NodeId> = self.datanodes.keys().copied().collect();
         for node in nodes {
             if self.datanodes[&node].alive {
                 let free = self.datanodes[&node].free_bytes();
                 self.namenode.heartbeat(now, node, free);
+                if let Some(delta) =
+                    self.datanodes.get_mut(&node).and_then(|d| d.drain_incremental())
+                {
+                    self.namenode.process_incremental_report(now, node, &delta);
+                }
             }
         }
         self.namenode.check_heartbeats(now);
@@ -694,6 +701,11 @@ impl Dfs {
             let report = dn.block_report();
             if self.namenode.process_block_report(*t, *node, &report) {
                 exit_at = Some(*t);
+            }
+            // The full report covered every pending delta; discard them so
+            // the next heartbeat doesn't resend what was just reported.
+            if let Some(dn) = self.datanodes.get_mut(node) {
+                let _ = dn.drain_incremental();
             }
         }
         // The safe-mode extension may still be pending after the last

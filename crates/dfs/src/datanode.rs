@@ -7,13 +7,15 @@
 //! integrity and report back to the Name Node"), and the block report is
 //! the NameNode's only source of truth about replica locations.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::Bytes;
 
 use hl_common::prelude::*;
 
-use crate::block::{BlockId, BlockPayload, ReplicaMeta, StoredBlock, FIRST_GEN_STAMP};
+use crate::block::{
+    BlockId, BlockPayload, IncrementalBlockReport, ReplicaMeta, StoredBlock, FIRST_GEN_STAMP,
+};
 
 /// One DataNode's state.
 #[derive(Debug, Clone)]
@@ -25,6 +27,10 @@ pub struct DataNode {
     /// Whether the daemon process is up.
     pub alive: bool,
     blocks: BTreeMap<BlockId, StoredBlock>,
+    /// Replicas stored or re-stamped since the last drained delta report.
+    pending_received: BTreeSet<BlockId>,
+    /// Replicas dropped since the last drained delta report.
+    pending_deleted: BTreeSet<BlockId>,
 }
 
 /// Summary of a block scanner pass.
@@ -41,7 +47,14 @@ pub struct ScanReport {
 impl DataNode {
     /// A fresh, empty, live DataNode.
     pub fn new(node: NodeId, capacity: u64) -> Self {
-        DataNode { node, capacity, alive: true, blocks: BTreeMap::new() }
+        DataNode {
+            node,
+            capacity,
+            alive: true,
+            blocks: BTreeMap::new(),
+            pending_received: BTreeSet::new(),
+            pending_deleted: BTreeSet::new(),
+        }
     }
 
     /// Store a replica stamped with [`FIRST_GEN_STAMP`]. Fails when the
@@ -71,6 +84,8 @@ impl DataNode {
             )));
         }
         self.blocks.insert(id, StoredBlock::with_gen_stamp(id, payload, gen_stamp));
+        self.pending_received.insert(id);
+        self.pending_deleted.remove(&id);
         Ok(())
     }
 
@@ -84,6 +99,9 @@ impl DataNode {
         match self.blocks.get_mut(&id) {
             Some(stored) => {
                 stored.gen_stamp = gen_stamp;
+                // A re-stamp must reach the NameNode like a fresh receipt,
+                // or it would invalidate this replica at the next report.
+                self.pending_received.insert(id);
                 true
             }
             None => false,
@@ -118,7 +136,12 @@ impl DataNode {
 
     /// Drop a replica (NameNode invalidation command).
     pub fn delete_block(&mut self, id: BlockId) -> bool {
-        self.blocks.remove(&id).is_some()
+        let deleted = self.blocks.remove(&id).is_some();
+        if deleted {
+            self.pending_received.remove(&id);
+            self.pending_deleted.insert(id);
+        }
+        deleted
     }
 
     /// Bytes currently stored.
@@ -137,12 +160,41 @@ impl DataNode {
     }
 
     /// The block report: every replica's id, length, and generation stamp,
-    /// in id order.
+    /// in id order. A full report is a superset of every pending delta, so
+    /// callers that just sent one should [`Self::drain_incremental`] and
+    /// discard the result (the NameNode treats leftovers as no-ops anyway).
     pub fn block_report(&self) -> Vec<ReplicaMeta> {
         self.blocks
             .iter()
             .map(|(id, b)| ReplicaMeta { id: *id, len: b.payload.len(), gen_stamp: b.gen_stamp })
             .collect()
+    }
+
+    /// Drain the delta report accumulated since the last drain: replicas
+    /// received (reported with their *current* length and stamp — a block
+    /// received then deleted between drains appears only as deleted) and
+    /// replicas dropped. Returns `None` when the daemon is down or there
+    /// is nothing to tell, so heartbeats stay message-free in the steady
+    /// state.
+    pub fn drain_incremental(&mut self) -> Option<IncrementalBlockReport> {
+        if !self.alive || (self.pending_received.is_empty() && self.pending_deleted.is_empty()) {
+            return None;
+        }
+        let received = self
+            .pending_received
+            .iter()
+            .filter_map(|id| {
+                self.blocks.get(id).map(|b| ReplicaMeta {
+                    id: *id,
+                    len: b.payload.len(),
+                    gen_stamp: b.gen_stamp,
+                })
+            })
+            .collect();
+        let deleted = self.pending_deleted.iter().copied().collect();
+        self.pending_received.clear();
+        self.pending_deleted.clear();
+        Some(IncrementalBlockReport { received, deleted })
     }
 
     /// Full integrity scan: verify every replica's checksums, quarantine
@@ -159,6 +211,8 @@ impl DataNode {
         }
         for id in &corrupt {
             self.blocks.remove(id);
+            self.pending_received.remove(id);
+            self.pending_deleted.insert(*id);
         }
         ScanReport { clean: self.blocks.len(), corrupt, bytes_scanned }
     }
@@ -181,7 +235,10 @@ impl DataNode {
 
     /// Wipe the disk too (node reimaged / scratch purged by the scheduler).
     pub fn wipe(&mut self) {
+        let ids: Vec<BlockId> = self.blocks.keys().copied().collect();
         self.blocks.clear();
+        self.pending_received.clear();
+        self.pending_deleted.extend(ids);
     }
 
     /// Test/fault-injection helper: corrupt one byte of a stored replica
@@ -312,6 +369,48 @@ mod tests {
         d.store_block(BlockId(1), BlockPayload::synthetic(700 * ByteSize::GIB)).unwrap();
         let t = d.scan_duration(120 * ByteSize::MIB);
         assert!(t > SimDuration::from_mins(90) && t < SimDuration::from_mins(120));
+    }
+
+    #[test]
+    fn incremental_deltas_track_changes_between_drains() {
+        let mut d = dn();
+        assert!(d.drain_incremental().is_none(), "nothing to report on a fresh node");
+
+        d.store_block(BlockId(1), BlockPayload::real(vec![1u8; 10])).unwrap();
+        d.store_block_stamped(BlockId(2), BlockPayload::synthetic(20), 1005).unwrap();
+        d.store_block(BlockId(3), BlockPayload::real(vec![3u8; 30])).unwrap();
+        // Block 3 vanishes before the drain: deleted-only, never received.
+        assert!(d.delete_block(BlockId(3)));
+        // Block 2 got re-stamped after pipeline recovery: current stamp wins.
+        assert!(d.update_gen_stamp(BlockId(2), 1009));
+        let delta = d.drain_incremental().unwrap();
+        assert_eq!(
+            delta.received,
+            vec![
+                ReplicaMeta { id: BlockId(1), len: 10, gen_stamp: FIRST_GEN_STAMP },
+                ReplicaMeta { id: BlockId(2), len: 20, gen_stamp: 1009 },
+            ]
+        );
+        assert_eq!(delta.deleted, vec![BlockId(3)]);
+
+        // Draining resets the sets; a quiet period reports nothing.
+        assert!(d.drain_incremental().is_none());
+
+        // Deletions and quarantined corruption both surface as deleted.
+        assert!(d.delete_block(BlockId(1)));
+        d.store_block(BlockId(4), BlockPayload::real(vec![4u8; 1024])).unwrap();
+        d.corrupt_block(BlockId(4), 100);
+        d.scan_blocks();
+        let delta = d.drain_incremental().unwrap();
+        assert!(delta.received.is_empty());
+        assert_eq!(delta.deleted, vec![BlockId(1), BlockId(4)]);
+
+        // A downed daemon stays silent and keeps its pending deltas.
+        d.store_block(BlockId(5), BlockPayload::synthetic(5)).unwrap();
+        d.crash();
+        assert!(d.drain_incremental().is_none());
+        d.restart();
+        assert_eq!(d.drain_incremental().unwrap().received.len(), 1);
     }
 
     #[test]

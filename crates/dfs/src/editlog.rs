@@ -18,8 +18,10 @@ use crate::namespace::Namespace;
 pub enum EditOp {
     /// `mkdir -p`.
     Mkdirs { path: String },
-    /// File creation (timestamp journaled so replay reproduces metadata).
-    Create { path: String, replication: u32, block_size: u64, at: SimTime },
+    /// File creation (timestamp journaled so replay reproduces metadata;
+    /// the lease holder journaled so a restarted NameNode can rebuild the
+    /// lease table for files still open at the checkpoint tail).
+    Create { path: String, replication: u32, block_size: u64, at: SimTime, holder: String },
     /// Block appended to a file, stamped with its initial generation stamp.
     AddBlock { path: String, block: BlockId, len: u64, gen_stamp: u64 },
     /// Writer closed the file.
@@ -59,11 +61,12 @@ impl Writable for EditOp {
         buf.push(self.tag());
         match self {
             EditOp::Mkdirs { path } | EditOp::Close { path } => path.write(buf),
-            EditOp::Create { path, replication, block_size, at } => {
+            EditOp::Create { path, replication, block_size, at, holder } => {
                 path.write(buf);
                 replication.write(buf);
                 block_size.write(buf);
                 write_vu64(at.0, buf);
+                holder.write(buf);
             }
             EditOp::AddBlock { path, block, len, gen_stamp } => {
                 path.write(buf);
@@ -104,6 +107,7 @@ impl Writable for EditOp {
                 replication: u32::read(buf)?,
                 block_size: u64::read(buf)?,
                 at: SimTime(read_vu64(buf)?),
+                holder: String::read(buf)?,
             },
             2 => EditOp::AddBlock {
                 path: String::read(buf)?,
@@ -192,7 +196,7 @@ impl EditLog {
         for op in &self.ops {
             match op {
                 EditOp::Mkdirs { path } => ns.mkdirs(path)?,
-                EditOp::Create { path, replication, block_size, at } => {
+                EditOp::Create { path, replication, block_size, at, .. } => {
                     ns.create_file(path, *replication, *block_size, *at)?
                 }
                 EditOp::AddBlock { path, block, len, .. } => ns.append_block(path, *block, *len)?,
@@ -234,6 +238,7 @@ mod tests {
                 replication: 3,
                 block_size: 64,
                 at: SimTime(123),
+                holder: "DFSClient@login".into(),
             },
             EditOp::AddBlock {
                 path: "/user/alice/data.txt".into(),

@@ -138,6 +138,12 @@ impl LeaseManager {
         self.leases.retain(|p, _| p != path && !p.starts_with(&prefix));
     }
 
+    /// Drop every lease (NameNode restart: the table is rebuilt from the
+    /// fsimage + edit-log tail, not carried across the crash).
+    pub fn clear(&mut self) {
+        self.leases.clear();
+    }
+
     /// Rename bookkeeping: a lease follows its file.
     pub fn rename(&mut self, src: &str, dst: &str) {
         if let Some(mut lease) = self.leases.remove(src) {

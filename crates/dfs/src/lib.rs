@@ -35,6 +35,7 @@ pub mod client;
 pub mod datanode;
 pub mod editlog;
 pub mod fsck;
+pub mod fsimage;
 pub mod lease;
 pub mod namenode;
 pub mod namespace;

@@ -7,6 +7,7 @@
 use std::collections::BTreeMap;
 
 use hl_common::prelude::*;
+use hl_common::writable::{read_vu64, write_vu64, Writable};
 
 use crate::block::BlockId;
 
@@ -356,6 +357,89 @@ impl Namespace {
     }
 }
 
+// ------------------------------------------------------------- fsimage codec
+//
+// The namespace serializes recursively so a checkpoint can persist the
+// whole tree (the fsimage). Directory entries are written in name order
+// (BTreeMap iteration), so equal trees produce identical bytes.
+
+impl Writable for FileNode {
+    fn write(&self, buf: &mut Vec<u8>) {
+        write_vu64(self.blocks.len() as u64, buf);
+        for b in &self.blocks {
+            write_vu64(b.0, buf);
+        }
+        write_vu64(self.len, buf);
+        write_vu64(u64::from(self.replication), buf);
+        write_vu64(self.block_size, buf);
+        self.complete.write(buf);
+        write_vu64(self.created_at.0, buf);
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        let n = read_vu64(buf)?;
+        let mut blocks = Vec::with_capacity(n.min(1024) as usize);
+        for _ in 0..n {
+            blocks.push(BlockId(read_vu64(buf)?));
+        }
+        let len = read_vu64(buf)?;
+        let replication = u32::try_from(read_vu64(buf)?)
+            .map_err(|_| HlError::Codec("file replication overflows u32".into()))?;
+        let block_size = read_vu64(buf)?;
+        let complete = bool::read(buf)?;
+        let created_at = SimTime(read_vu64(buf)?);
+        Ok(FileNode { blocks, len, replication, block_size, complete, created_at })
+    }
+}
+
+impl Writable for INode {
+    fn write(&self, buf: &mut Vec<u8>) {
+        match self {
+            INode::Directory(children) => {
+                buf.push(0);
+                write_vu64(children.len() as u64, buf);
+                for (name, child) in children {
+                    name.write(buf);
+                    child.write(buf);
+                }
+            }
+            INode::File(f) => {
+                buf.push(1);
+                f.write(buf);
+            }
+        }
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        match u8::read(buf)? {
+            0 => {
+                let n = read_vu64(buf)?;
+                let mut children = BTreeMap::new();
+                for _ in 0..n {
+                    let name = String::read(buf)?;
+                    children.insert(name, INode::read(buf)?);
+                }
+                Ok(INode::Directory(children))
+            }
+            1 => Ok(INode::File(FileNode::read(buf)?)),
+            t => Err(HlError::Codec(format!("unknown inode tag {t}"))),
+        }
+    }
+}
+
+impl Writable for Namespace {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.root.write(buf);
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        match INode::read(buf)? {
+            root @ INode::Directory(_) => Ok(Namespace { root }),
+            INode::File(_) => Err(HlError::Codec("namespace root must be a directory".into())),
+        }
+    }
+}
+
 fn collect_blocks(node: &INode, out: &mut Vec<BlockId>) {
     match node {
         INode::File(f) => out.extend(&f.blocks),
@@ -509,6 +593,31 @@ mod tests {
         assert!(ns.rename("/x", "/archive").is_err());
         // missing src -> error
         assert!(ns.rename("/ghost", "/y").is_err());
+    }
+
+    #[test]
+    fn namespace_writable_round_trips() {
+        // Empty tree.
+        let empty = Namespace::new();
+        assert_eq!(Namespace::from_bytes(&empty.to_bytes()).unwrap(), empty);
+        // Mixed tree: nested dirs, complete and open files, empty dir.
+        let mut ns = ns_with_file("/data/f");
+        ns.append_block("/data/f", BlockId(7), 64).unwrap();
+        ns.append_block("/data/f", BlockId(9), 30).unwrap();
+        ns.complete_file("/data/f").unwrap();
+        ns.mkdirs("/data/empty").unwrap();
+        ns.create_file("/data/open", 2, 128, SimTime(55)).unwrap();
+        let bytes = ns.to_bytes();
+        assert_eq!(Namespace::from_bytes(&bytes).unwrap(), ns);
+        // INode and FileNode round-trip through the same encoding.
+        let inode = INode::File(ns.file("/data/f").unwrap().clone());
+        assert_eq!(INode::from_bytes(&inode.to_bytes()).unwrap(), inode);
+        let file = ns.file("/data/open").unwrap().clone();
+        assert_eq!(FileNode::from_bytes(&file.to_bytes()).unwrap(), file);
+        // A file at the root tag position is rejected.
+        assert!(Namespace::from_bytes(&inode.to_bytes()).is_err());
+        // Corrupt tag is a codec error.
+        assert!(Namespace::from_bytes(&[7]).is_err());
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Equivalence properties for the scalable NameNode protocols.
+//!
+//! Two claims keep the fast paths honest:
+//!
+//! 1. **Incremental + periodic full reports ≡ full reports only.** A
+//!    NameNode fed only deltas (with occasional anti-entropy full
+//!    reports) must converge to exactly the state a NameNode fed one
+//!    final full report per node reaches — same locations, same census,
+//!    same replication queues.
+//! 2. **Fsimage + edit-log tail ≡ full journal replay.** A NameNode that
+//!    checkpoints aggressively (short tails) and one that never
+//!    checkpoints (restart replays every op since format) must recover
+//!    identical metadata from the same op sequence.
+
+use proptest::prelude::*;
+
+use hl_common::config::keys;
+use hl_common::prelude::*;
+use hl_dfs::block::{IncrementalBlockReport, ReplicaMeta};
+use hl_dfs::namenode::NameNode;
+use hl_dfs::BlockId;
+
+fn node(i: usize) -> NodeId {
+    NodeId(u32::try_from(i).unwrap_or(u32::MAX))
+}
+
+/// A NameNode with `nodes` registered DataNodes, safe mode already
+/// satisfied, and `files` two-block files in `/eq`.
+fn seeded_namenode(nodes: usize, files: usize, checkpoint_ops: u64) -> (NameNode, Vec<BlockId>) {
+    let mut config = Configuration::with_defaults();
+    config.set(keys::DFS_BLOCK_SIZE, 1024u64);
+    config.set(keys::DFS_SAFEMODE_EXTENSION_SECS, 0u64);
+    config.set(keys::DFS_CHECKPOINT_OPS, checkpoint_ops);
+    let mut nn = NameNode::new(&config, Topology::striped(nodes, 4)).unwrap();
+    for i in 0..nodes {
+        nn.register_datanode(SimTime::ZERO, node(i), u64::MAX / 2);
+    }
+    nn.safemode.update(SimTime::ZERO, 0, 0);
+    let mut ids = Vec::new();
+    nn.mkdirs("/eq").unwrap();
+    for f in 0..files {
+        let path = format!("/eq/f{f}");
+        nn.create_file(SimTime::ZERO, &path, Some(3), None, "writer").unwrap();
+        for _ in 0..2 {
+            let (id, _) = nn.add_block(SimTime::ZERO, &path, 512, None).unwrap();
+            ids.push(id);
+        }
+        nn.complete_file(&path).unwrap();
+    }
+    (nn, ids)
+}
+
+/// Everything two equivalent NameNodes must agree on.
+fn replication_state(nn: &NameNode, ids: &[BlockId]) -> impl PartialEq + std::fmt::Debug {
+    (
+        ids.iter().map(|&id| nn.block_locations(id)).collect::<Vec<_>>(),
+        nn.block_census(),
+        nn.under_replicated(),
+        nn.missing_blocks(),
+        nn.block_manifest(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Claim 1: drive one NameNode with per-step deltas (plus a periodic
+    /// full report as anti-entropy), drive its twin with nothing but one
+    /// final full report per node, and the replication state converges.
+    #[test]
+    fn incremental_plus_periodic_full_equals_full_only(
+        nodes in 3usize..7,
+        files in 1usize..4,
+        steps in proptest::collection::vec((0usize..7, any::<u64>()), 1..24),
+    ) {
+        let (mut nn_inc, ids) = seeded_namenode(nodes, files, 0);
+        let (mut nn_full, _) = seeded_namenode(nodes, files, 0);
+
+        // Ground truth: which blocks each node really holds.
+        let mut held: Vec<Vec<bool>> = vec![vec![false; ids.len()]; nodes];
+        let mut t = SimTime::ZERO;
+        for (step, &(node_pick, bits)) in steps.iter().enumerate() {
+            t += SimDuration::from_secs(1);
+            let n = node_pick % nodes;
+            // Flip a pseudo-random subset of the node's replicas and ship
+            // the flips as one delta report.
+            let mut delta = IncrementalBlockReport::default();
+            for (b, &id) in ids.iter().enumerate() {
+                if bits >> (b % 64) & 1 == 0 {
+                    continue;
+                }
+                if held[n][b] {
+                    held[n][b] = false;
+                    delta.deleted.push(id);
+                } else {
+                    held[n][b] = true;
+                    let meta = nn_inc.block(id).unwrap();
+                    delta.received.push(ReplicaMeta {
+                        id,
+                        len: meta.len,
+                        gen_stamp: meta.gen_stamp,
+                    });
+                }
+            }
+            nn_inc.process_incremental_report(t, node(n), &delta);
+            // Periodic anti-entropy: every third step one node sends a
+            // full report; it must not perturb already-correct state.
+            if step % 3 == 2 {
+                let full = full_report(&nn_inc, &ids, &held[n]);
+                nn_inc.process_block_report(t, node(n), &full);
+            }
+        }
+
+        // The full-report-only twin hears the end state once per node.
+        for (n, held_by_node) in held.iter().enumerate() {
+            let full = full_report(&nn_full, &ids, held_by_node);
+            nn_full.process_block_report(t, node(n), &full);
+        }
+
+        prop_assert_eq!(replication_state(&nn_inc, &ids), replication_state(&nn_full, &ids));
+    }
+}
+
+fn full_report(nn: &NameNode, ids: &[BlockId], held: &[bool]) -> Vec<ReplicaMeta> {
+    ids.iter()
+        .zip(held)
+        .filter(|(_, &h)| h)
+        .map(|(&id, _)| {
+            let meta = nn.block(id).unwrap();
+            ReplicaMeta { id, len: meta.len, gen_stamp: meta.gen_stamp }
+        })
+        .collect()
+}
+
+/// Claim 2: the same op sequence — touching every edit-op kind — recovers
+/// identically whether restart loads a recent fsimage and replays a short
+/// tail (checkpoint every 4 ops) or replays the whole journal from the
+/// format image (checkpointing disabled).
+#[test]
+fn fsimage_plus_tail_equals_full_replay() {
+    let run_ops = |nn: &mut NameNode| {
+        let t = SimTime(1);
+        nn.mkdirs("/a/b").unwrap();
+        for f in 0..6 {
+            let path = format!("/a/b/f{f}");
+            nn.create_file(t, &path, Some(2), None, "writer").unwrap();
+            for _ in 0..3 {
+                nn.add_block(t, &path, 700, None).unwrap();
+            }
+            if f % 2 == 0 {
+                nn.complete_file(&path).unwrap();
+            }
+        }
+        // One of each remaining journaled op kind.
+        nn.set_replication("/a/b/f0", 3).unwrap();
+        nn.rename("/a/b/f2", "/a/b/renamed").unwrap();
+        nn.delete("/a/b/f4", false).unwrap();
+        let open_block = nn.namespace().file("/a/b/f1").unwrap().blocks[0];
+        nn.bump_gen_stamp(t, "/a/b/f1", open_block).unwrap();
+    };
+
+    let (mut nn_ckpt, _) = seeded_namenode(4, 0, 4);
+    let (mut nn_replay, _) = seeded_namenode(4, 0, 0);
+    run_ops(&mut nn_ckpt);
+    run_ops(&mut nn_replay);
+    assert!(
+        nn_ckpt.fsimage_bytes() != nn_replay.fsimage_bytes(),
+        "the checkpointing NameNode must actually have written an image"
+    );
+
+    let t = SimTime(2);
+    nn_ckpt.restart(t).unwrap();
+    nn_replay.restart(t).unwrap();
+
+    // Identical namespace, block metadata, leases, and census — however
+    // much of the journey came from the image vs. the journal.
+    assert_eq!(nn_ckpt.namespace(), nn_replay.namespace());
+    assert_eq!(nn_ckpt.block_manifest(), nn_replay.block_manifest());
+    assert_eq!(nn_ckpt.block_census(), nn_replay.block_census());
+    let leases = |nn: &NameNode| {
+        let mut open: Vec<String> = nn.open_files().iter().map(|l| l.path.clone()).collect();
+        open.sort();
+        open
+    };
+    assert_eq!(leases(&nn_ckpt), leases(&nn_replay));
+    assert_eq!(leases(&nn_ckpt), vec!["/a/b/f1", "/a/b/f3", "/a/b/f5"]);
+
+    // Both recover the same world once DataNodes report back in.
+    let ids: Vec<BlockId> = nn_ckpt.block_manifest().iter().map(|&(id, _, _)| id).collect();
+    for i in 0..4 {
+        let held: Vec<bool> = ids.iter().map(|id| id.0 % 4 != i).collect();
+        let report = full_report(&nn_ckpt, &ids, &held);
+        nn_ckpt.register_datanode(t, node(usize::try_from(i).unwrap_or(0)), u64::MAX / 2);
+        nn_replay.register_datanode(t, node(usize::try_from(i).unwrap_or(0)), u64::MAX / 2);
+        nn_ckpt.process_block_report(t, node(usize::try_from(i).unwrap_or(0)), &report);
+        nn_replay.process_block_report(t, node(usize::try_from(i).unwrap_or(0)), &report);
+    }
+    assert_eq!(replication_state(&nn_ckpt, &ids), replication_state(&nn_replay, &ids));
+}
