@@ -152,32 +152,49 @@ impl ClusterNet {
     }
 
     /// Read from the shared parallel FS (Figure 1(a) only): storage pipe,
-    /// rack uplink, then the reader's NIC.
-    ///
-    /// # Panics
-    /// Panics when called on a Hadoop-architecture cluster — that is a
-    /// wiring bug in the caller, not a modeled failure.
-    pub fn read_shared_storage(&mut self, now: SimTime, reader: NodeId, bytes: u64) -> Charge {
-        let storage =
-            self.shared_storage.as_mut().expect("read_shared_storage on a local-disk cluster");
+    /// rack uplink, then the reader's NIC. Calling this on a
+    /// Hadoop-architecture cluster (no shared store) is a wiring error,
+    /// reported as [`HlError::Internal`].
+    pub fn read_shared_storage(
+        &mut self,
+        now: SimTime,
+        reader: NodeId,
+        bytes: u64,
+    ) -> Result<Charge> {
+        let storage = self.shared_storage.as_mut().ok_or_else(|| {
+            HlError::Internal("read_shared_storage on a local-disk cluster".into())
+        })?;
         self.remote_bytes += bytes;
         let s = storage.charge(now, bytes);
         let rack = self.topology.rack(reader);
         let up = self.uplinks[rack.0 as usize].charge(s.end, bytes);
         let nic = self.nics[reader.0 as usize].charge(up.end, bytes);
-        Charge { start: now, end: nic.end }
+        Ok(Charge { start: now, end: nic.end })
     }
 
-    /// Write to the shared parallel FS (Figure 1(a) only).
-    pub fn write_shared_storage(&mut self, now: SimTime, writer: NodeId, bytes: u64) -> Charge {
+    /// Write to the shared parallel FS (Figure 1(a) only). Same contract
+    /// as [`ClusterNet::read_shared_storage`]: no shared store is a
+    /// wiring error, not a panic.
+    pub fn write_shared_storage(
+        &mut self,
+        now: SimTime,
+        writer: NodeId,
+        bytes: u64,
+    ) -> Result<Charge> {
+        // Check before charging the NIC/uplink: the error path must not
+        // leave half a transfer accounted against the pipes.
+        if self.shared_storage.is_none() {
+            return Err(HlError::Internal("write_shared_storage on a local-disk cluster".into()));
+        }
         let nic = self.nics[writer.0 as usize].charge(now, bytes);
         let rack = self.topology.rack(writer);
         let up = self.uplinks[rack.0 as usize].charge(nic.end, bytes);
         self.remote_bytes += bytes;
-        let storage =
-            self.shared_storage.as_mut().expect("write_shared_storage on a local-disk cluster");
+        let Some(storage) = self.shared_storage.as_mut() else {
+            return Err(HlError::Internal("write_shared_storage on a local-disk cluster".into()));
+        };
         let s = storage.charge(up.end, bytes);
-        Charge { start: now, end: s.end }
+        Ok(Charge { start: now, end: s.end })
     }
 
     /// Bytes that crossed any network link (the data-locality metric).
@@ -299,7 +316,7 @@ mod tests {
         // node's NIC could take it in ~1.7 s.
         let mut last = SimTime::ZERO;
         for n in 0..8 {
-            let c = net.read_shared_storage(SimTime::ZERO, NodeId(n), 200 * ByteSize::MIB);
+            let c = net.read_shared_storage(SimTime::ZERO, NodeId(n), 200 * ByteSize::MIB).unwrap();
             last = last.max(c.end);
         }
         assert!(last >= SimTime(8_000_000), "storage pipe must serialize: {last}");
@@ -318,10 +335,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "read_shared_storage on a local-disk cluster")]
-    fn shared_read_on_hadoop_is_a_bug() {
+    fn shared_io_on_hadoop_is_an_error_not_a_panic() {
         let mut net = hadoop(2, 1);
-        net.read_shared_storage(SimTime::ZERO, NodeId(0), 1);
+        assert!(net.read_shared_storage(SimTime::ZERO, NodeId(0), 1).is_err());
+        assert!(net.write_shared_storage(SimTime::ZERO, NodeId(0), 1).is_err());
+        // The failed write must not count against any pipe.
+        assert_eq!(net.remote_bytes(), 0);
+        assert_eq!(net.nic_bytes(NodeId(0)), 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! This module models exactly that: bindings carry an owner, owners can
 //! die without releasing, and cleanup sweeps dead bindings.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hl_common::prelude::*;
 
@@ -52,7 +52,9 @@ struct Binding {
 /// Tracks which (node, port) pairs are bound and by whom.
 #[derive(Debug, Clone, Default)]
 pub struct PortRegistry {
-    bindings: HashMap<(NodeId, u16), Binding>,
+    // Ordered map: ghost sweeps and `ghosts_on` iterate, and the chaos
+    // soak hashes event traces — iteration order must be deterministic.
+    bindings: BTreeMap<(NodeId, u16), Binding>,
 }
 
 impl PortRegistry {

@@ -120,7 +120,9 @@ impl BatchScheduler {
         let expired_ids: Vec<_> =
             self.running.values().filter(|r| r.expires_at <= now).map(|r| r.id).collect();
         for id in expired_ids {
-            let res = self.running.remove(&id).unwrap();
+            // Ids were collected from `running` above; a miss means the
+            // table changed under us — skip rather than panic the daemon.
+            let Some(res) = self.running.remove(&id) else { continue };
             self.free.extend(res.nodes.iter().copied());
             outcome.expired.push(res);
         }
@@ -136,9 +138,8 @@ impl BatchScheduler {
                         .filter(|r| r.request.priority == Priority::Student)
                         .max_by_key(|r| r.started_at)
                         .map(|r| r.id);
-                    match victim {
-                        Some(id) => {
-                            let res = self.running.remove(&id).unwrap();
+                    match victim.and_then(|id| self.running.remove(&id)) {
+                        Some(res) => {
                             self.free.extend(res.nodes.iter().copied());
                             outcome.preempted.push(res);
                         }
@@ -154,11 +155,14 @@ impl BatchScheduler {
             if req.nodes > self.free.len() {
                 break;
             }
-            let (id, request, _submitted) = self.queue.pop_front().unwrap();
-            let mut nodes: Vec<NodeId> = Vec::with_capacity(request.nodes);
-            for _ in 0..request.nodes {
-                nodes.push(self.free.pop().unwrap());
-            }
+            let Some((id, request, submitted)) = self.queue.pop_front() else { break };
+            // The fit check above guarantees this subtraction; a failure
+            // means free shrank mid-pass — requeue the head and stop.
+            let Some(split) = self.free.len().checked_sub(request.nodes) else {
+                self.queue.push_front((id, request, submitted));
+                break;
+            };
+            let mut nodes = self.free.split_off(split);
             nodes.sort_unstable();
             let res = Reservation {
                 id,

@@ -27,8 +27,6 @@ pub mod keys {
     /// Heartbeats missed before a DataNode is declared dead (default 200,
     /// i.e. 10 minutes at the 3 s interval — Hadoop's 10m30s recheck).
     pub const DFS_HEARTBEAT_DEAD_AFTER: &str = "dfs.heartbeat.dead.after";
-    /// Directory for DataNode block storage (the myHadoop local scratch).
-    pub const DFS_DATA_DIR: &str = "dfs.data.dir";
     /// Map slots per TaskTracker (the paper's nodes: dual 8-core).
     pub const MAPRED_MAP_SLOTS: &str = "mapred.tasktracker.map.tasks.maximum";
     /// Reduce slots per TaskTracker.

@@ -86,7 +86,9 @@ pub fn run(scale: Scale) -> Fig1Result {
             let mut hpc_net = ClusterNet::new(&hpc_spec);
             let mut hpc_end = SimTime::ZERO;
             for node in 0..n as u32 {
-                let c = hpc_net.read_shared_storage(SimTime::ZERO, NodeId(node), share);
+                let c = hpc_net
+                    .read_shared_storage(SimTime::ZERO, NodeId(node), share)
+                    .expect("hpc_shared_storage spec always provisions the shared store");
                 hpc_end = hpc_end.max(c.end);
             }
 

@@ -411,8 +411,7 @@ impl NameNode {
     /// Reassess every block with a replica on `node` (decommission
     /// transitions change what "counted" means for exactly these blocks).
     fn reassess_node(&mut self, node: NodeId) {
-        let ids: Vec<BlockId> =
-            self.node_blocks.get(&node).map(|s| s.to_vec()).unwrap_or_default();
+        let ids: Vec<BlockId> = self.node_blocks.get(&node).map(|s| s.to_vec()).unwrap_or_default();
         for id in ids {
             self.reassess(id);
         }
@@ -443,8 +442,7 @@ impl NameNode {
     /// from the include file after decommissioning). Its replicas are
     /// forgotten and it stops counting as live or draining.
     pub fn unregister_datanode(&mut self, node: NodeId) {
-        let ids: Vec<BlockId> =
-            self.node_blocks.get(&node).map(|s| s.to_vec()).unwrap_or_default();
+        let ids: Vec<BlockId> = self.node_blocks.get(&node).map(|s| s.to_vec()).unwrap_or_default();
         for id in ids {
             self.remove_location(id, node);
         }
@@ -473,11 +471,8 @@ impl NameNode {
             }
         }
         for &node in &newly_dead {
-            let ids: Vec<BlockId> = self
-                .node_blocks
-                .get(&node)
-                .map(|s| s.to_vec())
-                .unwrap_or_default();
+            let ids: Vec<BlockId> =
+                self.node_blocks.get(&node).map(|s| s.to_vec()).unwrap_or_default();
             for id in ids {
                 self.remove_location(id, node);
             }

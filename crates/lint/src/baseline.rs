@@ -107,6 +107,11 @@ impl Baseline {
         self.counts.values().sum()
     }
 
+    /// Every bucket in sorted (rule, file) order — the burndown list.
+    pub fn entries(&self) -> Vec<(RuleId, &str, u64)> {
+        self.counts.iter().map(|((r, f), &c)| (*r, f.as_str(), c)).collect()
+    }
+
     /// Compare current (non-waived) violations against this baseline.
     pub fn compare(&self, current: &[Violation]) -> RatchetReport {
         let now = Baseline::from_violations(current);

@@ -14,6 +14,8 @@
 //! policy.
 
 pub mod baseline;
+pub mod confkeys;
+pub mod items;
 pub mod lexer;
 pub mod manifest;
 pub mod rules;
@@ -94,13 +96,17 @@ pub fn lint_workspace(root: &Path) -> Result<WorkspaceLint, String> {
         Err(_) => Manifest::default(), // absent manifest: every impl flags
     };
 
+    // Lex everything up front: the per-file rules, the R4 manifest pass,
+    // and the R7 key census all read from the same scanned set.
+    let scanned: Vec<(String, ScannedFile)> =
+        files.iter().map(|(rel, src)| (rel.clone(), ScannedFile::new(src))).collect();
+
     let mut violations = Vec::new();
     let mut impls: Vec<(String, rules::WritableImpl)> = Vec::new();
-    for (rel, src) in &files {
-        let sf = ScannedFile::new(src);
+    for (rel, sf) in &scanned {
         let scoped = rules::rules_for_path(rel);
-        violations.extend(rules::lint_tokens(rel, &sf, &scoped));
-        for im in rules::collect_writable_impls(&sf) {
+        violations.extend(rules::lint_tokens(rel, sf, &scoped));
+        for im in rules::collect_writable_impls(sf) {
             // Waivers apply to R4 like any other rule.
             if !im.macro_template
                 && !manifest.types.contains_key(&im.type_name)
@@ -120,6 +126,7 @@ pub fn lint_workspace(root: &Path) -> Result<WorkspaceLint, String> {
         }
     }
     violations.extend(manifest.check(root, &impls));
+    violations.extend(confkeys::check_keys(&scanned));
     violations
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     Ok(WorkspaceLint { violations, files_scanned: files.len() })

@@ -1,9 +1,12 @@
 //! CLI for `hadooplab-lint`.
 //!
 //! ```text
-//! cargo run -p lint --release -- check        # enforce the ratchet
-//! cargo run -p lint --release -- baseline     # re-tighten lint-baseline.toml
-//! cargo run -p lint --release -- dump FILE    # all-rules report for one file
+//! cargo run -p lint --release -- check              # enforce the ratchet
+//! cargo run -p lint --release -- check --format=github  # CI annotations
+//! cargo run -p lint --release -- check --format=json    # machine-readable
+//! cargo run -p lint --release -- baseline           # re-tighten lint-baseline.toml
+//! cargo run -p lint --release -- stats              # per-rule burndown table
+//! cargo run -p lint --release -- dump FILE          # all-rules report for one file
 //! ```
 //!
 //! Exit codes: 0 clean / ratchet respected, 1 regression, 2 usage or I/O
@@ -11,11 +14,26 @@
 
 use lint::baseline::Baseline;
 use lint::manifest::Manifest;
-use lint::rules::RuleId;
+use lint::rules::{RuleId, Violation};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const BASELINE_FILE: &str = "lint-baseline.toml";
+
+/// Output mode for `check`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// Human-readable report (the default).
+    Text,
+    /// GitHub Actions workflow commands: every violation in a regressed
+    /// bucket becomes an `::error file=..,line=..,col=..` annotation on
+    /// the diff, followed by the plain-text summary (Actions ignores
+    /// non-command lines).
+    Github,
+    /// One JSON object on stdout: counts, per-rule totals, regressions,
+    /// and every violation with its span.
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +41,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut force_grow = false;
     let mut dump_file = None;
+    let mut format = Format::Text;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -31,7 +50,18 @@ fn main() -> ExitCode {
                 root = args.get(i).map(PathBuf::from);
             }
             "--force-grow" => force_grow = true,
-            "check" | "baseline" if cmd.is_none() => cmd = Some(args[i].clone()),
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str).and_then(parse_format) {
+                    Some(f) => format = f,
+                    None => return usage(),
+                }
+            }
+            s if s.starts_with("--format=") => match parse_format(&s["--format=".len()..]) {
+                Some(f) => format = f,
+                None => return usage(),
+            },
+            "check" | "baseline" | "stats" if cmd.is_none() => cmd = Some(args[i].clone()),
             "dump" if cmd.is_none() => {
                 cmd = Some("dump".into());
                 i += 1;
@@ -56,8 +86,9 @@ fn main() -> ExitCode {
     });
 
     match cmd.as_deref() {
-        Some("check") => cmd_check(&root),
+        Some("check") => cmd_check(&root, format),
         Some("baseline") => cmd_baseline(&root, force_grow),
+        Some("stats") => cmd_stats(&root),
         Some("dump") => match dump_file {
             Some(f) => cmd_dump(&f),
             None => usage(),
@@ -66,8 +97,20 @@ fn main() -> ExitCode {
     }
 }
 
+fn parse_format(s: &str) -> Option<Format> {
+    match s {
+        "text" => Some(Format::Text),
+        "github" => Some(Format::Github),
+        "json" => Some(Format::Json),
+        _ => None,
+    }
+}
+
 fn usage() -> ExitCode {
-    eprintln!("usage: hadooplab-lint [--root DIR] <check | baseline [--force-grow] | dump FILE>");
+    eprintln!(
+        "usage: hadooplab-lint [--root DIR] \
+         <check [--format=text|github|json] | baseline [--force-grow] | stats | dump FILE>"
+    );
     ExitCode::from(2)
 }
 
@@ -79,7 +122,7 @@ fn load_baseline(root: &std::path::Path) -> Result<Baseline, String> {
     }
 }
 
-fn cmd_check(root: &std::path::Path) -> ExitCode {
+fn cmd_check(root: &std::path::Path, format: Format) -> ExitCode {
     let ws = match lint::lint_workspace(root) {
         Ok(ws) => ws,
         Err(e) => {
@@ -96,6 +139,29 @@ fn cmd_check(root: &std::path::Path) -> ExitCode {
     };
     let active = ws.active();
     let report = baseline.compare(&active);
+
+    if format == Format::Json {
+        print_json(&ws, &baseline, &active, &report);
+        return if report.regressions.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    if format == Format::Github {
+        // Annotations first: Actions picks `::error` lines out of the log
+        // and pins them to the diff at file/line/col.
+        for (rule, file, _, _) in &report.regressions {
+            for v in active.iter().filter(|v| v.rule == *rule && &v.file == file) {
+                println!(
+                    "::error file={},line={},col={},title=hadooplab-lint {} [{}]::{}",
+                    gh_property(&v.file),
+                    v.line,
+                    v.col,
+                    v.rule,
+                    v.rule.name(),
+                    gh_message(&v.message)
+                );
+            }
+        }
+    }
 
     let waived = ws.violations.len() - active.len();
     println!(
@@ -145,6 +211,101 @@ fn cmd_check(root: &std::path::Path) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Escape a workflow-command property value (`file=` etc.).
+fn gh_property(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+        .replace(':', "%3A")
+        .replace(',', "%2C")
+}
+
+/// Escape a workflow-command message body.
+fn gh_message(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn print_json(
+    ws: &lint::WorkspaceLint,
+    baseline: &Baseline,
+    active: &[Violation],
+    report: &lint::baseline::RatchetReport,
+) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", ws.files_scanned));
+    out.push_str(&format!("  \"active\": {},\n", active.len()));
+    out.push_str(&format!("  \"waived\": {},\n", ws.violations.len() - active.len()));
+    out.push_str(&format!("  \"grandfathered\": {},\n", baseline.total()));
+    out.push_str("  \"rules\": [\n");
+    let rules: Vec<String> = RuleId::all()
+        .iter()
+        .map(|&r| {
+            format!(
+                "    {{\"rule\": {}, \"name\": {}, \"active\": {}, \"allowed\": {}}}",
+                json_str(&r.to_string()),
+                json_str(r.name()),
+                ws.rule_count(r),
+                baseline.rule_total(r)
+            )
+        })
+        .collect();
+    out.push_str(&rules.join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str("  \"regressions\": [\n");
+    let regs: Vec<String> = report
+        .regressions
+        .iter()
+        .map(|(rule, file, allowed, found)| {
+            format!(
+                "    {{\"rule\": {}, \"file\": {}, \"allowed\": {allowed}, \"found\": {found}}}",
+                json_str(&rule.to_string()),
+                json_str(file)
+            )
+        })
+        .collect();
+    out.push_str(&regs.join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str("  \"violations\": [\n");
+    let vs: Vec<String> = ws
+        .violations
+        .iter()
+        .map(|v| {
+            format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \
+                 \"waived\": {}, \"message\": {}}}",
+                json_str(&v.rule.to_string()),
+                json_str(&v.file),
+                v.line,
+                v.col,
+                v.waived,
+                json_str(&v.message)
+            )
+        })
+        .collect();
+    out.push_str(&vs.join(",\n"));
+    out.push_str("\n  ]\n}");
+    println!("{out}");
+}
+
 fn cmd_baseline(root: &std::path::Path, force_grow: bool) -> ExitCode {
     let ws = match lint::lint_workspace(root) {
         Ok(ws) => ws,
@@ -180,6 +341,51 @@ fn cmd_baseline(root: &std::path::Path, force_grow: bool) -> ExitCode {
         new.total(),
         old.total()
     );
+    ExitCode::SUCCESS
+}
+
+/// The burndown table: per-rule active vs grandfathered counts plus the
+/// bucket list, as markdown (pastes straight into a CI job summary).
+fn cmd_stats(root: &std::path::Path) -> ExitCode {
+    let ws = match lint::lint_workspace(root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("hadooplab-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match load_baseline(root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("hadooplab-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("### hadooplab-lint burndown\n");
+    println!("| rule | invariant | active | grandfathered | status |");
+    println!("|------|-----------|-------:|--------------:|--------|");
+    for rule in RuleId::all() {
+        let active = ws.rule_count(rule) as u64;
+        let allowed = baseline.rule_total(rule);
+        let status = if active == 0 && allowed == 0 {
+            "clean".to_string()
+        } else if active < allowed {
+            format!("{allowed} to burn down (ratchet can tighten)")
+        } else {
+            format!("{allowed} to burn down")
+        };
+        println!("| {rule} | {} | {active} | {allowed} | {status} |", rule.name());
+    }
+    let buckets = baseline.entries();
+    println!(
+        "\n{} grandfathered violation(s) across {} bucket(s); {} file(s) scanned.",
+        baseline.total(),
+        buckets.len(),
+        ws.files_scanned
+    );
+    for (rule, file, count) in buckets {
+        println!("- `{file}`: {count} × {rule}");
+    }
     ExitCode::SUCCESS
 }
 

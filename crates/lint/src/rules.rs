@@ -1,18 +1,29 @@
-//! The five workspace invariants, as token-level rules.
+//! The eight workspace invariants: token-level rules R1–R5, structural
+//! rules R6–R8.
 //!
-//! | id | name                 | scope (production code only)                  |
-//! |----|----------------------|-----------------------------------------------|
-//! | R1 | panic-free-daemons   | dfs, cluster, provision, mapreduce::engine    |
-//! | R2 | sim-time             | sim-facing crates (dfs, cluster, mapreduce,   |
-//! |    |                      | provision, hbase, core, chaos)                 |
-//! | R3 | lossless-casts       | sortbuf / merge / block hot paths             |
-//! | R4 | writable-manifest    | whole workspace (`impl Writable` headers)     |
-//! | R5 | counters-hygiene     | whole workspace (`incr*(.., 0)` call-sites)   |
+//! | id | name                       | scope (production code only)            |
+//! |----|----------------------------|-----------------------------------------|
+//! | R1 | panic-free-daemons         | dfs, cluster, provision, mapreduce::engine |
+//! | R2 | sim-time                   | sim-facing crates (dfs, cluster,        |
+//! |    |                            | mapreduce, provision, hbase, core,      |
+//! |    |                            | chaos, metrics)                         |
+//! | R3 | lossless-casts             | sortbuf / merge / block hot paths       |
+//! | R4 | writable-manifest          | whole workspace (`impl Writable` headers) |
+//! | R5 | counters-hygiene           | whole workspace (`incr*(.., 0)` call-sites) |
+//! | R6 | writable-field-coverage    | whole workspace (struct fields vs their |
+//! |    |                            | `impl Writable` write/read bodies)      |
+//! | R7 | config-key-hygiene         | `Configuration::get*` literals everywhere |
+//! |    |                            | but `common/src/config.rs`; key census  |
+//! |    |                            | at workspace level (see `confkeys`)     |
+//! | R8 | deterministic-collections  | sim-facing crates (same scope as R2)    |
 //!
 //! Every rule reports `file:line:col`, an explanation, and the waiver
 //! syntax; violations inside `#[cfg(test)]` regions are skipped, and
 //! `// lint:allow(Rn): reason` comments downgrade a hit to "waived".
+//! R6 additionally honors the per-field `// lint: skip-field(reason)`
+//! waiver for fields that intentionally do not serialize.
 
+use crate::items::FileItems;
 use crate::lexer::{TokKind, Token};
 use crate::scan::ScannedFile;
 use std::fmt;
@@ -25,10 +36,13 @@ pub enum RuleId {
     R3,
     R4,
     R5,
+    R6,
+    R7,
+    R8,
 }
 
 impl RuleId {
-    /// Parse "R1".."R5" (case-insensitive).
+    /// Parse "R1".."R8" (case-insensitive).
     pub fn parse(s: &str) -> Option<RuleId> {
         match s.to_ascii_uppercase().as_str() {
             "R1" => Some(RuleId::R1),
@@ -36,6 +50,9 @@ impl RuleId {
             "R3" => Some(RuleId::R3),
             "R4" => Some(RuleId::R4),
             "R5" => Some(RuleId::R5),
+            "R6" => Some(RuleId::R6),
+            "R7" => Some(RuleId::R7),
+            "R8" => Some(RuleId::R8),
             _ => None,
         }
     }
@@ -48,12 +65,24 @@ impl RuleId {
             RuleId::R3 => "lossless-casts",
             RuleId::R4 => "writable-manifest",
             RuleId::R5 => "counters-hygiene",
+            RuleId::R6 => "writable-field-coverage",
+            RuleId::R7 => "config-key-hygiene",
+            RuleId::R8 => "deterministic-collections",
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [RuleId; 5] {
-        [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5]
+    pub fn all() -> [RuleId; 8] {
+        [
+            RuleId::R1,
+            RuleId::R2,
+            RuleId::R3,
+            RuleId::R4,
+            RuleId::R5,
+            RuleId::R6,
+            RuleId::R7,
+            RuleId::R8,
+        ]
     }
 }
 
@@ -123,8 +152,20 @@ pub fn rules_for_path(path: &str) -> Vec<RuleId> {
     if hot_path {
         rules.push(RuleId::R3);
     }
-    // R4's per-file half (impl collection) and R5 are workspace-wide.
+    // R4's per-file half (impl collection), R5, and R6 are workspace-wide.
     rules.push(RuleId::R5);
+    rules.push(RuleId::R6);
+    // R7's call-site half runs everywhere except the config module itself
+    // (which is where the bare key strings legitimately live). Its key
+    // census half is workspace-level; see `confkeys::check_keys`.
+    if path != crate::confkeys::CONFIG_PATH {
+        rules.push(RuleId::R7);
+    }
+    // R8 shares R2's sim-facing scope: nondeterministic iteration order is
+    // only a bug where it can leak into the trace hash.
+    if sim_facing {
+        rules.push(RuleId::R8);
+    }
     rules
 }
 
@@ -133,6 +174,10 @@ pub fn rules_for_path(path: &str) -> Vec<RuleId> {
 /// [`collect_writable_impls`].
 pub fn lint_tokens(file: &str, sf: &ScannedFile, rules: &[RuleId]) -> Vec<Violation> {
     let mut out = Vec::new();
+    // R6 is the only per-file rule that needs the item-level pass; build it
+    // once, only when asked for.
+    let items =
+        if rules.contains(&RuleId::R6) { Some(crate::items::collect_items(sf)) } else { None };
     for &rule in rules {
         match rule {
             RuleId::R1 => rule_r1(file, sf, &mut out),
@@ -140,6 +185,13 @@ pub fn lint_tokens(file: &str, sf: &ScannedFile, rules: &[RuleId]) -> Vec<Violat
             RuleId::R3 => rule_r3(file, sf, &mut out),
             RuleId::R4 => {} // workspace-level; see manifest::check
             RuleId::R5 => rule_r5(file, sf, &mut out),
+            RuleId::R6 => {
+                if let Some(items) = &items {
+                    rule_r6(file, sf, items, &mut out);
+                }
+            }
+            RuleId::R7 => rule_r7_call_sites(file, sf, &mut out),
+            RuleId::R8 => rule_r8(file, sf, &mut out),
         }
     }
     out.sort_by_key(|v| (v.line, v.col, v.rule));
@@ -333,6 +385,140 @@ fn rule_r5(file: &str, sf: &ScannedFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// R6: every named field of a struct with a same-file `impl Writable`
+/// must be referenced in both the `write` and the `read` (or
+/// `read_fields`) method bodies. A field that serializes but never
+/// deserializes — or vice versa — silently corrupts restart recovery.
+///
+/// Scope notes: enums and tuple structs are skipped (their round-trip
+/// correctness is the R4 manifest's job — positional/variant coverage
+/// is not name-trackable); so are impls for types declared in another
+/// file and `$t` macro templates. The per-field waiver is
+/// `// lint: skip-field(reason)` on (or directly above) the field.
+fn rule_r6(file: &str, sf: &ScannedFile, items: &FileItems, out: &mut Vec<Violation>) {
+    let mentions = |body: &std::ops::Range<usize>, name: &str| {
+        sf.tokens[body.clone()].iter().any(|t| t.kind == TokKind::Ident && t.text == name)
+    };
+    for imp in &items.impls {
+        if imp.in_test || imp.macro_template || imp.trait_name.as_deref() != Some("Writable") {
+            continue;
+        }
+        let Some(st) = items.struct_named(&imp.type_name) else { continue };
+        if st.tuple || st.in_test || st.fields.is_empty() {
+            continue;
+        }
+        let write_fn = imp.fns.iter().find(|f| f.name == "write");
+        let read_fn = imp.fns.iter().find(|f| f.name == "read" || f.name == "read_fields");
+        // Impls that delegate both directions wholesale (no write/read
+        // bodies here) can't be field-checked.
+        let (Some(wf), Some(rf)) = (write_fn, read_fn) else { continue };
+        for field in &st.fields {
+            let in_write = mentions(&wf.body, &field.name);
+            let in_read = mentions(&rf.body, &field.name);
+            if in_write && in_read {
+                continue;
+            }
+            let missing = match (in_write, in_read) {
+                (false, false) => "either `write` or `read`",
+                (false, true) => "`write`",
+                (true, false) => "`read`",
+                (true, true) => unreachable!(),
+            };
+            out.push(Violation {
+                rule: RuleId::R6,
+                file: file.to_string(),
+                line: field.line,
+                col: field.col,
+                message: format!(
+                    "field `{}` of `{}` is not referenced in {} of its \
+                     `impl Writable` — every field must round-trip \
+                     (waive: `// lint: skip-field(reason)` on the field)",
+                    field.name, st.name, missing
+                ),
+                waived: sf.is_field_skipped(field.line) || sf.is_waived(RuleId::R6, field.line),
+            });
+        }
+    }
+}
+
+/// The `Configuration` getters whose first argument must be a `keys::`
+/// constant outside `common/src/config.rs` (R7's call-site half).
+const CONFIG_GETTERS: [&str; 6] =
+    ["get_u64", "get_u32", "get_usize", "get_f64", "get_bool", "get_or"];
+
+/// R7 (call-site half): a `Configuration::get*` call whose key argument
+/// is a bare string literal. Key strings live in `config::keys`; a
+/// stringly call-site can drift from the declared key and silently read
+/// the default forever. The census half (every key has a `with_defaults`
+/// entry, no dead keys) is workspace-level — see `confkeys::check_keys`.
+fn rule_r7_call_sites(file: &str, sf: &ScannedFile, out: &mut Vec<Violation>) {
+    let toks = &sf.tokens;
+    for i in 0..toks.len() {
+        if sf.in_test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if !CONFIG_GETTERS.contains(&name) {
+            continue;
+        }
+        // `.get_u64("literal"` — method call with a string-literal key.
+        if i == 0 || toks[i - 1].text != "." {
+            continue;
+        }
+        if toks.get(i + 1).map(|t| t.text.as_str()) != Some("(") {
+            continue;
+        }
+        let Some(arg) = toks.get(i + 2) else { continue };
+        if arg.kind != TokKind::StrLit {
+            continue;
+        }
+        push(
+            out,
+            sf,
+            RuleId::R7,
+            file,
+            &toks[i],
+            format!(
+                "`.{name}({})` with a bare key string — use a \
+                 `config::keys::` constant so call-sites can't drift from \
+                 the declared key (waive: `// lint:allow(R7): reason`)",
+                arg.text
+            ),
+        );
+    }
+}
+
+/// R8: `HashMap`/`HashSet` in sim-facing code. Their iteration order is
+/// randomized per-process (SipHash seeding), so any trace, snapshot, or
+/// scheduling decision that walks one diverges between runs and breaks
+/// the chaos soak's trace-hash determinism. Use `BTreeMap`/`BTreeSet`
+/// or a sorted `Vec`.
+fn rule_r8(file: &str, sf: &ScannedFile, out: &mut Vec<Violation>) {
+    for (i, tok) in sf.tokens.iter().enumerate() {
+        if sf.in_test[i] || tok.kind != TokKind::Ident {
+            continue;
+        }
+        let (what, instead) = match tok.text.as_str() {
+            "HashMap" => ("HashMap", "BTreeMap"),
+            "HashSet" => ("HashSet", "BTreeSet"),
+            _ => continue,
+        };
+        push(
+            out,
+            sf,
+            RuleId::R8,
+            file,
+            tok,
+            format!(
+                "`{what}` in sim-facing code — iteration order is \
+                 process-randomized and breaks trace-hash determinism; \
+                 use `{instead}` or a sorted `Vec` \
+                 (waive: `// lint:allow(R8): reason`)"
+            ),
+        );
+    }
+}
+
 /// A `impl Writable for T` header found in a file (R4's raw material).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WritableImpl {
@@ -520,6 +706,85 @@ mod tests {
         let r3: Vec<_> = v.iter().filter(|v| v.rule == RuleId::R3).collect();
         assert_eq!(r3.len(), 1);
         assert!(r3[0].waived);
+    }
+
+    #[test]
+    fn r6_flags_field_missing_from_write_or_read() {
+        let v = active(
+            "struct Rec { a: u64, b: u64, c: u64 }\n\
+             impl Writable for Rec {\n\
+             \x20 fn write(&self, buf: &mut Vec<u8>) { w(self.a); w(self.b); }\n\
+             \x20 fn read(buf: &mut &[u8]) -> Result<Self> { Ok(Rec { a: r(buf)?, c: 0 }) }\n\
+             }",
+        );
+        let r6: Vec<_> = v.iter().filter(|v| v.rule == RuleId::R6).collect();
+        // `b` serializes but never deserializes; `c` appears in read's
+        // struct literal but never in write.
+        assert_eq!(r6.len(), 2);
+        assert!(r6[0].message.contains("`b`"));
+        assert!(r6[0].message.contains("`read`"));
+        assert!(r6[1].message.contains("`c`"));
+        assert!(r6[1].message.contains("`write`"));
+        assert_eq!((r6[0].line, r6[0].col), (1, 22));
+    }
+
+    #[test]
+    fn r6_accepts_full_coverage_and_skip_field_waiver() {
+        let v = all_rules(
+            "struct Rec {\n\
+             \x20 a: u64,\n\
+             \x20 cache: u64, // lint: skip-field(rebuilt on load)\n\
+             }\n\
+             impl Writable for Rec {\n\
+             \x20 fn write(&self, buf: &mut Vec<u8>) { w(self.a); }\n\
+             \x20 fn read(buf: &mut &[u8]) -> Result<Self> { Ok(Rec { a: r(buf)?, cache: 0 }) }\n\
+             }",
+        );
+        let r6: Vec<_> = v.iter().filter(|v| v.rule == RuleId::R6).collect();
+        assert_eq!(r6.len(), 1);
+        assert!(r6[0].waived, "skip-field must downgrade to waived");
+    }
+
+    #[test]
+    fn r6_skips_enums_tuple_structs_and_foreign_types() {
+        let v = active(
+            "enum Op { A, B }\n\
+             impl Writable for Op { fn write(&self, b: &mut Vec<u8>) {} fn read(b: &mut &[u8]) -> Result<Self> { Ok(Op::A) } }\n\
+             struct Wrap(u64);\n\
+             impl Writable for Wrap { fn write(&self, b: &mut Vec<u8>) {} fn read(b: &mut &[u8]) -> Result<Self> { Ok(Wrap(0)) } }\n\
+             impl Writable for Elsewhere { fn write(&self, b: &mut Vec<u8>) {} fn read(b: &mut &[u8]) -> Result<Self> { todo() } }",
+        );
+        assert!(v.iter().all(|v| v.rule != RuleId::R6));
+    }
+
+    #[test]
+    fn r7_flags_bare_string_keys_but_not_const_keys() {
+        let v = active(
+            "fn f(conf: &Configuration) {\n\
+             \x20 let a = conf.get_u64(\"dfs.block.size\", 0);\n\
+             \x20 let b = conf.get_u64(keys::DFS_BLOCK_SIZE, 0);\n\
+             \x20 let c = conf.get_bool(keys::MAPRED_SPECULATIVE);\n\
+             \x20 let d = map.get(\"unrelated\");\n\
+             }",
+        );
+        let r7: Vec<_> = v.iter().filter(|v| v.rule == RuleId::R7).collect();
+        assert_eq!(r7.len(), 1);
+        assert_eq!((r7[0].line, r7[0].col), (2, 16));
+        assert!(r7[0].message.contains("dfs.block.size"));
+    }
+
+    #[test]
+    fn r8_flags_hash_collections_outside_tests() {
+        let v = active(
+            "use std::collections::HashMap;\n\
+             fn f() { let s: HashSet<u32> = HashSet::new(); }\n\
+             #[cfg(test)]\nmod t { use std::collections::HashMap; }",
+        );
+        let r8: Vec<_> = v.iter().filter(|v| v.rule == RuleId::R8).collect();
+        assert_eq!(r8.len(), 3);
+        assert_eq!((r8[0].line, r8[0].col), (1, 23));
+        assert!(r8[0].message.contains("BTreeMap"));
+        assert!(r8[1].message.contains("BTreeSet"));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::lexer::{lex, Comment, TokKind, Token};
 use crate::rules::RuleId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A file ready for rule evaluation.
 pub struct ScannedFile {
@@ -18,6 +18,9 @@ pub struct ScannedFile {
     pub in_test: Vec<bool>,
     /// Line → rules waived on that line (from `lint:allow` comments).
     waived_lines: BTreeMap<u32, Vec<RuleId>>,
+    /// Lines carrying a `lint: skip-field(reason)` directive (R6's
+    /// per-field waiver for intentionally unserialized fields).
+    skip_field_lines: BTreeSet<u32>,
 }
 
 impl ScannedFile {
@@ -26,7 +29,8 @@ impl ScannedFile {
         let (tokens, comments) = lex(src);
         let in_test = mark_test_regions(&tokens);
         let waived_lines = collect_waivers(&comments);
-        ScannedFile { tokens, in_test, waived_lines }
+        let skip_field_lines = collect_skip_fields(&comments);
+        ScannedFile { tokens, in_test, waived_lines, skip_field_lines }
     }
 
     /// Is a violation of `rule` at `line` waived?
@@ -44,6 +48,23 @@ impl ScannedFile {
     pub fn is_waived(&self, rule: RuleId, line: u32) -> bool {
         let hit = |l: &u32| self.waived_lines.get(l).is_some_and(|rs| rs.contains(&rule));
         hit(&line) || (line > 0 && hit(&(line - 1)))
+    }
+
+    /// Is the struct field declared at `line` exempt from R6 coverage?
+    ///
+    /// A `// lint: skip-field(reason)` comment waives the field on its own
+    /// line or the line directly below — same placement rules as
+    /// [`ScannedFile::is_waived`]:
+    ///
+    /// ```text
+    /// pub cache: Vec<u8>, // lint: skip-field(rebuilt from blocks on read)
+    ///
+    /// // lint: skip-field(wall-clock only; never persisted)
+    /// pub last_touched: SimTime,
+    /// ```
+    pub fn is_field_skipped(&self, line: u32) -> bool {
+        self.skip_field_lines.contains(&line)
+            || (line > 0 && self.skip_field_lines.contains(&(line - 1)))
     }
 }
 
@@ -147,6 +168,26 @@ fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
     in_test
 }
 
+/// Collect lines carrying `lint: skip-field(reason)` directives. The
+/// reason is mandatory — an empty paren pair does not waive.
+fn collect_skip_fields(comments: &[Comment]) -> BTreeSet<u32> {
+    let mut set = BTreeSet::new();
+    for c in comments {
+        // Accept both `lint: skip-field(` and `lint:skip-field(`.
+        let Some(idx) = c.text.find("skip-field(") else { continue };
+        let before = c.text[..idx].trim_end();
+        if !before.ends_with("lint:") {
+            continue;
+        }
+        let rest = &c.text[idx + "skip-field(".len()..];
+        let has_reason = rest.find(')').is_some_and(|close| !rest[..close].trim().is_empty());
+        if has_reason {
+            set.insert(c.line);
+        }
+    }
+    set
+}
+
 /// Parse `lint:allow(R1, R3)` directives out of comment text.
 fn collect_waivers(comments: &[Comment]) -> BTreeMap<u32, Vec<RuleId>> {
     let mut map: BTreeMap<u32, Vec<RuleId>> = BTreeMap::new();
@@ -232,6 +273,21 @@ mod tests {
         assert!(!sf.is_waived(RuleId::R1, 3));
         assert!(sf.is_waived(RuleId::R3, 3));
         assert!(!sf.is_waived(RuleId::R1, 4));
+    }
+
+    #[test]
+    fn skip_field_covers_same_and_next_line_and_needs_reason() {
+        let sf = scanned(
+            "// lint: skip-field(derived cache)\npub a: u8,\npub b: u8, // lint:skip-field(scratch)\npub x: u8,\npub y: u8,\npub c: u8, // lint: skip-field()\n",
+        );
+        assert!(sf.is_field_skipped(1));
+        assert!(sf.is_field_skipped(2));
+        assert!(sf.is_field_skipped(3));
+        assert!(!sf.is_field_skipped(5));
+        assert!(!sf.is_field_skipped(6)); // empty reason does not waive
+                                          // A stray `skip-field(` without the `lint:` marker is inert.
+        let sf2 = scanned("// see skip-field(notes) elsewhere\npub a: u8,\n");
+        assert!(!sf2.is_field_skipped(2));
     }
 
     #[test]

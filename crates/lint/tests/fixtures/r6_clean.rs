@@ -1,0 +1,16 @@
+//! R6 clean fixture: every field round-trips.
+
+pub struct Rec {
+    pub id: u64,
+    pub len: u64,
+}
+
+impl Writable for Rec {
+    fn write(&self, buf: &mut Vec<u8>) {
+        w(self.id, buf);
+        w(self.len, buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Rec { id: r(buf)?, len: r(buf)? })
+    }
+}

@@ -1,0 +1,21 @@
+//! R6 violation fixture: `len` never deserializes, `gen` never
+//! serializes.
+
+pub struct Rec {
+    pub id: u64,
+    pub len: u64,
+    pub gen: u64,
+}
+
+impl Writable for Rec {
+    fn write(&self, buf: &mut Vec<u8>) {
+        w(self.id, buf);
+        w(self.len, buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        let mut out = Rec::default();
+        out.id = r(buf)?;
+        out.gen = r(buf)?;
+        Ok(out)
+    }
+}

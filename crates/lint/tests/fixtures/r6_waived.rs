@@ -1,0 +1,18 @@
+//! R6 waived fixture: a derived cache field opts out with a reason.
+
+pub struct Rec {
+    pub id: u64,
+    // lint: skip-field(derived cache, rebuilt on load)
+    pub cache: u64,
+}
+
+impl Writable for Rec {
+    fn write(&self, buf: &mut Vec<u8>) {
+        w(self.id, buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        let mut out = Rec::default();
+        out.id = r(buf)?;
+        Ok(out)
+    }
+}

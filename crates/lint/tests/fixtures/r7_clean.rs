@@ -1,0 +1,8 @@
+//! R7 clean fixture: keys come from the `keys::` module.
+
+fn f(conf: &Configuration) -> Result<()> {
+    let a = conf.get_u64(keys::DFS_BLOCK_SIZE, 0)?;
+    let b = conf.get_or(keys::IO_SORT_BYTES, "0");
+    let _ = (a, b);
+    Ok(())
+}

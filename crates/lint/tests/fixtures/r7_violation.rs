@@ -1,0 +1,8 @@
+//! R7 violation fixture: bare key strings at getter call sites.
+
+fn f(conf: &Configuration) -> Result<()> {
+    let a = conf.get_u64("dfs.block.size", 0)?;
+    let b = conf.get_bool("mapred.map.tasks.speculative.execution", true)?;
+    let _ = (a, b);
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! R7 waived fixture: a one-off probe key with an argued waiver.
+
+fn f(conf: &Configuration) -> Result<u64> {
+    // lint:allow(R7): experiment-local key, never shipped
+    conf.get_u64("bench.probe.key", 0)
+}

@@ -1,0 +1,8 @@
+//! R8 clean fixture: ordered collections only.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Tracker {
+    pub slots: BTreeMap<u32, u64>,
+    pub seen: BTreeSet<u32>,
+}

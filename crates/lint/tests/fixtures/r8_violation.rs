@@ -1,0 +1,12 @@
+//! R8 violation fixture: hash collections in sim-facing code.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Tracker {
+    pub slots: HashMap<u32, u64>,
+}
+
+fn f() {
+    let mut s: HashSet<u32> = HashSet::new();
+    s.insert(1);
+}

@@ -1,0 +1,10 @@
+//! R8 waived fixture: a lookup-only hash map with the argument
+//! recorded.
+
+// lint:allow(R8): lookup-only table, never iterated
+use std::collections::HashMap;
+
+pub struct Cache {
+    // lint:allow(R8): point lookups only; snapshot path sorts first
+    pub inner: HashMap<u64, u64>,
+}

@@ -122,10 +122,71 @@ fn r5_waived_fixture_reports_waived_only() {
     assert_eq!(waived("r5_waived.rs", RuleId::R5).len(), 1);
 }
 
-/// The acceptance bar: the fixture suite exercises all five distinct
+#[test]
+fn r6_violation_fixture_exact_spans() {
+    let vs = active("r6_violation.rs", RuleId::R6);
+    assert_eq!(spans(&vs), vec![(6, 9), (7, 9)]);
+    assert!(vs[0].message.contains("`len` of `Rec`"), "{}", vs[0].message);
+    assert!(vs[0].message.contains("`read`"));
+    assert!(vs[1].message.contains("`gen` of `Rec`"));
+    assert!(vs[1].message.contains("`write`"));
+}
+
+#[test]
+fn r6_clean_fixture_is_silent() {
+    assert_eq!(active("r6_clean.rs", RuleId::R6), vec![]);
+}
+
+#[test]
+fn r6_waived_fixture_reports_skip_field_only() {
+    assert_eq!(active("r6_waived.rs", RuleId::R6), vec![]);
+    let w = waived("r6_waived.rs", RuleId::R6);
+    assert_eq!(spans(&w), vec![(6, 9)]);
+    assert!(w[0].message.contains("either `write` or `read`"));
+}
+
+#[test]
+fn r7_violation_fixture_exact_spans() {
+    let vs = active("r7_violation.rs", RuleId::R7);
+    assert_eq!(spans(&vs), vec![(4, 18), (5, 18)]);
+    assert!(vs[0].message.contains("keys::"));
+    assert!(vs[0].message.contains("dfs.block.size"));
+}
+
+#[test]
+fn r7_clean_fixture_is_silent() {
+    assert_eq!(active("r7_clean.rs", RuleId::R7), vec![]);
+}
+
+#[test]
+fn r7_waived_fixture_reports_waived_only() {
+    assert_eq!(active("r7_waived.rs", RuleId::R7), vec![]);
+    assert_eq!(spans(&waived("r7_waived.rs", RuleId::R7)), vec![(5, 10)]);
+}
+
+#[test]
+fn r8_violation_fixture_exact_spans() {
+    let vs = active("r8_violation.rs", RuleId::R8);
+    assert_eq!(spans(&vs), vec![(3, 24), (3, 33), (6, 16), (10, 16), (10, 31)]);
+    assert!(vs[0].message.contains("BTreeMap"));
+    assert!(vs[1].message.contains("BTreeSet"));
+}
+
+#[test]
+fn r8_clean_fixture_is_silent() {
+    assert_eq!(active("r8_clean.rs", RuleId::R8), vec![]);
+}
+
+#[test]
+fn r8_waived_fixture_reports_waived_only() {
+    assert_eq!(active("r8_waived.rs", RuleId::R8), vec![]);
+    assert_eq!(spans(&waived("r8_waived.rs", RuleId::R8)), vec![(5, 23), (9, 16)]);
+}
+
+/// The acceptance bar: the fixture suite exercises all eight distinct
 /// rule IDs.
 #[test]
-fn fixture_suite_reports_all_five_rule_ids() {
+fn fixture_suite_reports_all_eight_rule_ids() {
     let mut seen = std::collections::BTreeSet::new();
     for name in [
         "r1_violation.rs",
@@ -133,15 +194,33 @@ fn fixture_suite_reports_all_five_rule_ids() {
         "r3_violation.rs",
         "r4_violation.rs",
         "r5_violation.rs",
+        "r6_violation.rs",
+        "r7_violation.rs",
+        "r8_violation.rs",
     ] {
         for v in lint::lint_source_all_rules(name, &fixture(name), &fixture_manifest()) {
             seen.insert(v.rule);
         }
     }
-    assert_eq!(
-        seen.into_iter().collect::<Vec<_>>(),
-        vec![RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5]
-    );
+    assert_eq!(seen.into_iter().collect::<Vec<_>>(), RuleId::all().to_vec());
+}
+
+/// Regenerating a baseline from the same violations — in any input
+/// order, or after a parse round-trip — must produce identical bytes,
+/// so `lint baseline` never churns the checked-in file.
+#[test]
+fn baseline_regeneration_is_byte_stable() {
+    use lint::baseline::Baseline;
+    let mut all = Vec::new();
+    for name in ["r6_violation.rs", "r7_violation.rs", "r8_violation.rs", "r1_violation.rs"] {
+        all.extend(lint::lint_source_all_rules(name, &fixture(name), &fixture_manifest()));
+    }
+    let first = Baseline::from_violations(&all).serialize();
+    all.reverse();
+    let reversed = Baseline::from_violations(&all).serialize();
+    assert_eq!(first, reversed, "bucket order must not depend on input order");
+    let reparsed = Baseline::parse(&first).expect("own output parses").serialize();
+    assert_eq!(first, reparsed, "serialize → parse → serialize must be a fixed point");
 }
 
 /// Violations render as `file:line:col: Rn [name] message`.

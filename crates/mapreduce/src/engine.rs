@@ -432,7 +432,8 @@ impl MrCluster {
                 )));
             }
             // Earliest-free slot...
-            let si = (0..slots.len()).min_by_key(|&i| (slots[i].free_at, slots[i].node.0)).unwrap();
+            let si =
+                (0..slots.len()).min_by_key(|&i| (slots[i].free_at, slots[i].node.0)).unwrap_or(0); // non-empty: checked just above
             let node = slots[si].node;
             // ...picks its best pending split: locality first, then order.
             let topo = self.net.topology().clone();
@@ -449,7 +450,7 @@ impl MrCluster {
                     };
                     (dist, pending[i])
                 })
-                .unwrap();
+                .unwrap_or(0); // non-empty: loop condition
             let split_idx = pending.swap_remove(pi);
             let split = splits[split_idx].clone();
 
@@ -519,7 +520,7 @@ impl MrCluster {
                         }
                         cur = (0..slots.len())
                             .min_by_key(|&i| (slots[i].free_at, slots[i].node.0))
-                            .unwrap();
+                            .unwrap_or(0); // non-empty: checked just above
                     }
                 }
             }
@@ -541,11 +542,15 @@ impl MrCluster {
                     .map(|t| t.id as usize)
                     .collect();
                 for split_idx in straggler_ids {
-                    let old_node = tasks
+                    // Ids were collected from `tasks` above; a miss means
+                    // the summary vanished — skip the speculation.
+                    let Some(old_node) = tasks
                         .iter()
                         .find(|t| t.kind == TaskKind::Map && t.id == split_idx as u32)
-                        .unwrap()
-                        .node;
+                        .map(|t| t.node)
+                    else {
+                        continue;
+                    };
                     // Earliest slot on a different node.
                     let candidates: Vec<usize> =
                         (0..slots.len()).filter(|&i| slots[i].node != old_node).collect();
@@ -559,19 +564,24 @@ impl MrCluster {
                     if let Ok(attempt) =
                         self.exec_map_attempt(job, &splits[split_idx], node, start, 1)
                     {
-                        let old_end = outputs[split_idx].as_ref().unwrap().2;
+                        // Stragglers come from completed maps, so an output
+                        // must exist; degrade to "speculation lost" if not.
+                        let Some(old_end) = outputs[split_idx].as_ref().map(|o| o.2) else {
+                            continue;
+                        };
                         if attempt.end < old_end {
                             counters.incr("Job Counters", "Speculative map attempts won", 1);
                             slots[si].free_at = attempt.end;
                             outputs[split_idx] = Some((node, attempt.output, attempt.end));
-                            let summary = tasks
+                            if let Some(summary) = tasks
                                 .iter_mut()
                                 .find(|t| t.kind == TaskKind::Map && t.id == split_idx as u32)
-                                .unwrap();
-                            summary.node = node;
-                            summary.start = start;
-                            summary.end = attempt.end;
-                            summary.speculative = true;
+                            {
+                                summary.node = node;
+                                summary.start = start;
+                                summary.end = attempt.end;
+                                summary.speculative = true;
+                            }
                         }
                     }
                 }
@@ -593,7 +603,7 @@ impl MrCluster {
         for r in 0..num_reduces {
             let mut si = (0..reduce_slots.len())
                 .min_by_key(|&i| (reduce_slots[i].free_at, reduce_slots[i].node.0))
-                .unwrap();
+                .unwrap_or(0); // non-empty: checked just above
             let mut attempts = 0u32;
             loop {
                 attempts += 1;
@@ -835,7 +845,9 @@ impl MrCluster {
 
         // The paper's heap-leak mechanism: a buggy task can OOM the
         // TaskTracker, which takes the colocated DataNode with it.
-        let tracker = self.trackers.get_mut(&node).unwrap();
+        let Some(tracker) = self.trackers.get_mut(&node) else {
+            return Err(HlError::DaemonDown(format!("no tasktracker registered on {node}")));
+        };
         if tracker.health.host_task(job.conf.leaks_memory) {
             self.dfs.crash_datanode(node);
             self.log.log(
@@ -922,7 +934,9 @@ impl MrCluster {
         let mut t = shuffle_done + cpu;
 
         // Heap hook for reduces too.
-        let tracker = self.trackers.get_mut(&node).unwrap();
+        let Some(tracker) = self.trackers.get_mut(&node) else {
+            return Err(HlError::DaemonDown(format!("no tasktracker registered on {node}")));
+        };
         if tracker.health.host_task(job.conf.leaks_memory) {
             self.dfs.crash_datanode(node);
             self.log.log(

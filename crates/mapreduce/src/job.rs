@@ -71,6 +71,21 @@ impl JobConf {
         }
     }
 
+    /// A named job whose mapred knobs come from a cluster
+    /// [`Configuration`] — the `mapred-site.xml` path: reduce count,
+    /// speculative execution, attempt limit, and the map-side sort
+    /// buffer (`io.sort.bytes`) override the course defaults; malformed
+    /// values are a config error at job-build time, not mid-run.
+    pub fn from_configuration(name: impl Into<String>, conf: &Configuration) -> Result<Self> {
+        use hl_common::config::keys;
+        let mut jc = JobConf::new(name);
+        jc.num_reduces = conf.get_usize(keys::MAPRED_REDUCE_TASKS, jc.num_reduces)?.max(1);
+        jc.speculative = conf.get_bool(keys::MAPRED_SPECULATIVE, jc.speculative)?;
+        jc.max_attempts = conf.get_u32(keys::MAPRED_MAX_ATTEMPTS, jc.max_attempts)?;
+        jc.sort_buffer_bytes = conf.get_usize(keys::IO_SORT_BYTES, jc.sort_buffer_bytes)?.max(1024);
+        Ok(jc)
+    }
+
     /// Add an input path.
     pub fn input(mut self, path: impl Into<String>) -> Self {
         self.input_paths.push(path.into());
@@ -245,6 +260,27 @@ mod tests {
     #[test]
     fn reduces_clamps_to_one() {
         assert_eq!(JobConf::new("x").reduces(0).num_reduces, 1);
+    }
+
+    #[test]
+    fn from_configuration_reads_mapred_keys() {
+        use hl_common::config::keys;
+        let mut site = Configuration::with_defaults();
+        site.set(keys::MAPRED_REDUCE_TASKS, 6)
+            .set(keys::MAPRED_SPECULATIVE, false)
+            .set(keys::MAPRED_MAX_ATTEMPTS, 2)
+            .set(keys::IO_SORT_BYTES, 1 << 20);
+        let conf = JobConf::from_configuration("wc", &site).unwrap();
+        assert_eq!(conf.num_reduces, 6);
+        assert!(!conf.speculative);
+        assert_eq!(conf.max_attempts, 2);
+        assert_eq!(conf.sort_buffer_bytes, 1 << 20);
+        // Unset keys keep the course defaults; garbage is an error.
+        let empty = JobConf::from_configuration("wc", &Configuration::new()).unwrap();
+        assert_eq!(empty.num_reduces, 1);
+        let mut bad = Configuration::new();
+        bad.set(keys::MAPRED_REDUCE_TASKS, "lots");
+        assert!(JobConf::from_configuration("wc", &bad).is_err());
     }
 
     #[test]

@@ -240,9 +240,14 @@ impl Session {
                             campus,
                             format!("Address already in use: {node}:{port} (held by {owner})"),
                         );
-                        if owner == spec.user && !alive && spec.kills_own_ghosts {
-                            // Kill our own orphan and retry immediately.
-                            campus.ports.kill_own_ghost(node, port, &spec.user).unwrap();
+                        if owner == spec.user
+                            && !alive
+                            && spec.kills_own_ghosts
+                            && campus.ports.kill_own_ghost(node, port, &spec.user).is_ok()
+                        {
+                            // Killed our own orphan; retry immediately. A
+                            // kill refusal (the binding changed under us)
+                            // falls through to the cleanup-cron wait below.
                             log(campus, format!("killed own ghost daemon on {node}:{port}"));
                             continue;
                         }
