@@ -6,15 +6,23 @@
 //! bench-snapshot --check BENCH_baseline.json  # compare against a committed baseline
 //! ```
 //!
-//! Runs two pinned workloads — seeded wordcount and total-order terasort —
-//! on a fixed 8-node cluster with a deliberately small sort buffer (so the
-//! spill path is exercised), and records three virtual-time/perf counters
-//! per workload: `wall_time_us` (simulated job duration), `spill_bytes`
-//! (map-side spill volume), `shuffle_bytes` (reduce fetch volume). All
-//! three are pure functions of the engine's cost model, so a committed
-//! baseline diff is a deterministic perf regression signal, not a noisy
-//! wall-clock one. `--check` fails (exit 1) on any metric regressing more
-//! than the 10% tolerance band; usage or I/O problems exit 2.
+//! Runs three pinned workloads and records a handful of virtual-time/perf
+//! counters for each:
+//!
+//! * **wordcount** / **terasort** — a fixed 8-node cluster with a
+//!   deliberately small sort buffer (so the spill path is exercised):
+//!   `wall_time_us` (simulated job duration), `spill_bytes` (map-side
+//!   spill volume), `shuffle_bytes` (reduce fetch volume);
+//! * **sched** — the contended Google-trace replay under the Fair
+//!   scheduler: `decisions` (assignment count), `wall_time_us`
+//!   (makespan), `mean_wait_us` / `p99_wait_us` (queue latency), and
+//!   `preemptions`.
+//!
+//! Every metric is a pure function of the engine's cost model, so a
+//! committed baseline diff is a deterministic perf regression signal, not
+//! a noisy wall-clock one. `--check` fails (exit 1) on any metric
+//! regressing more than the 10% tolerance band; usage or I/O problems
+//! exit 2.
 
 use std::process::ExitCode;
 
@@ -23,6 +31,7 @@ use hl_common::config::keys;
 use hl_common::prelude::*;
 use hl_datagen::CorpusGen;
 use hl_mapreduce::MrCluster;
+use hl_workloads::replay::{load_trace, replay, ReplayPolicy, ReplaySetup};
 use hl_workloads::terasort::{sample_cut_points, sorted_wordcount};
 use hl_workloads::wordcount::wordcount;
 
@@ -34,28 +43,31 @@ const WORDS: usize = 150_000;
 /// Regression tolerance: fail only past this many percent over baseline.
 const TOLERANCE_PCT: u64 = 10;
 
-/// One workload's perf counters, all derived from virtual time.
+/// One workload's perf counters, all derived from virtual time. The
+/// metric set is per-workload (engine jobs track spill/shuffle volume,
+/// the scheduler replay tracks wait latency), so it is a named list
+/// rather than a fixed struct.
 struct Snapshot {
     workload: &'static str,
-    wall_time_us: u64,
-    spill_bytes: u64,
-    shuffle_bytes: u64,
+    metrics: Vec<(&'static str, u64)>,
 }
 
 impl Snapshot {
     fn to_json(&self) -> String {
-        format!(
-            "{{\n  \"workload\": \"{}\",\n  \"wall_time_us\": {},\n  \"spill_bytes\": {},\n  \"shuffle_bytes\": {}\n}}\n",
-            self.workload, self.wall_time_us, self.spill_bytes, self.shuffle_bytes
-        )
+        let mut out = format!("{{\n  \"workload\": \"{}\"", self.workload);
+        for (name, value) in &self.metrics {
+            out.push_str(&format!(",\n  \"{name}\": {value}"));
+        }
+        out.push_str("\n}\n");
+        out
     }
 
-    fn metrics(&self) -> [(&'static str, u64); 3] {
-        [
-            ("wall_time_us", self.wall_time_us),
-            ("spill_bytes", self.spill_bytes),
-            ("shuffle_bytes", self.shuffle_bytes),
-        ]
+    fn render(&self) -> String {
+        let mut out = format!("{:<10}", self.workload);
+        for (name, value) in &self.metrics {
+            out.push_str(&format!(" {name}={value}"));
+        }
+        out
     }
 }
 
@@ -92,9 +104,33 @@ fn run_workload(workload: &'static str) -> Result<Snapshot> {
     let snap = cluster.metrics_snapshot();
     Ok(Snapshot {
         workload,
-        wall_time_us: report.elapsed().as_micros(),
-        spill_bytes: snap.counter("jobtracker", "spill.bytes"),
-        shuffle_bytes: snap.counter("jobtracker", "shuffle.bytes"),
+        metrics: vec![
+            ("wall_time_us", report.elapsed().as_micros()),
+            ("spill_bytes", snap.counter("jobtracker", "spill.bytes")),
+            ("shuffle_bytes", snap.counter("jobtracker", "shuffle.bytes")),
+        ],
+    })
+}
+
+/// The scheduler benchmark: the pinned contended Google-trace replay
+/// under the Fair policy — the setup where assignment decisions, waits,
+/// and preemptions all do real work.
+fn run_sched() -> Result<Snapshot> {
+    let (log, _) = hl_datagen::google_trace::GoogleTraceGen::new(SEED).with_jobs(600, 8).generate();
+    let jobs = load_trace(&log);
+    let out = replay(&jobs, ReplayPolicy::Fair, &ReplaySetup::contended());
+    if !out.violations.is_empty() {
+        return Err(HlError::Config(format!("sched replay violations: {:?}", out.violations)));
+    }
+    Ok(Snapshot {
+        workload: "sched",
+        metrics: vec![
+            ("decisions", out.decisions),
+            ("wall_time_us", out.makespan.0),
+            ("mean_wait_us", out.mean_wait.0),
+            ("p99_wait_us", out.p99_wait.0),
+            ("preemptions", out.policy_preemptions),
+        ],
     })
 }
 
@@ -124,7 +160,7 @@ fn extract(json: &str, workload: &str, metric: &str) -> Option<u64> {
 fn check(snapshots: &[Snapshot], baseline: &str) -> Vec<String> {
     let mut regressions = Vec::new();
     for s in snapshots {
-        for (metric, measured) in s.metrics() {
+        for &(metric, measured) in &s.metrics {
             let Some(base) = extract(baseline, s.workload, metric) else {
                 regressions.push(format!("{}/{metric}: missing from baseline", s.workload));
                 continue;
@@ -150,12 +186,12 @@ fn check(snapshots: &[Snapshot], baseline: &str) -> Vec<String> {
 fn combined_json(snapshots: &[Snapshot]) -> String {
     let mut out = String::from("{\n");
     for (i, s) in snapshots.iter().enumerate() {
+        let body: Vec<String> =
+            s.metrics.iter().map(|(name, value)| format!("\"{name}\": {value}")).collect();
         out.push_str(&format!(
-            "  \"{}\": {{ \"wall_time_us\": {}, \"spill_bytes\": {}, \"shuffle_bytes\": {} }}{}\n",
+            "  \"{}\": {{ {} }}{}\n",
             s.workload,
-            s.wall_time_us,
-            s.spill_bytes,
-            s.shuffle_bytes,
+            body.join(", "),
             if i + 1 < snapshots.len() { "," } else { "" }
         ));
     }
@@ -187,13 +223,11 @@ fn main() -> ExitCode {
     }
 
     let mut snapshots = Vec::new();
-    for workload in ["wordcount", "terasort"] {
-        match run_workload(workload) {
+    for workload in ["wordcount", "terasort", "sched"] {
+        let result = if workload == "sched" { run_sched() } else { run_workload(workload) };
+        match result {
             Ok(s) => {
-                println!(
-                    "{:<10} wall_time_us={} spill_bytes={} shuffle_bytes={}",
-                    s.workload, s.wall_time_us, s.spill_bytes, s.shuffle_bytes
-                );
+                println!("{}", s.render());
                 snapshots.push(s);
             }
             Err(e) => {

@@ -27,6 +27,14 @@
 //!    injected fault count, and the NameNode's restart counter matches
 //!    the NameNode restarts the plan caused — monotonic counters survive
 //!    daemon restarts exactly once, neither double- nor under-counted.
+//! 8. **scheduler-invariants** — under whichever policy the seed picked
+//!    (FIFO/Fair/Capacity), no job starves: every submission ends as a
+//!    completion or a (clean) failure; the JobTracker never accepts an
+//!    invalid assignment; every completed task traces back to a recorded
+//!    scheduler decision; and preemption accounting balances (preempted
+//!    = re-queued = re-run — identically zero in the single-tenant
+//!    engine; the replay driver exercises the non-zero case and the
+//!    per-queue quota bounds round by round).
 
 use std::collections::BTreeMap;
 
@@ -354,6 +362,67 @@ pub(crate) fn verify_metrics(r: &mut ChaosRunner) {
             "metrics",
             format!(
                 "namenode restarts counter reads {got}, plan restarted it {expected_nn_restarts} time(s)"
+            ),
+        );
+    }
+}
+
+/// Oracle 8: the pluggable scheduler kept its invariants under whichever
+/// policy this seed selected (`seed % 3` → FIFO/Fair/Capacity).
+pub(crate) fn verify_scheduler(r: &mut ChaosRunner) {
+    let snap = r.cluster.metrics_snapshot();
+
+    // No starvation: every job the plan submitted reached a terminal
+    // state — the scheduler never left one parked forever.
+    let submitted = snap.counter("jobtracker", "jobs.submitted");
+    let completed = snap.counter("jobtracker", "jobs.completed");
+    let failed = snap.counter("jobtracker", "jobs.failed");
+    if submitted != completed + failed {
+        r.violate(
+            "scheduler-invariants",
+            format!(
+                "starvation: {submitted} job(s) submitted but only {completed} completed + {failed} failed"
+            ),
+        );
+    }
+
+    // The engine validates every assignment against its slot table and
+    // pending set; a policy handing back an out-of-range slot/task would
+    // bump this counter before failing the job.
+    let invalid = snap.counter("jobtracker", "sched.invalid");
+    if invalid != 0 {
+        r.violate(
+            "scheduler-invariants",
+            format!("scheduler produced {invalid} invalid assignment(s)"),
+        );
+    }
+
+    // Slot accounting: every task that ran to completion was placed by a
+    // recorded scheduler decision (retries add decisions, so `>=`).
+    let hist_count = |name: &str| match snap.get("jobtracker", name) {
+        Some(hl_metrics::MetricValue::Histogram(h)) => h.count(),
+        _ => 0,
+    };
+    let decisions = snap.counter("jobtracker", "sched.decisions");
+    let tasks_done = hist_count("map.duration_ms") + hist_count("reduce.duration_ms");
+    if decisions < tasks_done {
+        r.violate(
+            "scheduler-invariants",
+            format!("{tasks_done} task(s) completed but only {decisions} scheduler decision(s) recorded"),
+        );
+    }
+
+    // Preemption accounting balances: every preempted attempt was
+    // re-queued and eventually re-run. The single-tenant engine keeps all
+    // three at zero; the replay driver exercises the non-zero case.
+    let preempted = snap.counter("jobtracker", "sched.preempted");
+    let requeued = snap.counter("jobtracker", "sched.requeued");
+    let rerun = snap.counter("jobtracker", "sched.rerun");
+    if preempted != requeued || requeued != rerun {
+        r.violate(
+            "scheduler-invariants",
+            format!(
+                "preemption accounting skewed: {preempted} preempted, {requeued} requeued, {rerun} rerun"
             ),
         );
     }

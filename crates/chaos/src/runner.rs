@@ -162,7 +162,18 @@ impl ChaosRunner {
         // Checkpoint every 32 edit-log ops so RestartNameNode drills load
         // an fsimage and replay a short tail, not the whole journal.
         config.set(keys::DFS_CHECKPOINT_OPS, 32u64);
+        // Fan the soak out across every scheduler policy. Single-tenant
+        // engine runs degenerate to the same assignments under all three,
+        // so job outcomes stay seed-stable while the policy code paths
+        // (and the scheduler-invariants oracle) still get exercised.
+        let policy = match seed % 3 {
+            0 => "fifo",
+            1 => "fair",
+            _ => "capacity",
+        };
+        config.set(keys::MAPRED_SCHEDULER, policy);
         let mut cluster = MrCluster::new(spec, config)?;
+        cluster.log.log(SimTime::ZERO, "chaos", format!("scheduler policy: {policy}"));
         // The client's read-failover jitter stream is per-run: same seed,
         // same backoff spread, byte-identical traces.
         cluster.dfs.set_client_seed(seed ^ 0x444643); // "DFC"
@@ -583,6 +594,7 @@ impl ChaosRunner {
         oracle::verify_ports(&mut self);
         oracle::verify_accounting(&mut self);
         oracle::verify_metrics(&mut self);
+        oracle::verify_scheduler(&mut self);
 
         // The replay fingerprint covers both event logs, the exact
         // corruption set, and the final metrics report — so a same-seed

@@ -52,6 +52,19 @@ pub mod keys {
     pub const MAPRED_MAX_TRACKER_FAILURES: &str = "mapred.max.tracker.failures";
     /// Per-job blacklistings before a TaskTracker is blacklisted globally.
     pub const MAPRED_MAX_TRACKER_BLACKLISTS: &str = "mapred.max.tracker.blacklists";
+    /// JobTracker scheduling policy: `fifo`, `fair`, or `capacity`
+    /// (mirrors swapping the `mapred.jobtracker.taskScheduler` class).
+    pub const MAPRED_SCHEDULER: &str = "mapred.jobtracker.scheduler";
+    /// Fair scheduler: seconds a pool may sit below its minimum share
+    /// before the scheduler preempts tasks from over-share pools.
+    pub const MAPRED_FAIR_PREEMPTION_TIMEOUT_SECS: &str = "mapred.fairscheduler.preemption.timeout";
+    /// Capacity scheduler: elastic ceiling for the default queue, in
+    /// percent of cluster slots (`maximum-capacity` in Hadoop's
+    /// capacity-scheduler.xml).
+    pub const MAPRED_CAPACITY_MAX_PCT: &str = "mapred.capacity.maximum-capacity";
+    /// Capacity scheduler: per-user share of one queue, in percent of the
+    /// queue's slots (`minimum-user-limit-percent`).
+    pub const MAPRED_CAPACITY_USER_LIMIT_PCT: &str = "mapred.capacity.user-limit-percent";
 }
 
 /// An ordered string key/value configuration with typed accessors.
@@ -86,6 +99,10 @@ impl Configuration {
         c.set(keys::DFS_CHECKPOINT_OPS, "10000");
         c.set(keys::MAPRED_MAX_TRACKER_FAILURES, "4");
         c.set(keys::MAPRED_MAX_TRACKER_BLACKLISTS, "3");
+        c.set(keys::MAPRED_SCHEDULER, "fifo");
+        c.set(keys::MAPRED_FAIR_PREEMPTION_TIMEOUT_SECS, "30");
+        c.set(keys::MAPRED_CAPACITY_MAX_PCT, "100");
+        c.set(keys::MAPRED_CAPACITY_USER_LIMIT_PCT, "100");
         c
     }
 

@@ -120,19 +120,46 @@ impl GoogleTraceGen {
 
 fn push_event(out: &mut String, ts: u64, job: u64, task: u32, machine: u32, ev: u8) {
     // timestamp,missing_info,job_id,task_index,machine_id,event_type,user,...
-    out.push_str(&format!("{ts},,{job},{task},{machine},{ev},user{},,,\n", job % 97));
+    // Job ids step by 137 and 137 is coprime to 131, so with ≥131 jobs
+    // every one of the 131 user names appears — the replay driver's
+    // "hundreds of users" comes straight from this field.
+    out.push_str(&format!("{ts},,{job},{task},{machine},{ev},user{},,,\n", job % 131));
 }
 
 /// Parse one event row into `(job_id, task_index, event_type)`.
 pub fn parse_event(line: &str) -> Option<(u64, u32, u8)> {
+    let ev = parse_event_full(line)?;
+    Some((ev.job, ev.task, ev.event))
+}
+
+/// One fully parsed task-event row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Trace timestamp, µs.
+    pub ts: u64,
+    /// Job id.
+    pub job: u64,
+    /// Task index within the job.
+    pub task: u32,
+    /// Machine the event refers to (0 when absent).
+    pub machine: u32,
+    /// Event type code (see [`event`]).
+    pub event: u8,
+    /// Submitting user name.
+    pub user: String,
+}
+
+/// Parse one event row completely (timestamp, machine, and user too).
+pub fn parse_event_full(line: &str) -> Option<TraceEvent> {
     let mut f = line.split(',');
-    let _ts = f.next()?;
+    let ts = f.next()?.parse().ok()?;
     let _missing = f.next()?;
     let job = f.next()?.parse().ok()?;
     let task = f.next()?.parse().ok()?;
-    let _machine = f.next()?;
-    let ev = f.next()?.parse().ok()?;
-    Some((job, task, ev))
+    let machine = f.next()?.parse().unwrap_or(0);
+    let event = f.next()?.parse().ok()?;
+    let user = f.next()?.to_string();
+    Some(TraceEvent { ts, job, task, machine, event, user })
 }
 
 #[cfg(test)]
@@ -191,5 +218,23 @@ mod tests {
         let a = GoogleTraceGen::new(6).generate().0;
         let b = GoogleTraceGen::new(6).generate().0;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_parse_recovers_every_field_and_users_span_131_names() {
+        let (log, _) = GoogleTraceGen::new(3).with_jobs(200, 5).generate();
+        let mut users = std::collections::BTreeSet::new();
+        let mut prev_ts = 0u64;
+        for line in log.lines() {
+            let ev = parse_event_full(line).unwrap();
+            assert!(ev.ts >= prev_ts, "timestamps are monotone");
+            prev_ts = ev.ts;
+            assert!(ev.user.starts_with("user"));
+            assert_eq!(ev.user, format!("user{}", ev.job % 131));
+            users.insert(ev.user);
+            // The narrow parse agrees with the full one.
+            assert_eq!(parse_event(line).unwrap(), (ev.job, ev.task, ev.event));
+        }
+        assert_eq!(users.len(), 131, "137-step job ids cover all 131 residues");
     }
 }

@@ -38,6 +38,9 @@ use crate::history::JobHistory;
 use crate::job::Job;
 use crate::merge::merge_groups;
 use crate::report::{JobReport, TaskKind, TaskSummary};
+use crate::scheduler::{
+    scheduler_from_config, JobView, Scheduler, SchedulerEnv, SlotState, UniformEnv,
+};
 use crate::sortbuf::{MapOutput, SortBuffer};
 use crate::split::{compute_splits, InputSplit, LineReader};
 
@@ -52,11 +55,9 @@ pub struct Tracker {
     pub reduce_slots: usize,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    node: NodeId,
-    free_at: SimTime,
-}
+// Slot bookkeeping is the scheduler's [`SlotState`]: where it is and when
+// it frees up. The engine owns the vec; the scheduler only reads it.
+type Slot = SlotState;
 
 /// The cluster: DFS + network + MapReduce daemons + virtual clock.
 pub struct MrCluster {
@@ -97,6 +98,8 @@ pub struct MrCluster {
     /// Instruments for the "jobtracker" daemon (job/task lifecycle,
     /// spill/shuffle/merge accounting, blacklist events).
     pub metrics: MetricsRegistry,
+    /// The pluggable task-assignment policy (`mapred.jobtracker.scheduler`).
+    scheduler: Box<dyn Scheduler>,
 }
 
 impl MrCluster {
@@ -110,6 +113,7 @@ impl MrCluster {
             config.get_u32(hl_common::config::keys::MAPRED_MAX_TRACKER_FAILURES, 4)?.max(1);
         let max_tracker_blacklists =
             config.get_u32(hl_common::config::keys::MAPRED_MAX_TRACKER_BLACKLISTS, 3)?.max(1);
+        let scheduler = scheduler_from_config(&config)?;
         let trackers = spec
             .topology
             .nodes()
@@ -143,7 +147,19 @@ impl MrCluster {
             history: JobHistory::default(),
             failed_jobs: 0,
             metrics: MetricsRegistry::new(),
+            scheduler,
         })
+    }
+
+    /// Swap the task-assignment policy (tests/experiments; normal callers
+    /// set `mapred.jobtracker.scheduler` in the config instead).
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn Scheduler>) {
+        self.scheduler = scheduler;
+    }
+
+    /// Name of the active scheduling policy.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
     }
 
     /// The course's 8-node dedicated cluster with default config.
@@ -422,8 +438,11 @@ impl MrCluster {
         if slots.is_empty() {
             return Err(HlError::DaemonDown("no live tasktrackers".into()));
         }
-        let mut pending: Vec<usize> = (0..splits.len()).collect();
+        let mut pending: Vec<u32> = (0..splits.len() as u32).collect();
         let mut outputs: Vec<Option<(NodeId, MapOutput, SimTime)>> = vec![None; splits.len()];
+        // The policy sees splits only through their locality distance.
+        let topo = self.net.topology().clone();
+        let env = MapSchedEnv { topo: &topo, splits: &splits, locality_aware: self.locality_aware };
 
         while !pending.is_empty() {
             if slots.is_empty() {
@@ -431,27 +450,41 @@ impl MrCluster {
                     "{job_id}: every tasktracker died mid-job"
                 )));
             }
-            // Earliest-free slot...
-            let si =
-                (0..slots.len()).min_by_key(|&i| (slots[i].free_at, slots[i].node.0)).unwrap_or(0); // non-empty: checked just above
-            let node = slots[si].node;
-            // ...picks its best pending split: locality first, then order.
-            let topo = self.net.topology().clone();
-            let locality_aware = self.locality_aware;
-            let pi = (0..pending.len())
-                .min_by_key(|&i| {
-                    let s = &splits[pending[i]];
-                    let dist = if locality_aware {
-                        topo.best_locality(node, &s.holders)
-                            .map(|l| l.distance())
-                            .unwrap_or(u32::MAX)
-                    } else {
-                        0 // FIFO: ignore locations entirely
-                    };
-                    (dist, pending[i])
-                })
-                .unwrap_or(0); // non-empty: loop condition
-            let split_idx = pending.swap_remove(pi);
+            // One heartbeat round: the policy matches the earliest-free
+            // slot with a task from the runnable job set (here: this job).
+            let view = JobView {
+                user: &job.conf.user,
+                pool: &job.conf.pool,
+                priority: job.conf.priority,
+                submitted_at,
+                pending: &pending,
+                running: &[],
+            };
+            let decision = self.scheduler.next_assignment(submitted_at, &slots, &[view], &env);
+            let assignment = match decision {
+                Some(a) if a.job == 0 && a.slot < slots.len() && pending.contains(&a.task) => a,
+                Some(_) => {
+                    self.metrics.incr("jobtracker", "sched.invalid", 1);
+                    return Err(HlError::JobFailed(format!(
+                        "{job_id}: scheduler {} returned an invalid map assignment",
+                        self.scheduler.name()
+                    )));
+                }
+                None => {
+                    self.metrics.incr("jobtracker", "sched.invalid", 1);
+                    return Err(HlError::JobFailed(format!(
+                        "{job_id}: scheduler {} stalled with {} pending map task(s)",
+                        self.scheduler.name(),
+                        pending.len()
+                    )));
+                }
+            };
+            self.metrics.incr("jobtracker", "sched.decisions", 1);
+            let si = assignment.slot;
+            let split_idx = assignment.task as usize;
+            if let Some(pi) = pending.iter().position(|&t| t == assignment.task) {
+                pending.swap_remove(pi);
+            }
             let split = splits[split_idx].clone();
 
             let mut attempts = 0u32;
@@ -600,10 +633,50 @@ impl MrCluster {
         let mut output_files = Vec::new();
         let mut finished_at = maps_done;
 
-        for r in 0..num_reduces {
-            let mut si = (0..reduce_slots.len())
-                .min_by_key(|&i| (reduce_slots[i].free_at, reduce_slots[i].node.0))
-                .unwrap_or(0); // non-empty: checked just above
+        let mut pending_reduces: Vec<u32> = (0..num_reduces as u32).collect();
+        while !pending_reduces.is_empty() {
+            // Reduces are locality-blind (their input is everywhere); the
+            // policy still picks the slot and the next task.
+            let view = JobView {
+                user: &job.conf.user,
+                pool: &job.conf.pool,
+                priority: job.conf.priority,
+                submitted_at,
+                pending: &pending_reduces,
+                running: &[],
+            };
+            let decision =
+                self.scheduler.next_assignment(maps_done, &reduce_slots, &[view], &UniformEnv);
+            let assignment = match decision {
+                Some(a)
+                    if a.job == 0
+                        && a.slot < reduce_slots.len()
+                        && pending_reduces.contains(&a.task) =>
+                {
+                    a
+                }
+                Some(_) => {
+                    self.metrics.incr("jobtracker", "sched.invalid", 1);
+                    return Err(HlError::JobFailed(format!(
+                        "{job_id}: scheduler {} returned an invalid reduce assignment",
+                        self.scheduler.name()
+                    )));
+                }
+                None => {
+                    self.metrics.incr("jobtracker", "sched.invalid", 1);
+                    return Err(HlError::JobFailed(format!(
+                        "{job_id}: scheduler {} stalled with {} pending reduce task(s)",
+                        self.scheduler.name(),
+                        pending_reduces.len()
+                    )));
+                }
+            };
+            self.metrics.incr("jobtracker", "sched.decisions", 1);
+            let r = assignment.task as usize;
+            if let Some(pi) = pending_reduces.iter().position(|&t| t == assignment.task) {
+                pending_reduces.swap_remove(pi);
+            }
+            let mut si = assignment.slot;
             let mut attempts = 0u32;
             loop {
                 attempts += 1;
@@ -975,6 +1048,28 @@ impl MrCluster {
         }
         self.now = t;
         Ok(text)
+    }
+}
+
+/// How the map phase answers the scheduler's placement questions: a map
+/// task's distance is its split's best replica locality from the node
+/// (node-local 0 < rack-local < off-rack), or 0 everywhere when the
+/// locality-ablation arm is on.
+struct MapSchedEnv<'a> {
+    topo: &'a hl_common::topology::Topology,
+    splits: &'a [InputSplit],
+    locality_aware: bool,
+}
+
+impl SchedulerEnv for MapSchedEnv<'_> {
+    fn distance(&self, node: NodeId, _job: usize, task: u32) -> u32 {
+        if !self.locality_aware {
+            return 0; // FIFO ablation: ignore locations entirely
+        }
+        let Some(s) = self.splits.get(task as usize) else {
+            return u32::MAX;
+        };
+        self.topo.best_locality(node, &s.holders).map(|l| l.distance()).unwrap_or(u32::MAX)
     }
 }
 

@@ -46,6 +46,13 @@ pub struct JobConf {
     pub leaks_memory: bool,
     /// Fault injection: the first `n` attempts of every task fail.
     pub fail_first_attempts: u32,
+    /// Submitting user (multi-tenant scheduling identity).
+    pub user: String,
+    /// Fair-scheduler pool / Capacity-scheduler queue this job bills to.
+    pub pool: String,
+    /// Scheduling priority; larger runs earlier within a policy's
+    /// tie-breaks (Hadoop's `mapred.job.priority`).
+    pub priority: u32,
 }
 
 impl JobConf {
@@ -68,6 +75,9 @@ impl JobConf {
             task_startup: SimDuration::from_secs(1),
             leaks_memory: false,
             fail_first_attempts: 0,
+            user: "student".to_string(),
+            pool: "default".to_string(),
+            priority: 0,
         }
     }
 
@@ -131,6 +141,24 @@ impl JobConf {
     /// Make the first `n` attempts of every task fail (fault injection).
     pub fn fail_first_attempts(mut self, n: u32) -> Self {
         self.fail_first_attempts = n;
+        self
+    }
+
+    /// Set the submitting user.
+    pub fn user(mut self, name: impl Into<String>) -> Self {
+        self.user = name.into();
+        self
+    }
+
+    /// Set the scheduler pool / queue.
+    pub fn pool(mut self, name: impl Into<String>) -> Self {
+        self.pool = name.into();
+        self
+    }
+
+    /// Set the scheduling priority (larger runs earlier).
+    pub fn priority(mut self, p: u32) -> Self {
+        self.priority = p;
         self
     }
 
@@ -281,6 +309,16 @@ mod tests {
         let mut bad = Configuration::new();
         bad.set(keys::MAPRED_REDUCE_TASKS, "lots");
         assert!(JobConf::from_configuration("wc", &bad).is_err());
+    }
+
+    #[test]
+    fn tenant_identity_builders() {
+        let conf = JobConf::new("t").user("alice").pool("research").priority(2);
+        assert_eq!(conf.user, "alice");
+        assert_eq!(conf.pool, "research");
+        assert_eq!(conf.priority, 2);
+        let d = JobConf::new("d");
+        assert_eq!((d.user.as_str(), d.pool.as_str(), d.priority), ("student", "default", 0));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`engine`] — `MrCluster`: TaskTracker slots, locality-aware
 //!   JobTracker scheduling, the shuffle, speculative execution, task
 //!   retries, and virtual-time accounting;
+//! * [`scheduler`] — the pluggable `Scheduler` trait with FIFO, Fair,
+//!   and Capacity policies (Hadoop's multi-tenant evolution);
 //! * [`local`] — the `LocalJobRunner` (assignment 1's "serial Java
 //!   commands without any HDFS support"), with an optional rayon-parallel
 //!   mode;
@@ -36,6 +38,7 @@ pub mod job;
 pub mod local;
 pub mod merge;
 pub mod report;
+pub mod scheduler;
 pub mod sortbuf;
 pub mod split;
 
@@ -43,3 +46,7 @@ pub use api::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
 pub use engine::MrCluster;
 pub use job::{Job, JobConf};
 pub use report::JobReport;
+pub use scheduler::{
+    scheduler_from_config, Assignment, CapacityScheduler, FairScheduler, FifoScheduler, JobView,
+    PoolSpec, Preemption, QueueSpec, Scheduler, SchedulerEnv, SlotState, UniformEnv,
+};

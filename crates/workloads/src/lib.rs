@@ -21,6 +21,9 @@
 //!   resubmissions;
 //! * [`terasort`] — total-order sort via a range partitioner (the
 //!   advanced-lecture optimization beyond combiners);
+//! * [`replay`] — the Google trace replayed as a live multi-tenant
+//!   arrival process through the pluggable `Scheduler` policies, with
+//!   inline starvation/quota/preemption oracles (`sched-replay` bin);
 //! * [`types`] — the custom `Writable` value classes the assignments
 //!   require students to implement.
 //!
@@ -34,6 +37,7 @@ pub mod airline;
 pub mod cooccurrence;
 pub mod google;
 pub mod movielens;
+pub mod replay;
 pub mod terasort;
 pub mod types;
 pub mod wordcount;

@@ -1,0 +1,736 @@
+//! Google-trace replay: the clusterdata-2011 rows as a *live* multi-tenant
+//! arrival process, not just a wordcount corpus.
+//!
+//! [`GoogleTraceGen`](hl_datagen::google_trace::GoogleTraceGen) writes
+//! hundreds of jobs from 131 distinct users with staggered submit times,
+//! per-attempt durations, and EVICT/FAIL/KILL/LOST terminals — everything
+//! a scheduler shoot-out needs. This module parses those rows into
+//! [`ReplayJob`]s and drives them through any
+//! [`Scheduler`](hl_mapreduce::scheduler::Scheduler) policy on a virtual
+//! slot farm:
+//!
+//! * arrivals admit jobs at their (normalized) trace submit time;
+//! * each task attempt runs for its trace duration (scaled for
+//!   contention studies); a non-FINISH terminal re-queues the task and
+//!   consumes the attempt — the trace's resubmission semantics, EVICT
+//!   included, finally exercised;
+//! * Fair-scheduler min-share preemptions stop a running task *without*
+//!   consuming its attempt: the same attempt later re-runs in full;
+//! * three inline oracles run as the simulation goes: **no starvation**
+//!   (every job completes or the run flags a stall), **quota
+//!   conservation** (per-queue running counts never exceed the
+//!   configured elastic bounds), and **preemption accounting**
+//!   (preempted = re-queued = re-run, reconciled against the metrics
+//!   registry).
+//!
+//! Everything is virtual-time deterministic: the assignment log and the
+//! metrics snapshot hash to stable FNV-1a values per (trace, policy).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hl_common::prelude::*;
+use hl_datagen::google_trace::{event, parse_event_full};
+use hl_mapreduce::scheduler::{
+    CapacityScheduler, FairScheduler, FifoScheduler, JobView, Preemption, QueueSpec, Scheduler,
+    SlotState, UniformEnv,
+};
+use hl_metrics::MetricsRegistry;
+
+/// Number of scheduler pools the replay spreads users across.
+pub const NUM_POOLS: u64 = 8;
+
+/// One task attempt: how long it ran in the trace and how it ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attempt {
+    /// SCHEDULE → terminal-event span from the trace.
+    pub duration: SimDuration,
+    /// Terminal event code ([`event`]): FINISH completes the task,
+    /// anything else re-queues it.
+    pub outcome: u8,
+}
+
+/// One task: the fixed attempt script the trace recorded for it.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayTask {
+    /// Attempts in trace order; the last one always FINISHes.
+    pub attempts: Vec<Attempt>,
+}
+
+/// One job reconstructed from the trace.
+#[derive(Debug, Clone)]
+pub struct ReplayJob {
+    /// Trace job id.
+    pub job_id: u64,
+    /// Submitting user (from the trace's user column).
+    pub user: String,
+    /// Pool/queue this job bills to (users hash onto [`NUM_POOLS`] pools).
+    pub pool: String,
+    /// Scheduling priority (derived from the job id; stable).
+    pub priority: u32,
+    /// Submission time, normalized so the first job arrives at zero.
+    pub arrival: SimTime,
+    /// The job's tasks.
+    pub tasks: Vec<ReplayTask>,
+}
+
+/// Parse a generated trace into replayable jobs, arrival-ordered.
+///
+/// Rows that don't parse are skipped (the generator never writes any);
+/// a task whose script somehow lacks a FINISH gets one appended so the
+/// replay always terminates.
+pub fn load_trace(log: &str) -> Vec<ReplayJob> {
+    struct Raw {
+        first_submit: u64,
+        user: String,
+        // task → (pending schedule ts, attempts)
+        tasks: BTreeMap<u32, (Option<u64>, Vec<Attempt>)>,
+    }
+    let mut raw: BTreeMap<u64, Raw> = BTreeMap::new();
+    for line in log.lines() {
+        let Some(ev) = parse_event_full(line) else { continue };
+        let entry = raw.entry(ev.job).or_insert_with(|| Raw {
+            first_submit: ev.ts,
+            user: ev.user.clone(),
+            tasks: BTreeMap::new(),
+        });
+        entry.first_submit = entry.first_submit.min(ev.ts);
+        let task = entry.tasks.entry(ev.task).or_insert((None, Vec::new()));
+        match ev.event {
+            event::SCHEDULE => task.0 = Some(ev.ts),
+            event::EVICT | event::FAIL | event::FINISH | event::KILL | event::LOST => {
+                if let Some(scheduled) = task.0.take() {
+                    task.1.push(Attempt {
+                        duration: SimDuration(ev.ts.saturating_sub(scheduled).max(1)),
+                        outcome: ev.event,
+                    });
+                }
+            }
+            _ => {} // SUBMITs only mark arrival
+        }
+    }
+    let t0 = raw.values().map(|r| r.first_submit).min().unwrap_or(0);
+    raw.into_iter()
+        .map(|(job_id, r)| {
+            let user_num: u64 = r.user.trim_start_matches("user").parse().unwrap_or(0);
+            let tasks = r
+                .tasks
+                .into_values()
+                .map(|(_, mut attempts)| {
+                    if attempts.last().map(|a| a.outcome) != Some(event::FINISH) {
+                        attempts.push(Attempt { duration: SimDuration(1), outcome: event::FINISH });
+                    }
+                    ReplayTask { attempts }
+                })
+                .collect();
+            ReplayJob {
+                job_id,
+                pool: format!("pool-{}", user_num % NUM_POOLS),
+                user: r.user,
+                priority: (job_id % 3) as u32,
+                arrival: SimTime(r.first_submit - t0),
+                tasks,
+            }
+        })
+        .collect()
+}
+
+/// Which policy drives the replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayPolicy {
+    /// Single-queue FIFO (the original engine behavior).
+    Fifo,
+    /// Weighted fair sharing over the 8 pools with min-share preemption.
+    Fair,
+    /// Hierarchical capacity queues (batch/adhoc parents over the pools).
+    Capacity,
+}
+
+impl ReplayPolicy {
+    /// Config-value / trace-label name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplayPolicy::Fifo => "fifo",
+            ReplayPolicy::Fair => "fair",
+            ReplayPolicy::Capacity => "capacity",
+        }
+    }
+
+    /// Parse a `--policy` argument.
+    pub fn parse(s: &str) -> Option<ReplayPolicy> {
+        match s {
+            "fifo" => Some(ReplayPolicy::Fifo),
+            "fair" => Some(ReplayPolicy::Fair),
+            "capacity" => Some(ReplayPolicy::Capacity),
+            _ => None,
+        }
+    }
+}
+
+/// Cluster shape and contention knobs for a replay run.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplaySetup {
+    /// TaskTracker nodes.
+    pub nodes: u32,
+    /// Slots per node.
+    pub slots_per_node: u32,
+    /// Multiply every attempt duration (contention dial).
+    pub duration_scale: u64,
+    /// Divide every arrival gap (contention dial).
+    pub arrival_div: u64,
+    /// Fair-scheduler min-share preemption timeout.
+    pub fair_timeout: SimDuration,
+}
+
+impl Default for ReplaySetup {
+    fn default() -> Self {
+        ReplaySetup {
+            nodes: 5,
+            slots_per_node: 2,
+            duration_scale: 1,
+            arrival_div: 1,
+            fair_timeout: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl ReplaySetup {
+    /// A deliberately over-subscribed setup: long tasks, compressed
+    /// arrivals, a preemption timeout short enough to actually fire.
+    pub fn contended() -> Self {
+        ReplaySetup {
+            duration_scale: 8,
+            arrival_div: 32,
+            fair_timeout: SimDuration::from_secs(1),
+            ..ReplaySetup::default()
+        }
+    }
+
+    fn total_slots(&self) -> usize {
+        (self.nodes as usize) * (self.slots_per_node as usize)
+    }
+}
+
+/// Hard per-pool running-slot ceilings the quota oracle enforces, plus
+/// parent aggregates for the hierarchical Capacity case.
+struct QuotaBounds {
+    /// pool → max concurrently running tasks.
+    leaf: BTreeMap<String, u64>,
+    /// (parent name, member pools, max running) aggregates.
+    parents: Vec<(String, Vec<String>, u64)>,
+}
+
+/// Build the policy's scheduler plus the quota bounds the oracle checks.
+fn build_policy(policy: ReplayPolicy, setup: &ReplaySetup) -> (Box<dyn Scheduler>, QuotaBounds) {
+    let total = setup.total_slots() as u64;
+    let all_pools: Vec<String> = (0..NUM_POOLS).map(|p| format!("pool-{p}")).collect();
+    match policy {
+        ReplayPolicy::Fifo => {
+            let leaf = all_pools.iter().map(|p| (p.clone(), total)).collect();
+            (Box::new(FifoScheduler), QuotaBounds { leaf, parents: Vec::new() })
+        }
+        ReplayPolicy::Fair => {
+            // Varied weights; one guaranteed slot per pool so min-share
+            // preemption has a share to enforce. Fair sharing is not a
+            // hard cap, so the quota bound is the whole cluster.
+            let mut s = FairScheduler::new(setup.fair_timeout);
+            for (i, p) in all_pools.iter().enumerate() {
+                s = s.pool(p.clone(), (i as u64 % 3) + 1, 1);
+            }
+            let leaf = all_pools.iter().map(|p| (p.clone(), total)).collect();
+            (Box::new(s), QuotaBounds { leaf, parents: Vec::new() })
+        }
+        ReplayPolicy::Capacity => {
+            // batch (even pools): guaranteed half, elastic to 80%;
+            // adhoc (odd pools): guaranteed half, elastic to all of it.
+            let mut s = CapacityScheduler::new()
+                .queue(
+                    "batch",
+                    QueueSpec {
+                        capacity_pct: 50,
+                        max_capacity_pct: 80,
+                        user_limit_pct: 100,
+                        parent: None,
+                    },
+                )
+                .queue(
+                    "adhoc",
+                    QueueSpec {
+                        capacity_pct: 50,
+                        max_capacity_pct: 100,
+                        user_limit_pct: 100,
+                        parent: None,
+                    },
+                );
+            let mut leaf = BTreeMap::new();
+            let mut batch_members = Vec::new();
+            let mut adhoc_members = Vec::new();
+            for (i, p) in all_pools.iter().enumerate() {
+                let parent = if i % 2 == 0 { "batch" } else { "adhoc" };
+                s = s.queue(
+                    p.clone(),
+                    QueueSpec {
+                        capacity_pct: 25,
+                        max_capacity_pct: 100,
+                        user_limit_pct: 50,
+                        parent: Some(parent.to_string()),
+                    },
+                );
+                // Leaf ceiling = its own 100% of the parent's elastic max.
+                let max_pct = if i % 2 == 0 { 80 } else { 100 };
+                leaf.insert(p.clone(), (total * max_pct / 100).max(1));
+                if i % 2 == 0 {
+                    batch_members.push(p.clone());
+                } else {
+                    adhoc_members.push(p.clone());
+                }
+            }
+            let parents = vec![
+                ("batch".to_string(), batch_members, (total * 80 / 100).max(1)),
+                ("adhoc".to_string(), adhoc_members, total),
+            ];
+            (Box::new(s), QuotaBounds { leaf, parents })
+        }
+    }
+}
+
+/// Everything a replay run produces: fairness/wait statistics, the
+/// assignment log and its hash, the metrics snapshot hash, per-job
+/// resubmission counts, and any oracle violations.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Policy that ran.
+    pub policy: &'static str,
+    /// Jobs replayed.
+    pub jobs: usize,
+    /// Distinct users seen.
+    pub users: usize,
+    /// Virtual makespan (last completion).
+    pub makespan: SimDuration,
+    /// Mean job wait (arrival → first assignment).
+    pub mean_wait: SimDuration,
+    /// 99th-percentile job wait.
+    pub p99_wait: SimDuration,
+    /// Scheduler decisions taken.
+    pub decisions: u64,
+    /// Policy (min-share) preemptions.
+    pub policy_preemptions: u64,
+    /// Trace-driven re-queues per job (EVICT/FAIL/KILL/LOST terminals) —
+    /// equals the generator's `TraceTruth::resubmissions` exactly.
+    pub trace_requeues_by_job: BTreeMap<u64, u64>,
+    /// The EVICT-only subset (the trace's preemption flavor).
+    pub evict_requeues_by_job: BTreeMap<u64, u64>,
+    /// Busy µs charged per pool (fairness accounting).
+    pub pool_busy_us: BTreeMap<String, u64>,
+    /// One line per scheduling action, FNV-1a-hashable.
+    pub assignment_log: String,
+    /// FNV-1a of the assignment log.
+    pub assignment_hash: u64,
+    /// FNV-1a of the serialized end-of-run metrics snapshot.
+    pub metrics_hash: u64,
+    /// Oracle violations (empty on a clean run).
+    pub violations: Vec<String>,
+}
+
+impl ReplayOutcome {
+    /// `(job, requeues)` with the most trace-driven re-queues, tie-broken
+    /// exactly like `TraceTruth::worst_job`.
+    pub fn worst_replayed_job(&self) -> Option<(u64, u64)> {
+        self.trace_requeues_by_job
+            .iter()
+            .map(|(&j, &n)| (j, n))
+            .max_by_key(|&(j, n)| (n, std::cmp::Reverse(j)))
+    }
+}
+
+struct Running {
+    slot: usize,
+    started: SimTime,
+    finish: SimTime,
+}
+
+struct JobState {
+    pending: Vec<u32>,
+    running: Vec<u32>,
+    next_attempt: BTreeMap<u32, usize>,
+    first_assigned: Option<SimTime>,
+    done: usize,
+}
+
+/// Replay `jobs` under `policy` on `setup`'s slot farm. Deterministic:
+/// same inputs, byte-identical [`ReplayOutcome::assignment_log`].
+pub fn replay(jobs: &[ReplayJob], policy: ReplayPolicy, setup: &ReplaySetup) -> ReplayOutcome {
+    let (mut scheduler, bounds) = build_policy(policy, setup);
+    let total_slots = setup.total_slots();
+    let mut metrics = MetricsRegistry::new();
+    let mut violations: Vec<String> = Vec::new();
+    let mut log = String::new();
+
+    // Arrival order: (scaled arrival, job index).
+    let arrival_of = |j: &ReplayJob| SimTime(j.arrival.0 / setup.arrival_div.max(1));
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (arrival_of(&jobs[i]), i));
+    let mut next_arrival = 0usize;
+
+    let mut states: Vec<JobState> = jobs
+        .iter()
+        .map(|j| JobState {
+            pending: (0..j.tasks.len() as u32).collect(),
+            running: Vec::new(),
+            next_attempt: BTreeMap::new(),
+            first_assigned: None,
+            done: 0,
+        })
+        .collect();
+    let mut active: Vec<usize> = Vec::new(); // arrived, incomplete; admission order
+    let mut slot_free: Vec<SimTime> = vec![SimTime::ZERO; total_slots];
+    let mut running: BTreeMap<(usize, u32), Running> = BTreeMap::new();
+    // Policy-preempted (job, task) pairs owed a re-run.
+    let mut owed_rerun: BTreeSet<(usize, u32)> = BTreeSet::new();
+    let mut trace_requeues: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut evict_requeues: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut pool_busy: BTreeMap<String, u64> = BTreeMap::new();
+    let mut waits: Vec<SimDuration> = Vec::new();
+    let mut decisions = 0u64;
+    let mut preempted = 0u64;
+    let mut requeued = 0u64;
+    let mut rerun = 0u64;
+    let mut now = SimTime::ZERO;
+    let mut makespan = SimTime::ZERO;
+    let mut completed = 0usize;
+    let mut rounds = 0u64;
+    // Generous backstop: a correct run takes ~2 rounds per attempt.
+    let max_rounds: u64 = 20_000
+        + 8 * jobs
+            .iter()
+            .map(|j| j.tasks.iter().map(|t| t.attempts.len() as u64).sum::<u64>())
+            .sum::<u64>();
+
+    while completed < jobs.len() {
+        rounds += 1;
+        if rounds > max_rounds {
+            violations.push(format!(
+                "starvation: {} of {} jobs incomplete after {rounds} rounds (policy {})",
+                jobs.len() - completed,
+                jobs.len(),
+                policy.name()
+            ));
+            break;
+        }
+
+        // 1. Admit arrivals.
+        while next_arrival < order.len() && arrival_of(&jobs[order[next_arrival]]) <= now {
+            active.push(order[next_arrival]);
+            next_arrival += 1;
+        }
+
+        // 2. Retire finished attempts.
+        let due: Vec<(usize, u32)> =
+            running.iter().filter(|(_, r)| r.finish <= now).map(|(&k, _)| k).collect();
+        for (j, task) in due {
+            let Some(r) = running.remove(&(j, task)) else { continue };
+            slot_free[r.slot] = now;
+            let st = &mut states[j];
+            st.running.retain(|&t| t != task);
+            *pool_busy.entry(jobs[j].pool.clone()).or_default() += r.finish.since(r.started).0;
+            let ai = st.next_attempt.get(&task).copied().unwrap_or(0);
+            let outcome = jobs[j].tasks[task as usize].attempts.get(ai).map(|a| a.outcome);
+            if outcome == Some(event::FINISH) || outcome.is_none() {
+                st.done += 1;
+                if st.done == jobs[j].tasks.len() {
+                    completed += 1;
+                    makespan = makespan.max(now);
+                    active.retain(|&a| a != j);
+                    log.push_str(&format!("t={} job={} done\n", now.0, jobs[j].job_id));
+                }
+            } else {
+                // Trace terminal: EVICT/FAIL/KILL/LOST → resubmission.
+                st.next_attempt.insert(task, ai + 1);
+                st.pending.push(task);
+                *trace_requeues.entry(jobs[j].job_id).or_default() += 1;
+                metrics.incr("scheduler", "trace.requeued", 1);
+                if outcome == Some(event::EVICT) {
+                    *evict_requeues.entry(jobs[j].job_id).or_default() += 1;
+                    metrics.incr("scheduler", "trace.evicted", 1);
+                }
+                log.push_str(&format!(
+                    "t={} job={} task={task} requeue ev={}\n",
+                    now.0,
+                    jobs[j].job_id,
+                    outcome.unwrap_or(0)
+                ));
+            }
+        }
+
+        // Views: every arrived, incomplete job, in admission order.
+        // (Closure-free so the borrows stay simple.)
+        macro_rules! views {
+            () => {{
+                active
+                    .iter()
+                    .map(|&j| JobView {
+                        user: &jobs[j].user,
+                        pool: &jobs[j].pool,
+                        priority: jobs[j].priority,
+                        submitted_at: arrival_of(&jobs[j]),
+                        pending: &states[j].pending,
+                        running: &states[j].running,
+                    })
+                    .collect::<Vec<JobView>>()
+            }};
+        }
+
+        // 3. Policy preemptions (Fair min-share enforcement).
+        let planned = {
+            let the_views = views!();
+            scheduler.preemptions(now, total_slots, &the_views)
+        };
+        for Preemption { job, task } in planned {
+            let Some(&j) = active.get(job) else {
+                violations.push(format!("preemption names unknown job index {job}"));
+                continue;
+            };
+            let Some(r) = running.remove(&(j, task)) else {
+                violations.push(format!(
+                    "preemption names non-running task {task} of job {}",
+                    jobs[j].job_id
+                ));
+                continue;
+            };
+            slot_free[r.slot] = now;
+            let st = &mut states[j];
+            st.running.retain(|&t| t != task);
+            st.pending.push(task);
+            *pool_busy.entry(jobs[j].pool.clone()).or_default() += now.since(r.started).0;
+            owed_rerun.insert((j, task));
+            preempted += 1;
+            requeued += 1;
+            metrics.incr("scheduler", "preempted", 1);
+            metrics.incr("scheduler", "requeued", 1);
+            log.push_str(&format!("t={} job={} task={task} preempted\n", now.0, jobs[j].job_id));
+        }
+
+        // 4. Assign free slots until the policy declines.
+        loop {
+            let free: Vec<usize> = (0..total_slots).filter(|&s| slot_free[s] <= now).collect();
+            if free.is_empty() {
+                break;
+            }
+            let free_states: Vec<SlotState> = free
+                .iter()
+                .map(|&s| SlotState {
+                    node: NodeId(s as u32 / setup.slots_per_node.max(1)),
+                    free_at: now,
+                })
+                .collect();
+            let the_views = views!();
+            let Some(a) = scheduler.next_assignment(now, &free_states, &the_views, &UniformEnv)
+            else {
+                break;
+            };
+            drop(the_views);
+            let (Some(&slot), Some(&j)) = (free.get(a.slot), active.get(a.job)) else {
+                violations.push(format!("invalid assignment {a:?}"));
+                metrics.incr("scheduler", "invalid", 1);
+                break;
+            };
+            let st = &mut states[j];
+            let Some(pi) = st.pending.iter().position(|&t| t == a.task) else {
+                violations.push(format!(
+                    "assignment names non-pending task {} of job {}",
+                    a.task, jobs[j].job_id
+                ));
+                metrics.incr("scheduler", "invalid", 1);
+                break;
+            };
+            st.pending.swap_remove(pi);
+            st.running.push(a.task);
+            st.running.sort_unstable();
+            let ai = st.next_attempt.get(&a.task).copied().unwrap_or(0);
+            let dur = jobs[j].tasks[a.task as usize]
+                .attempts
+                .get(ai)
+                .map(|at| SimDuration(at.duration.0 * setup.duration_scale.max(1)))
+                .unwrap_or(SimDuration(1));
+            slot_free[slot] = now + dur;
+            running.insert((j, a.task), Running { slot, started: now, finish: now + dur });
+            if st.first_assigned.is_none() {
+                st.first_assigned = Some(now);
+                let wait = now.since(arrival_of(&jobs[j]));
+                waits.push(wait);
+                metrics.observe("scheduler", "job.wait_ms", wait.0 / 1000);
+                metrics.observe(
+                    "scheduler",
+                    &format!("pool.{}.wait_ms", jobs[j].pool),
+                    wait.0 / 1000,
+                );
+            }
+            if owed_rerun.remove(&(j, a.task)) {
+                rerun += 1;
+                metrics.incr("scheduler", "rerun", 1);
+            }
+            decisions += 1;
+            metrics.incr("scheduler", "decisions", 1);
+            metrics.incr("scheduler", &format!("user.{}.tasks", jobs[j].user), 1);
+            log.push_str(&format!(
+                "t={} job={} task={} slot={slot}\n",
+                now.0, jobs[j].job_id, a.task
+            ));
+        }
+
+        // 5. Quota conservation oracle.
+        let mut per_pool: BTreeMap<&str, u64> = BTreeMap::new();
+        for &j in &active {
+            *per_pool.entry(jobs[j].pool.as_str()).or_default() += states[j].running.len() as u64;
+        }
+        for (pool, &used) in &per_pool {
+            if let Some(&cap) = bounds.leaf.get(*pool) {
+                if used > cap {
+                    violations.push(format!(
+                        "quota: pool {pool} runs {used} > bound {cap} at t={}",
+                        now.0
+                    ));
+                }
+            }
+        }
+        for (parent, members, cap) in &bounds.parents {
+            let used: u64 =
+                members.iter().map(|m| per_pool.get(m.as_str()).copied().unwrap_or(0)).sum();
+            if used > *cap {
+                violations.push(format!(
+                    "quota: queue {parent} runs {used} > bound {cap} at t={}",
+                    now.0
+                ));
+            }
+        }
+
+        // 6. Advance the clock to the next event.
+        let next_finish = running.values().map(|r| r.finish).min();
+        let next_arr = order.get(next_arrival).map(|&i| arrival_of(&jobs[i]));
+        match (next_finish, next_arr) {
+            (Some(f), Some(ar)) => now = f.min(ar),
+            (Some(f), None) => now = f,
+            (None, Some(ar)) => {
+                // Nothing running: if pending work exists the policy
+                // refused every free slot — that's starvation, unless a
+                // future arrival will change the job set.
+                if active.iter().any(|&j| !states[j].pending.is_empty()) && ar <= now {
+                    violations
+                        .push(format!("starvation: pending work but no assignment at t={}", now.0));
+                    break;
+                }
+                now = now.max(ar);
+            }
+            (None, None) => {
+                if completed < jobs.len() {
+                    violations.push(format!(
+                        "starvation: {} job(s) stuck with no runnable work at t={}",
+                        jobs.len() - completed,
+                        now.0
+                    ));
+                }
+                break;
+            }
+        }
+    }
+
+    // Preemption accounting oracle: the three counts must agree with
+    // each other and with the registry.
+    if !(preempted == requeued && requeued == rerun) {
+        violations.push(format!(
+            "preemption accounting: preempted={preempted} requeued={requeued} rerun={rerun}"
+        ));
+    }
+    for (name, local) in [
+        ("preempted", preempted),
+        ("requeued", requeued),
+        ("rerun", rerun),
+        ("decisions", decisions),
+    ] {
+        let metered = metrics.counter("scheduler", name);
+        if metered != local {
+            violations.push(format!("metrics drift: {name} metered {metered} != {local}"));
+        }
+    }
+
+    let mut sorted_waits = waits.clone();
+    sorted_waits.sort_unstable();
+    let mean_wait = if waits.is_empty() {
+        SimDuration::ZERO
+    } else {
+        SimDuration(waits.iter().map(|w| w.0).sum::<u64>() / waits.len() as u64)
+    };
+    let p99_wait = sorted_waits
+        .get(sorted_waits.len().saturating_sub(1) * 99 / 100)
+        .copied()
+        .unwrap_or(SimDuration::ZERO);
+
+    for (pool, busy) in &pool_busy {
+        metrics.incr("scheduler", &format!("pool.{pool}.busy_us"), *busy);
+    }
+    let users: BTreeSet<&str> = jobs.iter().map(|j| j.user.as_str()).collect();
+    use hl_common::writable::Writable;
+    let metrics_hash = fnv1a(&metrics.snapshot(now).to_bytes());
+
+    ReplayOutcome {
+        policy: policy.name(),
+        jobs: jobs.len(),
+        users: users.len(),
+        makespan: makespan.since(SimTime::ZERO),
+        mean_wait,
+        p99_wait,
+        decisions,
+        policy_preemptions: preempted,
+        trace_requeues_by_job: trace_requeues,
+        evict_requeues_by_job: evict_requeues,
+        pool_busy_us: pool_busy,
+        assignment_hash: fnv1a(log.as_bytes()),
+        assignment_log: log,
+        metrics_hash,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_datagen::google_trace::GoogleTraceGen;
+
+    #[test]
+    fn load_trace_reconstructs_jobs_users_and_attempts() {
+        let (log, truth) = GoogleTraceGen::new(7).with_jobs(150, 6).generate();
+        let jobs = load_trace(&log);
+        assert_eq!(jobs.len(), 150);
+        let users: BTreeSet<&str> = jobs.iter().map(|j| j.user.as_str()).collect();
+        assert_eq!(users.len(), 131, "all 131 user residues appear");
+        // Per-job resubmissions in the attempt scripts equal the truth.
+        for j in &jobs {
+            let resubs: u64 = j.tasks.iter().map(|t| t.attempts.len() as u64 - 1).sum();
+            assert_eq!(resubs, truth.resubmissions[&j.job_id], "job {}", j.job_id);
+            for t in &j.tasks {
+                assert_eq!(t.attempts.last().map(|a| a.outcome), Some(event::FINISH));
+            }
+        }
+        // Arrivals are normalized and ordered by trace position.
+        assert_eq!(jobs.iter().map(|j| j.arrival).min(), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn replay_is_clean_and_exact_under_every_policy() {
+        let (log, truth) = GoogleTraceGen::new(11).with_jobs(60, 4).generate();
+        let jobs = load_trace(&log);
+        for policy in [ReplayPolicy::Fifo, ReplayPolicy::Fair, ReplayPolicy::Capacity] {
+            let out = replay(&jobs, policy, &ReplaySetup::default());
+            assert!(out.violations.is_empty(), "{policy:?}: {:?}", out.violations);
+            // Trace-driven requeues are policy-independent and exact.
+            for (job, &n) in &truth.resubmissions {
+                assert_eq!(
+                    out.trace_requeues_by_job.get(job).copied().unwrap_or(0),
+                    n,
+                    "{policy:?} job {job}"
+                );
+            }
+            assert!(out.decisions > 0);
+            assert_eq!(out.jobs, 60);
+        }
+    }
+}
