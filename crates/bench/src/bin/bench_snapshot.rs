@@ -16,7 +16,14 @@
 //! * **sched** — the contended Google-trace replay under the Fair
 //!   scheduler: `decisions` (assignment count), `wall_time_us`
 //!   (makespan), `mean_wait_us` / `p99_wait_us` (queue latency), and
-//!   `preemptions`.
+//!   `preemptions`;
+//! * **tpcxhs** — the TPCx-HS-style hsgen/hssort/hsvalidate suite run
+//!   2×2 (speculative execution on/off × homogeneous/skewed cluster):
+//!   per-cell makespans plus speculative wasted work. The cell shapes are
+//!   gated in-binary: on the skewed cluster speculation must *shorten*
+//!   the makespan, and on the homogeneous cluster its wasted work must
+//!   stay under 5% of the makespan. Every cell's validator must certify
+//!   the sort, so speculation is also re-proven output-neutral here.
 //!
 //! Every metric is a pure function of the engine's cost model, so a
 //! committed baseline diff is a deterministic perf regression signal, not
@@ -26,13 +33,15 @@
 
 use std::process::ExitCode;
 
-use hl_cluster::node::ClusterSpec;
+use hl_cluster::node::{ClusterSpec, DegradeModel, HeterogeneousClusterSpec, PerfProfile};
 use hl_common::config::keys;
 use hl_common::prelude::*;
 use hl_datagen::CorpusGen;
+use hl_mapreduce::job::JobConf;
 use hl_mapreduce::MrCluster;
 use hl_workloads::replay::{load_trace, replay, ReplayPolicy, ReplaySetup};
 use hl_workloads::terasort::{sample_cut_points, sorted_wordcount};
+use hl_workloads::tpcxhs::{expected_digest, hsgen, hssort, hsvalidate, parse_verdict};
 use hl_workloads::wordcount::wordcount;
 
 /// Seed for the input corpus — pinned so every run sees identical data.
@@ -134,6 +143,122 @@ fn run_sched() -> Result<Snapshot> {
     })
 }
 
+/// One TPCx-HS ablation cell: run hsgen → hssort → hsvalidate on a fresh
+/// cluster and return `(makespan_us, spec_wasted_us)`. The validator's
+/// verdict is checked against the generator's ground truth, so a cell
+/// where speculation corrupted output fails the bench outright.
+fn run_hs_cell(speculative: bool, skewed: bool) -> Result<(u64, u64)> {
+    let mut config = Configuration::with_defaults();
+    config.set(keys::DFS_BLOCK_SIZE, 128 * 1024u64);
+    config.set(keys::IO_SORT_BYTES, 64 * 1024u64);
+    // Full replication for the (small) benchmark input: every node holds
+    // a local copy, so a rescue attempt reads its split from its own disk
+    // instead of queueing on the straggler's.
+    config.set(keys::DFS_REPLICATION, 8u64);
+    let mut cluster = if skewed {
+        // The library's `skewed` preset activates on chaos-soak timescales
+        // (noisy windows at 30–90 s, decay onsets at 10–40 s); this job
+        // finishes in a few virtual seconds, so the bench pins its own
+        // skew at bench scale: a statically throttled VM-tier node plus a
+        // node that decays to 40% over the first two seconds of the run.
+        // Both models throttle CPU and disk only — the contended-hypervisor
+        // shape — so a rescue attempt elsewhere can still fetch the
+        // straggler's replica at full NIC speed.
+        let contended = |bp: u32| PerfProfile {
+            cpu_mult: bp,
+            disk_mult: bp,
+            nic_mult: PerfProfile::NOMINAL_BP,
+        };
+        let spec = HeterogeneousClusterSpec::new(ClusterSpec::course_hadoop(8))
+            .with_model(NodeId(1), DegradeModel::Static(contended(2_500)))
+            .with_model(
+                NodeId(2),
+                DegradeModel::Decay {
+                    from: SimTime::ZERO,
+                    ramp: SimDuration::from_secs(2),
+                    floor: contended(4_000),
+                },
+            );
+        MrCluster::new_heterogeneous(&spec, config)?
+    } else {
+        MrCluster::new(ClusterSpec::course_hadoop(8), config)?
+    };
+    let (corpus, truth) = hsgen(SEED, WORDS);
+    stage(&mut cluster, "/in/hs.txt", &corpus)?;
+
+    // Bench-scale speculation knobs: a third of the maps sit on the
+    // throttled tier and can straggle at once, so the cap must cover them
+    // all, and the progress heartbeat must tick well within the ~1 s the
+    // healthy tasks take (the 3 s default would never observe progress
+    // here). Both are ordinary `mapred.speculative.*` settings.
+    let tune = |mut conf: JobConf| {
+        conf = conf.speculative(speculative);
+        conf.spec_cap_pct = 30;
+        conf.spec_heartbeat = SimDuration::from_millis(200);
+        conf
+    };
+    let mut sort = hssort("/in/hs.txt", "/out/hssort", &corpus, 4);
+    sort.conf = tune(sort.conf);
+    let sort_report = cluster.run_job(&sort)?;
+    let mut validate = hsvalidate("/out/hssort", "/out/hsvalidate");
+    validate.conf = tune(validate.conf);
+    let val_report = cluster.run_job(&validate)?;
+
+    let now = cluster.now;
+    let mut output = Vec::new();
+    for path in &val_report.output_files {
+        let read = cluster.dfs.read(&mut cluster.net, now, path, None)?;
+        output.extend(String::from_utf8_lossy(&read.value).lines().map(str::to_string));
+    }
+    let cell = if skewed { "skew" } else { "homo" };
+    let verdict = parse_verdict(&output)
+        .ok_or_else(|| HlError::Config(format!("tpcxhs {cell}: validator emitted no verdict")))?;
+    let (records, crc_sum) = expected_digest(&truth);
+    if !verdict.sorted || verdict.records != records || verdict.crc_sum != crc_sum {
+        return Err(HlError::Config(format!(
+            "tpcxhs {cell} spec={speculative}: validation failed \
+             (verdict {verdict:?}, expected {records} records crc {crc_sum})"
+        )));
+    }
+
+    let makespan = val_report.finished_at.since(sort_report.submitted_at).0;
+    let wasted = cluster.metrics_snapshot().counter("jobtracker", "spec.wasted_us");
+    Ok((makespan, wasted))
+}
+
+/// The 2×2 TPCx-HS ablation, with the expected shape asserted in-binary:
+/// speculation must pay for itself on the skewed cluster and stay cheap
+/// on the homogeneous one.
+fn run_tpcxhs() -> Result<Snapshot> {
+    let (homo_spec, homo_wasted) = run_hs_cell(true, false)?;
+    let (homo_off, _) = run_hs_cell(false, false)?;
+    let (skew_spec, skew_wasted) = run_hs_cell(true, true)?;
+    let (skew_off, _) = run_hs_cell(false, true)?;
+    if skew_spec >= skew_off {
+        return Err(HlError::Config(format!(
+            "tpcxhs shape gate: speculation must shorten the skewed makespan \
+             (spec-on {skew_spec} us >= spec-off {skew_off} us)"
+        )));
+    }
+    if homo_wasted.saturating_mul(20) > homo_spec {
+        return Err(HlError::Config(format!(
+            "tpcxhs shape gate: homogeneous wasted work {homo_wasted} us exceeds \
+             5% of the {homo_spec} us makespan"
+        )));
+    }
+    Ok(Snapshot {
+        workload: "tpcxhs",
+        metrics: vec![
+            ("homo_spec_wall_us", homo_spec),
+            ("homo_off_wall_us", homo_off),
+            ("homo_spec_wasted_us", homo_wasted),
+            ("skew_spec_wall_us", skew_spec),
+            ("skew_off_wall_us", skew_off),
+            ("skew_spec_wasted_us", skew_wasted),
+        ],
+    })
+}
+
 /// Extract `"metric": N` from the named workload's object in the baseline
 /// JSON. The format is the one this binary writes — a flat object per
 /// workload — so a scan to the workload key and then to the metric key
@@ -223,8 +348,12 @@ fn main() -> ExitCode {
     }
 
     let mut snapshots = Vec::new();
-    for workload in ["wordcount", "terasort", "sched"] {
-        let result = if workload == "sched" { run_sched() } else { run_workload(workload) };
+    for workload in ["wordcount", "terasort", "sched", "tpcxhs"] {
+        let result = match workload {
+            "sched" => run_sched(),
+            "tpcxhs" => run_tpcxhs(),
+            other => run_workload(other),
+        };
         match result {
             Ok(s) => {
                 println!("{}", s.render());

@@ -1,7 +1,7 @@
 //! `chaos-soak`: fan the chaos runner across seeds × scenario packs.
 //!
 //! ```text
-//! chaos-soak                          # 200 seeds x all 5 packs
+//! chaos-soak                          # 200 seeds x all 6 packs
 //! chaos-soak --seeds 0..50            # a seed range
 //! chaos-soak --seeds 64               # seeds 0..64
 //! chaos-soak --pack bit-rot           # one pack only
@@ -30,7 +30,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: chaos-soak [--seeds N | --seeds A..B] [--pack NAME] [--replay SEED] [--verify-trace]"
     );
-    eprintln!("packs: meltdown restart-drill bit-rot ghost-ports write-storm");
+    eprintln!("packs: meltdown restart-drill bit-rot ghost-ports write-storm degraded-ops");
     ExitCode::from(2)
 }
 

@@ -35,6 +35,13 @@
 //!    = re-queued = re-run — identically zero in the single-tenant
 //!    engine; the replay driver exercises the non-zero case and the
 //!    per-queue quota bounds round by round).
+//! 9. **speculation** — speculative-execution accounting closes: every
+//!    launched speculative attempt is settled as exactly one of
+//!    won/lost/killed, and the engine never accepted an invalid
+//!    speculation proposal. (The output half — speculation never changes
+//!    a byte of job output — is the ground-truth oracle's job: every
+//!    successful round runs with speculation on and is diffed against
+//!    the unspeculated LocalJobRunner.)
 
 use std::collections::BTreeMap;
 
@@ -424,6 +431,45 @@ pub(crate) fn verify_scheduler(r: &mut ChaosRunner) {
             format!(
                 "preemption accounting skewed: {preempted} preempted, {requeued} requeued, {rerun} rerun"
             ),
+        );
+    }
+}
+
+/// Oracle 9: **speculation**. The attempt taxonomy is closed by
+/// construction — `launched = won + lost + killed`, with zero invalid
+/// proposals — and the metrics must prove it after an arbitrary fault
+/// schedule. Paired with the ground-truth oracle (which diffs every
+/// successful speculated job against the unspeculated LocalJobRunner),
+/// this pins speculation down as pure insurance: it may move work
+/// between nodes and waste cycles, never change an output byte.
+pub(crate) fn verify_speculation(r: &mut ChaosRunner) {
+    let snap = r.cluster.metrics_snapshot();
+    let launched = snap.counter("jobtracker", "spec.launched");
+    let won = snap.counter("jobtracker", "spec.won");
+    let lost = snap.counter("jobtracker", "spec.lost");
+    let killed = snap.counter("jobtracker", "spec.killed");
+    if launched != won + lost + killed {
+        r.violate(
+            "speculation",
+            format!(
+                "attempt taxonomy leaks: {launched} launched != {won} won + {lost} lost + {killed} killed"
+            ),
+        );
+    }
+    let invalid = snap.counter("jobtracker", "spec.invalid");
+    if invalid != 0 {
+        r.violate(
+            "speculation",
+            format!("engine refused {invalid} invalid speculation proposal(s)"),
+        );
+    }
+    // Wasted work only exists where attempts raced or died: zero attempts
+    // must mean zero waste charged to the cost model.
+    let wasted = snap.counter("jobtracker", "spec.wasted_us");
+    if launched == 0 && wasted != 0 {
+        r.violate(
+            "speculation",
+            format!("{wasted} us of speculative waste charged with no attempts launched"),
         );
     }
 }

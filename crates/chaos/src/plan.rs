@@ -84,6 +84,40 @@ pub enum Fault {
         /// Zero-based replica-store index whose ack times out.
         after_stores: u32,
     },
+    /// Progressive straggler: from injection the node's CPU, disk, and
+    /// NIC slide linearly from nominal down to `floor_pct`% of nominal
+    /// over `ramp_secs` — a VM whose host gets steadily oversubscribed.
+    DegradeNode {
+        /// Which node decays.
+        node: NodeId,
+        /// Terminal speed as a percentage of nominal (e.g. `20` → the
+        /// node bottoms out at one fifth speed).
+        floor_pct: u32,
+        /// Seconds of virtual time the slide takes.
+        ramp_secs: u32,
+    },
+    /// Noisy neighbor: a co-tenant burst pins the node to `slow_pct`% of
+    /// nominal for a `window_secs` window starting at injection, after
+    /// which the node recovers completely.
+    NoisyNeighbor {
+        /// Which node suffers the interference.
+        node: NodeId,
+        /// Speed during the window as a percentage of nominal.
+        slow_pct: u32,
+        /// Window length in seconds of virtual time.
+        window_secs: u32,
+    },
+    /// Flaky NIC: the node's network interface oscillates between nominal
+    /// and `nic_pct`% of nominal bandwidth every `period_secs` (square
+    /// wave from injection) — CPU and disk are untouched.
+    FlakyNic {
+        /// Which node's NIC flaps.
+        node: NodeId,
+        /// NIC bandwidth during a bad half-period, percent of nominal.
+        nic_pct: u32,
+        /// Half-period of the flapping in seconds of virtual time.
+        period_secs: u32,
+    },
 }
 
 impl Fault {
@@ -101,6 +135,9 @@ impl Fault {
             Fault::KillPipelineDatanode { .. } => "KillPipelineDatanode",
             Fault::WriterCrash { .. } => "WriterCrash",
             Fault::SlowPipelineAck { .. } => "SlowPipelineAck",
+            Fault::DegradeNode { .. } => "DegradeNode",
+            Fault::NoisyNeighbor { .. } => "NoisyNeighbor",
+            Fault::FlakyNic { .. } => "FlakyNic",
         }
     }
 }
@@ -125,6 +162,15 @@ impl std::fmt::Display for Fault {
             }
             Fault::SlowPipelineAck { after_stores } => {
                 write!(f, "SlowPipelineAck(store {after_stores})")
+            }
+            Fault::DegradeNode { node, floor_pct, ramp_secs } => {
+                write!(f, "DegradeNode({node} to {floor_pct}% over {ramp_secs}s)")
+            }
+            Fault::NoisyNeighbor { node, slow_pct, window_secs } => {
+                write!(f, "NoisyNeighbor({node} at {slow_pct}% for {window_secs}s)")
+            }
+            Fault::FlakyNic { node, nic_pct, period_secs } => {
+                write!(f, "FlakyNic({node} nic {nic_pct}% every {period_secs}s)")
             }
         }
     }
@@ -189,6 +235,24 @@ impl Writable for Fault {
                 buf.push(9);
                 write_vu64(*after_stores as u64, buf);
             }
+            Fault::DegradeNode { node, floor_pct, ramp_secs } => {
+                buf.push(10);
+                write_vu64(node.0 as u64, buf);
+                write_vu64(*floor_pct as u64, buf);
+                write_vu64(*ramp_secs as u64, buf);
+            }
+            Fault::NoisyNeighbor { node, slow_pct, window_secs } => {
+                buf.push(11);
+                write_vu64(node.0 as u64, buf);
+                write_vu64(*slow_pct as u64, buf);
+                write_vu64(*window_secs as u64, buf);
+            }
+            Fault::FlakyNic { node, nic_pct, period_secs } => {
+                buf.push(12);
+                write_vu64(node.0 as u64, buf);
+                write_vu64(*nic_pct as u64, buf);
+                write_vu64(*period_secs as u64, buf);
+            }
         }
     }
 
@@ -214,6 +278,21 @@ impl Writable for Fault {
             7 => Fault::KillPipelineDatanode { after_stores: read_narrow(buf, "store index")? },
             8 => Fault::WriterCrash { after_blocks: read_narrow(buf, "block count")? },
             9 => Fault::SlowPipelineAck { after_stores: read_narrow(buf, "store index")? },
+            10 => Fault::DegradeNode {
+                node: NodeId(read_narrow(buf, "node id")?),
+                floor_pct: read_narrow(buf, "floor pct")?,
+                ramp_secs: read_narrow(buf, "ramp secs")?,
+            },
+            11 => Fault::NoisyNeighbor {
+                node: NodeId(read_narrow(buf, "node id")?),
+                slow_pct: read_narrow(buf, "slow pct")?,
+                window_secs: read_narrow(buf, "window secs")?,
+            },
+            12 => Fault::FlakyNic {
+                node: NodeId(read_narrow(buf, "node id")?),
+                nic_pct: read_narrow(buf, "nic pct")?,
+                period_secs: read_narrow(buf, "period secs")?,
+            },
             t => return Err(HlError::Codec(format!("unknown fault tag {t}"))),
         })
     }
@@ -311,6 +390,9 @@ mod tests {
             Fault::KillPipelineDatanode { after_stores: u32::MAX },
             Fault::WriterCrash { after_blocks: 3 },
             Fault::SlowPipelineAck { after_stores: 11 },
+            Fault::DegradeNode { node: NodeId(1), floor_pct: 20, ramp_secs: 120 },
+            Fault::NoisyNeighbor { node: NodeId(4), slow_pct: 50, window_secs: 90 },
+            Fault::FlakyNic { node: NodeId(0), nic_pct: 25, period_secs: 30 },
         ];
         for f in &faults {
             assert_eq!(&Fault::from_bytes(&f.to_bytes()).unwrap(), f);

@@ -13,7 +13,7 @@ use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use hl_cluster::failure::{BitRot, DaemonKind};
-use hl_cluster::node::ClusterSpec;
+use hl_cluster::node::{ClusterSpec, DegradeModel, PerfProfile};
 use hl_cluster::ports::well_known;
 use hl_common::config::keys;
 use hl_common::prelude::*;
@@ -385,6 +385,45 @@ impl ChaosRunner {
             Fault::SlowPipelineAck { after_stores } => {
                 self.storm_write(PipelineFault::SlowAck { after_stores })
             }
+            // The degrade family installs time-varying performance models
+            // in the network layer; every disk/NIC charge from here on
+            // samples them lazily, so traces stay replay-identical.
+            Fault::DegradeNode { node, floor_pct, ramp_secs } => {
+                self.cluster.net.set_node_model(
+                    node,
+                    DegradeModel::Decay {
+                        from: now,
+                        ramp: SimDuration::from_secs(u64::from(ramp_secs)),
+                        floor: PerfProfile::uniform(floor_pct.saturating_mul(100)),
+                    },
+                );
+            }
+            Fault::NoisyNeighbor { node, slow_pct, window_secs } => {
+                self.cluster.net.set_node_model(
+                    node,
+                    DegradeModel::Window {
+                        from: now,
+                        until: now + SimDuration::from_secs(u64::from(window_secs)),
+                        during: PerfProfile::uniform(slow_pct.saturating_mul(100)),
+                    },
+                );
+            }
+            Fault::FlakyNic { node, nic_pct, period_secs } => {
+                let half = SimDuration::from_secs(u64::from(period_secs));
+                self.cluster.net.set_node_model(
+                    node,
+                    DegradeModel::Periodic {
+                        from: now,
+                        on: half,
+                        off: half,
+                        during: PerfProfile {
+                            cpu_mult: PerfProfile::NOMINAL_BP,
+                            disk_mult: PerfProfile::NOMINAL_BP,
+                            nic_mult: nic_pct.saturating_mul(100).clamp(1, PerfProfile::NOMINAL_BP),
+                        },
+                    },
+                );
+            }
         }
     }
 
@@ -595,6 +634,7 @@ impl ChaosRunner {
         oracle::verify_accounting(&mut self);
         oracle::verify_metrics(&mut self);
         oracle::verify_scheduler(&mut self);
+        oracle::verify_speculation(&mut self);
 
         // The replay fingerprint covers both event logs, the exact
         // corruption set, and the final metrics report — so a same-seed

@@ -1,7 +1,7 @@
 //! Scenario packs: named families of fault plans.
 //!
 //! Each pack is a *distribution* over [`FaultPlan`]s, sampled by seed.
-//! The five packs replay the paper's operational war stories:
+//! The packs replay the paper's operational war stories:
 //!
 //! * **meltdown** — heap-leaking student jobs OOM TaskTrackers and their
 //!   colocated DataNodes (Section II-A, Fall 2012);
@@ -13,7 +13,11 @@
 //!   Hadoop ports until the campus cleanup cron sweeps them;
 //! * **write-storm** — DataNodes die and acks vanish *mid-write*, and
 //!   writing clients crash outright, driving pipeline recovery,
-//!   generation-stamp invalidation, and lease recovery.
+//!   generation-stamp invalidation, and lease recovery;
+//! * **degraded-ops** — nothing crashes, everything *drags*: nodes decay
+//!   progressively, noisy neighbors flare, NICs flap, and speculative
+//!   execution has to route around the slow hardware without ever
+//!   changing a byte of job output.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -31,7 +35,7 @@ pub const NODES: u32 = 5;
 /// Workload rounds per run.
 pub const ROUNDS: u32 = 4;
 
-/// The five scenario packs.
+/// The scenario packs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScenarioPack {
     /// Heap-leak cascade: TaskTracker + DataNode OOM crashes mid-job.
@@ -46,16 +50,21 @@ pub enum ScenarioPack {
     /// Mid-write mayhem: pipeline DataNode kills, lost acks, and crashed
     /// writers against the write path's recovery machinery.
     WriteStorm,
+    /// Degraded-mode operation: progressive decay, noisy-neighbor
+    /// interference, and flaky NICs — slow hardware instead of dead
+    /// hardware, exercising speculation end to end.
+    DegradedOps,
 }
 
 impl ScenarioPack {
     /// All packs, soak order.
-    pub const ALL: [ScenarioPack; 5] = [
+    pub const ALL: [ScenarioPack; 6] = [
         ScenarioPack::Meltdown,
         ScenarioPack::RestartDrill,
         ScenarioPack::BitRot,
         ScenarioPack::GhostPorts,
         ScenarioPack::WriteStorm,
+        ScenarioPack::DegradedOps,
     ];
 
     /// CLI name.
@@ -66,6 +75,7 @@ impl ScenarioPack {
             ScenarioPack::BitRot => "bit-rot",
             ScenarioPack::GhostPorts => "ghost-ports",
             ScenarioPack::WriteStorm => "write-storm",
+            ScenarioPack::DegradedOps => "degraded-ops",
         }
     }
 
@@ -85,6 +95,7 @@ impl ScenarioPack {
             ScenarioPack::BitRot => 0x4252,
             ScenarioPack::GhostPorts => 0x4750,
             ScenarioPack::WriteStorm => 0x5753,
+            ScenarioPack::DegradedOps => 0x444f,
         };
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (salt << 32));
         let mut faults = Vec::new();
@@ -206,6 +217,49 @@ impl ScenarioPack {
                 // revives pipeline-kill victims so replication can quiesce.
                 faults.push(PlannedFault { at: ROUNDS - 1, fault: Fault::RestartDaemons });
             }
+            ScenarioPack::DegradedOps => {
+                // Always one progressive straggler: the canonical "VM on
+                // an oversubscribed host" that LATE was designed around.
+                // Floors stay well above zero so replication and the
+                // quiesce oracle always make finite progress.
+                faults.push(PlannedFault {
+                    at: 0,
+                    fault: Fault::DegradeNode {
+                        node: node(&mut rng),
+                        floor_pct: rng.gen_range(10..=40),
+                        ramp_secs: rng.gen_range(60..=240),
+                    },
+                });
+                if rng.gen_bool(0.6) {
+                    faults.push(PlannedFault {
+                        at: rng.gen_range(0..2),
+                        fault: Fault::NoisyNeighbor {
+                            node: node(&mut rng),
+                            slow_pct: rng.gen_range(20..=60),
+                            window_secs: rng.gen_range(60..=180),
+                        },
+                    });
+                }
+                if rng.gen_bool(0.6) {
+                    faults.push(PlannedFault {
+                        at: rng.gen_range(1..3),
+                        fault: Fault::FlakyNic {
+                            node: node(&mut rng),
+                            nic_pct: rng.gen_range(10..=50),
+                            period_secs: rng.gen_range(15..=60),
+                        },
+                    });
+                }
+                if rng.gen_bool(0.3) {
+                    faults.push(PlannedFault {
+                        at: rng.gen_range(1..ROUNDS),
+                        fault: Fault::SlowNode {
+                            node: node(&mut rng),
+                            factor_pct: rng.gen_range(300..=1200),
+                        },
+                    });
+                }
+            }
         }
 
         // Keep the schedule in (round, generation) order so injection
@@ -285,6 +339,25 @@ mod tests {
                 p.fault,
                 Fault::RestartNameNode | Fault::KillDaemon { kind: DaemonKind::NameNode, .. }
             )));
+            // Every degraded-ops plan decays a node progressively, and
+            // never kills anything — slow hardware, not dead hardware.
+            let degraded = ScenarioPack::DegradedOps.plan(seed);
+            assert!(degraded.faults.iter().any(|p| matches!(p.fault, Fault::DegradeNode { .. })));
+            assert!(!degraded.faults.iter().any(|p| matches!(
+                p.fault,
+                Fault::KillDaemon { .. }
+                    | Fault::RestartNameNode
+                    | Fault::HeapLeak { .. }
+                    | Fault::KillPipelineDatanode { .. }
+                    | Fault::WriterCrash { .. }
+            )));
+            // Degrade floors stay strictly positive so transfers always
+            // make progress.
+            for p in &degraded.faults {
+                if let Fault::DegradeNode { floor_pct, .. } = p.fault {
+                    assert!(floor_pct > 0);
+                }
+            }
         }
     }
 }

@@ -11,11 +11,13 @@
 //! store-and-forward transfers across them. The per-pipe byte counters are
 //! the raw data behind the Figure 1 experiment.
 
+use std::collections::BTreeMap;
+
 use hl_common::prelude::*;
 use hl_common::units::ByteSize;
 use hl_metrics::MetricsRegistry;
 
-use crate::node::ClusterSpec;
+use crate::node::{ClusterSpec, DegradeModel, PerfProfile};
 use crate::resource::{Charge, PipeResource};
 
 /// Which Figure 1 architecture a cluster uses.
@@ -67,6 +69,10 @@ pub struct ClusterNet {
     uplinks: Vec<PipeResource>,
     shared_storage: Option<PipeResource>,
     remote_bytes: u64,
+    /// Per-node [`DegradeModel`]s (node index → model). Nodes without an
+    /// entry run at [`PerfProfile::NOMINAL`]; every disk/NIC charge for a
+    /// degraded node consults its model at charge time.
+    degrades: BTreeMap<u32, DegradeModel>,
 }
 
 impl ClusterNet {
@@ -91,12 +97,45 @@ impl ClusterNet {
             }
             NetArchitecture::HadoopLocalDisks { .. } => None,
         };
-        ClusterNet { topology, nics, disks, uplinks, shared_storage, remote_bytes: 0 }
+        ClusterNet {
+            topology,
+            nics,
+            disks,
+            uplinks,
+            shared_storage,
+            remote_bytes: 0,
+            degrades: BTreeMap::new(),
+        }
     }
 
     /// The cluster's rack topology.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// Install (or replace) a node's degradation model. Affects every
+    /// subsequent disk/NIC charge for that node; CPU scaling is read by
+    /// the task engine through [`ClusterNet::node_profile`].
+    pub fn set_node_model(&mut self, node: NodeId, model: DegradeModel) {
+        self.degrades.insert(node.0, model);
+    }
+
+    /// Restore a node to nominal performance.
+    pub fn clear_node_model(&mut self, node: NodeId) {
+        self.degrades.remove(&node.0);
+    }
+
+    /// The node's effective performance profile at `now`.
+    pub fn node_profile(&self, node: NodeId, now: SimTime) -> PerfProfile {
+        self.degrades.get(&node.0).map_or(PerfProfile::NOMINAL, |m| m.profile_at(now))
+    }
+
+    fn disk_mult(&self, node: NodeId, now: SimTime) -> u32 {
+        self.degrades.get(&node.0).map_or(PerfProfile::NOMINAL_BP, |m| m.profile_at(now).disk_mult)
+    }
+
+    fn nic_mult(&self, node: NodeId, now: SimTime) -> u32 {
+        self.degrades.get(&node.0).map_or(PerfProfile::NOMINAL_BP, |m| m.profile_at(now).nic_mult)
     }
 
     /// True for Figure 1(a) clusters.
@@ -106,12 +145,14 @@ impl ClusterNet {
 
     /// Sequential read from a node's local disk.
     pub fn read_local_disk(&mut self, now: SimTime, node: NodeId, bytes: u64) -> Charge {
-        self.disks[node.0 as usize].charge(now, bytes)
+        let mult = self.disk_mult(node, now);
+        self.disks[node.0 as usize].charge_scaled(now, bytes, mult)
     }
 
     /// Sequential write to a node's local disk.
     pub fn write_local_disk(&mut self, now: SimTime, node: NodeId, bytes: u64) -> Charge {
-        self.disks[node.0 as usize].charge(now, bytes)
+        let mult = self.disk_mult(node, now);
+        self.disks[node.0 as usize].charge_scaled(now, bytes, mult)
     }
 
     /// Node-to-node transfer: source NIC → (rack uplinks if cross-rack) →
@@ -122,15 +163,19 @@ impl ClusterNet {
             return Charge { start: now, end: now };
         }
         self.remote_bytes += bytes;
-        let hop1 = self.nics[src.0 as usize].charge(now, bytes);
+        let src_mult = self.nic_mult(src, now);
+        let hop1 = self.nics[src.0 as usize].charge_scaled(now, bytes, src_mult);
         let mut at = hop1.end;
         let (src_rack, dst_rack) = (self.topology.rack(src), self.topology.rack(dst));
         if src_rack != dst_rack {
+            // Rack uplinks are switch hardware, not node hardware: a
+            // degraded *node* never slows its rack's shared uplink.
             let up = self.uplinks[src_rack.0 as usize].charge(at, bytes);
             let down = self.uplinks[dst_rack.0 as usize].charge(up.end, bytes);
             at = down.end;
         }
-        let hop2 = self.nics[dst.0 as usize].charge(at, bytes);
+        let dst_mult = self.nic_mult(dst, at);
+        let hop2 = self.nics[dst.0 as usize].charge_scaled(at, bytes, dst_mult);
         Charge { start: now, end: hop2.end }
     }
 
@@ -168,7 +213,8 @@ impl ClusterNet {
         let s = storage.charge(now, bytes);
         let rack = self.topology.rack(reader);
         let up = self.uplinks[rack.0 as usize].charge(s.end, bytes);
-        let nic = self.nics[reader.0 as usize].charge(up.end, bytes);
+        let mult = self.nic_mult(reader, up.end);
+        let nic = self.nics[reader.0 as usize].charge_scaled(up.end, bytes, mult);
         Ok(Charge { start: now, end: nic.end })
     }
 
@@ -186,7 +232,8 @@ impl ClusterNet {
         if self.shared_storage.is_none() {
             return Err(HlError::Internal("write_shared_storage on a local-disk cluster".into()));
         }
-        let nic = self.nics[writer.0 as usize].charge(now, bytes);
+        let mult = self.nic_mult(writer, now);
+        let nic = self.nics[writer.0 as usize].charge_scaled(now, bytes, mult);
         let rack = self.topology.rack(writer);
         let up = self.uplinks[rack.0 as usize].charge(nic.end, bytes);
         self.remote_bytes += bytes;
@@ -361,6 +408,55 @@ mod tests {
         net.export_metrics(c.end, &mut reg);
         let snap = reg.snapshot(c.end);
         assert_eq!(snap.gauge("network", "node001.nic.queue_micros"), 0);
+    }
+
+    #[test]
+    fn degraded_node_slows_disk_and_nic_charges() {
+        use crate::node::{DegradeModel, PerfProfile};
+        let mut nominal = hadoop(4, 1);
+        let mut degraded = hadoop(4, 1);
+        degraded.set_node_model(NodeId(1), DegradeModel::Static(PerfProfile::uniform(5_000)));
+        let bytes = 117 * ByteSize::MIB;
+
+        let d0 = nominal.read_local_disk(SimTime::ZERO, NodeId(1), bytes);
+        let d1 = degraded.read_local_disk(SimTime::ZERO, NodeId(1), bytes);
+        assert_eq!(d1.end.since(SimTime::ZERO).0, 2 * d0.end.since(SimTime::ZERO).0);
+
+        // A transfer *into* the degraded node pays its half-speed NIC.
+        let t0 = nominal.transfer(SimTime::ZERO, NodeId(0), NodeId(1), bytes);
+        let t1 = degraded.transfer(SimTime::ZERO, NodeId(0), NodeId(1), bytes);
+        assert!(t1.end > t0.end, "degraded NIC must slow the transfer");
+        // Other nodes are untouched.
+        let o0 = nominal.read_local_disk(SimTime::ZERO, NodeId(2), bytes);
+        let o1 = degraded.read_local_disk(SimTime::ZERO, NodeId(2), bytes);
+        assert_eq!(o0.end, o1.end);
+    }
+
+    #[test]
+    fn time_varying_model_is_sampled_at_charge_time() {
+        use crate::node::{DegradeModel, PerfProfile};
+        let mut net = hadoop(2, 1);
+        net.set_node_model(
+            NodeId(0),
+            DegradeModel::Window {
+                from: SimTime(10_000_000),
+                until: SimTime(20_000_000),
+                during: PerfProfile::uniform(2_500),
+            },
+        );
+        let bytes = 120 * ByteSize::MIB; // 1 s at nominal disk speed
+        let before = net.read_local_disk(SimTime::ZERO, NodeId(0), bytes);
+        assert_eq!(before.end, SimTime(1_000_000), "nominal before the window");
+        let inside = net.read_local_disk(SimTime(10_000_000), NodeId(0), bytes);
+        assert_eq!(
+            inside.end.since(inside.start),
+            SimDuration::from_secs(4),
+            "quarter speed inside the window"
+        );
+        let after = net.read_local_disk(SimTime(30_000_000), NodeId(0), bytes);
+        assert_eq!(after.end.since(after.start), SimDuration::from_secs(1));
+        net.clear_node_model(NodeId(0));
+        assert!(net.node_profile(NodeId(0), SimTime(15_000_000)).is_nominal());
     }
 
     #[test]

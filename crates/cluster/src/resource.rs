@@ -63,6 +63,26 @@ impl PipeResource {
         Charge { start, end }
     }
 
+    /// [`PipeResource::charge`] against a degraded pipe: the transfer is
+    /// served at `mult_bp` basis points of the pipe's nominal bandwidth
+    /// (10 000 = nominal, and an exact alias for `charge`). Degradation
+    /// is per-charge, not per-pipe state, so time-varying
+    /// [`crate::node::DegradeModel`]s need no event scheduling.
+    pub fn charge_scaled(&mut self, now: SimTime, bytes: u64, mult_bp: u32) -> Charge {
+        use crate::node::PerfProfile;
+        if mult_bp >= PerfProfile::NOMINAL_BP {
+            return self.charge(now, bytes);
+        }
+        let start = now.max(self.free_at);
+        let service =
+            SimDuration::for_transfer(bytes, PerfProfile::scale_bw(self.bytes_per_sec, mult_bp));
+        let end = start + service;
+        self.free_at = end;
+        self.total_bytes += bytes;
+        self.busy += service;
+        Charge { start, end }
+    }
+
     /// Charge a fixed-duration occupancy (seek, daemon startup, fsync).
     pub fn charge_time(&mut self, now: SimTime, dur: SimDuration) -> Charge {
         let start = now.max(self.free_at);

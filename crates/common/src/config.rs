@@ -37,6 +37,20 @@ pub mod keys {
     pub const IO_SORT_BYTES: &str = "io.sort.bytes";
     /// Whether speculative execution is enabled.
     pub const MAPRED_SPECULATIVE: &str = "mapred.map.tasks.speculative.execution";
+    /// Whether reduce tasks may also be speculated (Hadoop 1.x gates maps
+    /// and reduces separately; both default on).
+    pub const MAPRED_REDUCE_SPECULATIVE: &str = "mapred.reduce.tasks.speculative.execution";
+    /// Late-binding launch threshold, percent: a running task becomes a
+    /// speculation candidate when its progress-rate-estimated total
+    /// duration exceeds this percentage of the median completed-task
+    /// duration (default 150).
+    pub const MAPRED_SPECULATIVE_SLOWTASK_PCT: &str = "mapred.speculative.slowtaskthreshold";
+    /// Cap on speculative attempts per phase, percent of the phase's task
+    /// count (floor 1; Hadoop's speculativecap analog).
+    pub const MAPRED_SPECULATIVE_CAP_PCT: &str = "mapred.speculative.cap";
+    /// Progress-report quantum in seconds: the estimator only sees task
+    /// progress at heartbeat boundaries.
+    pub const MAPRED_SPECULATIVE_HEARTBEAT_SECS: &str = "mapred.speculative.heartbeat";
     /// Max attempts per task before the job fails (default 4).
     pub const MAPRED_MAX_ATTEMPTS: &str = "mapred.map.max.attempts";
     /// Write-lease soft limit in seconds: past this another client may
@@ -93,6 +107,10 @@ impl Configuration {
         c.set(keys::MAPRED_REDUCE_TASKS, "1");
         c.set(keys::IO_SORT_BYTES, (100 * ByteSize::MIB).to_string());
         c.set(keys::MAPRED_SPECULATIVE, "true");
+        c.set(keys::MAPRED_REDUCE_SPECULATIVE, "true");
+        c.set(keys::MAPRED_SPECULATIVE_SLOWTASK_PCT, "150");
+        c.set(keys::MAPRED_SPECULATIVE_CAP_PCT, "10");
+        c.set(keys::MAPRED_SPECULATIVE_HEARTBEAT_SECS, "3");
         c.set(keys::MAPRED_MAX_ATTEMPTS, "4");
         c.set(keys::DFS_LEASE_SOFT_LIMIT_SECS, "60");
         c.set(keys::DFS_LEASE_HARD_LIMIT_SECS, "300");

@@ -17,11 +17,11 @@
 //! * submission is refused while the NameNode is in safe mode — the
 //!   "corrupted Hadoop cluster that stopped all the new jobs".
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use hl_cluster::failure::{DaemonHealth, DaemonKind};
 use hl_cluster::network::ClusterNet;
-use hl_cluster::node::ClusterSpec;
+use hl_cluster::node::{ClusterSpec, DegradeModel, HeterogeneousClusterSpec, PerfProfile};
 use hl_cluster::trace::EventLog;
 use hl_common::counters::{Counters, FileSystemCounter, TaskCounter};
 use hl_common::keys::SortableKey;
@@ -42,6 +42,7 @@ use crate::scheduler::{
     scheduler_from_config, JobView, Scheduler, SchedulerEnv, SlotState, UniformEnv,
 };
 use crate::sortbuf::{MapOutput, SortBuffer};
+use crate::speculate::{RunningTask, SpecAttempt, SpecOutcome, Speculator};
 use crate::split::{compute_splits, InputSplit, LineReader};
 
 /// One TaskTracker daemon.
@@ -87,7 +88,6 @@ pub struct MrCluster {
     /// Per-job blacklistings before a tracker is blacklisted globally.
     max_tracker_blacklists: u32,
     next_job_id: u32,
-    slow_factor: BTreeMap<NodeId, f64>,
     /// When false, the JobTracker assigns splits FIFO, ignoring block
     /// locations — the ablation arm of the Figure 2 locality experiment.
     pub locality_aware: bool,
@@ -142,7 +142,6 @@ impl MrCluster {
             max_tracker_failures,
             max_tracker_blacklists,
             next_job_id: 1,
-            slow_factor: BTreeMap::new(),
             locality_aware: true,
             history: JobHistory::default(),
             failed_jobs: 0,
@@ -167,9 +166,28 @@ impl MrCluster {
         MrCluster::new(ClusterSpec::course_hadoop(8), Configuration::with_defaults())
     }
 
-    /// Mark `node` as a straggler: its task durations multiply by `factor`.
+    /// Stand up a cluster whose nodes carry the spec's performance
+    /// models: throttled-VM tiers, noisy neighbors, progressive
+    /// stragglers. The models live in the network layer, so they slow
+    /// CPU *and* disk *and* NIC charges — not just task durations.
+    pub fn new_heterogeneous(
+        spec: &HeterogeneousClusterSpec,
+        config: Configuration,
+    ) -> Result<Self> {
+        let mut cluster = MrCluster::new(spec.base.clone(), config)?;
+        for (node, model) in &spec.models {
+            cluster.net.set_node_model(*node, model.clone());
+        }
+        Ok(cluster)
+    }
+
+    /// Mark `node` as a straggler: everything it does — CPU, local disk,
+    /// NIC — runs `factor`× slower (a uniform static degrade profile).
     pub fn set_slow_node(&mut self, node: NodeId, factor: f64) {
-        self.slow_factor.insert(node, factor.max(1.0));
+        let bp = (f64::from(PerfProfile::NOMINAL_BP) / factor.max(1.0)).round().max(1.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let bp = bp as u32;
+        self.net.set_node_model(node, DegradeModel::Static(PerfProfile::uniform(bp)));
     }
 
     /// Tracker state (tests/experiments).
@@ -280,10 +298,6 @@ impl MrCluster {
         self.now = data.completed_at;
         self.side_files.insert(path, data.value);
         Ok(())
-    }
-
-    fn slow(&self, node: NodeId) -> f64 {
-        self.slow_factor.get(&node).copied().unwrap_or(1.0)
     }
 
     fn map_slots(&self) -> Vec<Slot> {
@@ -559,63 +573,149 @@ impl MrCluster {
             }
         }
 
-        // ------------------------------------- speculative re-execution
+        // -------------------------------------- speculative execution: maps
+        //
+        // The Speculator replays the JobTracker's heartbeat view: each time
+        // a slot frees up, the tasks whose commits lie beyond that instant
+        // are "still running", and their heartbeat-quantized progress rates
+        // estimate a finish time. Proposals are validated exactly like
+        // scheduler assignments — a bad one increments `spec.invalid` and
+        // is refused (it never corrupts the job) — then raced for real,
+        // with the loser's burned time charged to `spec.wasted_us`.
+        let speculator = Speculator::from_conf(&job.conf);
+        let mut spec_attempts: Vec<SpecAttempt> = Vec::new();
         if job.conf.speculative {
-            let mut durations: Vec<u64> = tasks
-                .iter()
-                .filter(|t| t.kind == TaskKind::Map)
-                .map(|t| t.duration().as_micros())
-                .collect();
-            if durations.len() >= 3 {
-                durations.sort_unstable();
-                let median = durations[durations.len() / 2].max(1);
-                let straggler_ids: Vec<usize> = tasks
+            // Primary attempt (node, start, end) per map task.
+            let mut primaries: Vec<Option<(NodeId, SimTime, SimTime)>> = vec![None; splits.len()];
+            for t in tasks.iter().filter(|t| t.kind == TaskKind::Map) {
+                if let Some(p) = primaries.get_mut(t.id as usize) {
+                    *p = Some((t.node, t.start, t.end));
+                }
+            }
+            let cap = speculator.cap(splits.len());
+            let mut speculated: BTreeSet<u32> = BTreeSet::new();
+            // Visit slots in the order they free up (ties by node id) —
+            // the late-binding part: the earliest idle slot gets first
+            // pick of the stragglers.
+            let mut order: Vec<usize> = (0..slots.len()).collect();
+            order.sort_by_key(|&i| (slots[i].free_at, slots[i].node.0));
+            for si in order {
+                if speculated.len() >= cap {
+                    break;
+                }
+                let node = slots[si].node;
+                let now = slots[si].free_at;
+                if !self.trackers.get(&node).is_some_and(|t| t.health.alive) {
+                    continue;
+                }
+                let mut completed: Vec<u64> = primaries
                     .iter()
-                    .filter(|t| t.kind == TaskKind::Map && t.duration().as_micros() > 2 * median)
-                    .map(|t| t.id as usize)
+                    .flatten()
+                    .filter(|(_, _, end)| *end <= now)
+                    .map(|(_, start, end)| end.since(*start).0)
                     .collect();
-                for split_idx in straggler_ids {
-                    // Ids were collected from `tasks` above; a miss means
-                    // the summary vanished — skip the speculation.
-                    let Some(old_node) = tasks
-                        .iter()
-                        .find(|t| t.kind == TaskKind::Map && t.id == split_idx as u32)
-                        .map(|t| t.node)
-                    else {
-                        continue;
-                    };
-                    // Earliest slot on a different node.
-                    let candidates: Vec<usize> =
-                        (0..slots.len()).filter(|&i| slots[i].node != old_node).collect();
-                    let Some(&si) =
-                        candidates.iter().min_by_key(|&&i| (slots[i].free_at, slots[i].node.0))
-                    else {
-                        continue;
-                    };
-                    let node = slots[si].node;
-                    let start = slots[si].free_at;
-                    if let Ok(attempt) =
-                        self.exec_map_attempt(job, &splits[split_idx], node, start, 1)
-                    {
-                        // Stragglers come from completed maps, so an output
-                        // must exist; degrade to "speculation lost" if not.
-                        let Some(old_end) = outputs[split_idx].as_ref().map(|o| o.2) else {
-                            continue;
-                        };
-                        if attempt.end < old_end {
-                            counters.incr("Job Counters", "Speculative map attempts won", 1);
-                            slots[si].free_at = attempt.end;
-                            outputs[split_idx] = Some((node, attempt.output, attempt.end));
-                            if let Some(summary) = tasks
-                                .iter_mut()
-                                .find(|t| t.kind == TaskKind::Map && t.id == split_idx as u32)
-                            {
-                                summary.node = node;
-                                summary.start = start;
-                                summary.end = attempt.end;
-                                summary.speculative = true;
-                            }
+                let running: Vec<RunningTask> = primaries
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(id, p)| p.map(|(n, s, e)| (id, n, s, e)))
+                    .filter(|&(_, _, _, end)| end > now)
+                    .map(|(id, n, s, e)| RunningTask {
+                        task: u32::try_from(id).unwrap_or(u32::MAX),
+                        node: n,
+                        start: s,
+                        progress_bp: speculator.observed_progress(s, e, now).unwrap_or(0),
+                    })
+                    .collect();
+                let Some(task) =
+                    speculator.propose(now, node, &mut completed, &running, &speculated)
+                else {
+                    continue;
+                };
+                // Validate the proposal like a scheduler decision before
+                // acting on it: the task must still be running here and
+                // now, on a different node, un-speculated.
+                let valid = primaries.get(task as usize).copied().flatten().is_some_and(
+                    |(p_node, _, p_end)| {
+                        p_end > now && p_node != node && !speculated.contains(&task)
+                    },
+                );
+                if !valid {
+                    self.metrics.incr("jobtracker", "spec.invalid", 1);
+                    continue;
+                }
+                // Checked valid just above, so the primary exists.
+                let Some((p_node, p_start, p_end)) = primaries[task as usize] else {
+                    continue;
+                };
+                speculated.insert(task);
+                self.metrics.incr("jobtracker", "spec.launched", 1);
+                match self.exec_map_attempt(job, &splits[task as usize], node, now, 1) {
+                    Ok(attempt) if attempt.end < p_end => {
+                        // The racer wins: kill the primary at this instant.
+                        // Its whole runtime was wasted work, but its slot
+                        // frees early — that's the makespan speculation buys.
+                        self.metrics.incr("jobtracker", "spec.won", 1);
+                        self.metrics.incr(
+                            "jobtracker",
+                            "spec.wasted_us",
+                            attempt.end.since(p_start).0,
+                        );
+                        counters.incr("Job Counters", "Speculative map attempts won", 1);
+                        if let Some(ps) =
+                            slots.iter_mut().find(|s| s.node == p_node && s.free_at == p_end)
+                        {
+                            ps.free_at = attempt.end;
                         }
+                        slots[si].free_at = attempt.end;
+                        outputs[task as usize] = Some((node, attempt.output, attempt.end));
+                        if let Some(summary) =
+                            tasks.iter_mut().find(|t| t.kind == TaskKind::Map && t.id == task)
+                        {
+                            summary.node = node;
+                            summary.start = now;
+                            summary.end = attempt.end;
+                            summary.speculative = true;
+                        }
+                        primaries[task as usize] = Some((node, now, attempt.end));
+                        spec_attempts.push(SpecAttempt {
+                            task,
+                            reduce: false,
+                            node: node.0,
+                            start: now,
+                            end: attempt.end,
+                            outcome: SpecOutcome::Won,
+                        });
+                    }
+                    Ok(_) => {
+                        // The primary committed first: the racer is killed
+                        // at that commit and everything it ran is waste.
+                        self.metrics.incr("jobtracker", "spec.killed", 1);
+                        self.metrics.incr("jobtracker", "spec.wasted_us", p_end.since(now).0);
+                        slots[si].free_at = p_end;
+                        spec_attempts.push(SpecAttempt {
+                            task,
+                            reduce: false,
+                            node: node.0,
+                            start: now,
+                            end: p_end,
+                            outcome: SpecOutcome::Killed,
+                        });
+                    }
+                    Err(_) => {
+                        // The racer died on its own (injected failure, OOM):
+                        // no race to settle, just the burned startup.
+                        let burn = job.conf.task_startup + SimDuration::from_secs(10);
+                        self.metrics.incr("jobtracker", "spec.lost", 1);
+                        self.metrics.incr("jobtracker", "spec.wasted_us", burn.0);
+                        slots[si].free_at = now + burn;
+                        spec_attempts.push(SpecAttempt {
+                            task,
+                            reduce: false,
+                            node: node.0,
+                            start: now,
+                            end: now + burn,
+                            outcome: SpecOutcome::Lost,
+                        });
                     }
                 }
             }
@@ -632,6 +732,9 @@ impl MrCluster {
         }
         let mut output_files = Vec::new();
         let mut finished_at = maps_done;
+        // Primary attempt (node, start, commit end, compute end) per reduce.
+        let mut reduce_prim: Vec<Option<(NodeId, SimTime, SimTime, SimTime)>> =
+            vec![None; num_reduces];
 
         let mut pending_reduces: Vec<u32> = (0..num_reduces as u32).collect();
         while !pending_reduces.is_empty() {
@@ -682,8 +785,8 @@ impl MrCluster {
                 attempts += 1;
                 let node = reduce_slots[si].node;
                 let start = reduce_slots[si].free_at;
-                match self.exec_reduce_attempt(job, &outputs, r, node, start) {
-                    Ok(ReduceAttempt { end, counters: task_counters, out_path }) => {
+                match self.exec_reduce_attempt(job, &outputs, r, node, start, true) {
+                    Ok(ReduceAttempt { end, compute_end, counters: task_counters, out_path }) => {
                         counters.merge(&task_counters);
                         tasks.push(TaskSummary {
                             id: r as u32,
@@ -697,6 +800,7 @@ impl MrCluster {
                         });
                         reduce_slots[si].free_at = end;
                         finished_at = finished_at.max(end);
+                        reduce_prim[r] = Some((node, start, end, compute_end));
                         if let Some(p) = out_path {
                             output_files.push(p);
                         }
@@ -740,6 +844,141 @@ impl MrCluster {
             }
         }
 
+        // ----------------------------------- speculative execution: reduces
+        //
+        // Same estimator, one twist: the racer never commits (the primary
+        // owns `part-r-NNNNN`; the racer's bytes are identical), so its
+        // race position is its compute finish plus the primary's observed
+        // commit-write cost.
+        if job.conf.speculative && job.conf.speculative_reduces {
+            let cap = speculator.cap(num_reduces.max(1));
+            let mut speculated: BTreeSet<u32> = BTreeSet::new();
+            let mut order: Vec<usize> = (0..reduce_slots.len()).collect();
+            order.sort_by_key(|&i| (reduce_slots[i].free_at, reduce_slots[i].node.0));
+            for si in order {
+                if speculated.len() >= cap {
+                    break;
+                }
+                let node = reduce_slots[si].node;
+                let now = reduce_slots[si].free_at;
+                if !self.trackers.get(&node).is_some_and(|t| t.health.alive) {
+                    continue;
+                }
+                let mut completed: Vec<u64> = reduce_prim
+                    .iter()
+                    .flatten()
+                    .filter(|(_, _, end, _)| *end <= now)
+                    .map(|(_, start, end, _)| end.since(*start).0)
+                    .collect();
+                let running: Vec<RunningTask> = reduce_prim
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(id, p)| p.map(|(n, s, e, _)| (id, n, s, e)))
+                    .filter(|&(_, _, _, end)| end > now)
+                    .map(|(id, n, s, e)| RunningTask {
+                        task: u32::try_from(id).unwrap_or(u32::MAX),
+                        node: n,
+                        start: s,
+                        progress_bp: speculator.observed_progress(s, e, now).unwrap_or(0),
+                    })
+                    .collect();
+                let Some(task) =
+                    speculator.propose(now, node, &mut completed, &running, &speculated)
+                else {
+                    continue;
+                };
+                let valid = reduce_prim.get(task as usize).copied().flatten().is_some_and(
+                    |(p_node, _, p_end, _)| {
+                        p_end > now && p_node != node && !speculated.contains(&task)
+                    },
+                );
+                if !valid {
+                    self.metrics.incr("jobtracker", "spec.invalid", 1);
+                    continue;
+                }
+                // Checked valid just above, so the primary exists.
+                let Some((p_node, p_start, p_end, p_compute)) = reduce_prim[task as usize] else {
+                    continue;
+                };
+                speculated.insert(task);
+                self.metrics.incr("jobtracker", "spec.launched", 1);
+                match self.exec_reduce_attempt(job, &outputs, task as usize, node, now, false) {
+                    Ok(attempt) => {
+                        let commit_cost = p_end.since(p_compute);
+                        let spec_end = attempt.compute_end + commit_cost;
+                        if spec_end < p_end {
+                            self.metrics.incr("jobtracker", "spec.won", 1);
+                            self.metrics.incr(
+                                "jobtracker",
+                                "spec.wasted_us",
+                                spec_end.since(p_start).0,
+                            );
+                            counters.incr("Job Counters", "Speculative reduce attempts won", 1);
+                            if let Some(ps) = reduce_slots
+                                .iter_mut()
+                                .find(|s| s.node == p_node && s.free_at == p_end)
+                            {
+                                ps.free_at = spec_end;
+                            }
+                            reduce_slots[si].free_at = spec_end;
+                            if let Some(summary) = tasks
+                                .iter_mut()
+                                .find(|t| t.kind == TaskKind::Reduce && t.id == task)
+                            {
+                                summary.node = node;
+                                summary.start = now;
+                                summary.end = spec_end;
+                                summary.speculative = true;
+                            }
+                            reduce_prim[task as usize] =
+                                Some((node, now, spec_end, attempt.compute_end));
+                            spec_attempts.push(SpecAttempt {
+                                task,
+                                reduce: true,
+                                node: node.0,
+                                start: now,
+                                end: spec_end,
+                                outcome: SpecOutcome::Won,
+                            });
+                        } else {
+                            self.metrics.incr("jobtracker", "spec.killed", 1);
+                            self.metrics.incr("jobtracker", "spec.wasted_us", p_end.since(now).0);
+                            reduce_slots[si].free_at = p_end;
+                            spec_attempts.push(SpecAttempt {
+                                task,
+                                reduce: true,
+                                node: node.0,
+                                start: now,
+                                end: p_end,
+                                outcome: SpecOutcome::Killed,
+                            });
+                        }
+                    }
+                    Err(_) => {
+                        let burn = job.conf.task_startup;
+                        self.metrics.incr("jobtracker", "spec.lost", 1);
+                        self.metrics.incr("jobtracker", "spec.wasted_us", burn.0);
+                        reduce_slots[si].free_at = now + burn;
+                        spec_attempts.push(SpecAttempt {
+                            task,
+                            reduce: true,
+                            node: node.0,
+                            start: now,
+                            end: now + burn,
+                            outcome: SpecOutcome::Lost,
+                        });
+                    }
+                }
+            }
+            // Wins pull reduce commits earlier; re-derive the job's finish.
+            finished_at = tasks
+                .iter()
+                .filter(|t| t.kind == TaskKind::Reduce)
+                .map(|t| t.end)
+                .max()
+                .unwrap_or(maps_done);
+        }
+
         // Only *successful* jobs convert their per-job blacklistings into
         // global strikes (a failing job is as likely the job's fault as
         // the tracker's — Hadoop 1.x drew the same line).
@@ -765,6 +1004,7 @@ impl MrCluster {
             output_files,
             blacklisted_trackers: job_blacklist,
             peak_mapper_buffer: peak_buffer,
+            spec_attempts,
         })
     }
 
@@ -786,8 +1026,11 @@ impl MrCluster {
                 "injected failure (attempt {attempt} of task on {node})"
             )));
         }
-        let factor = self.slow(node);
-        let mut t = start + mul_dur(job.conf.task_startup, factor);
+        // The node's degrade profile, sampled when the attempt starts:
+        // CPU-bound charges scale here; disk and NIC charges scale inside
+        // the network layer at their own charge instants.
+        let profile = self.net.node_profile(node, start);
+        let mut t = start + PerfProfile::scale_dur(job.conf.task_startup, profile.cpu_mult);
 
         // Read the split's block through the DFS client (charged, verified,
         // locality-aware).
@@ -884,12 +1127,12 @@ impl MrCluster {
         // CPU + spill I/O charges (combiner invocations cost map-side CPU —
         // the "increased map task run time" students observed).
         let combine_in = task_counters.task(TaskCounter::CombineInputRecords);
-        let cpu = mul_dur(
+        let cpu = PerfProfile::scale_dur(
             job.conf.map_cpu_per_byte * split.len
                 + job.conf.map_cpu_per_record * records
                 + job.conf.combine_cpu_per_record * combine_in
                 + scope.extra_time,
-            factor,
+            profile.cpu_mult,
         );
         t += cpu;
         // Spill I/O adds latency to this task but is deliberately NOT a
@@ -897,7 +1140,7 @@ impl MrCluster {
         // assignment order, so a pipe charge here would make *later-
         // executed but concurrently-running* tasks' reads queue behind it
         // (a charge-ordering artifact, not a modeled phenomenon).
-        let disk_bw = self.spec.node.disk_bw.max(1);
+        let disk_bw = PerfProfile::scale_bw(self.spec.node.disk_bw, profile.disk_mult).max(1);
         if output.spill_bytes_written > 0 {
             t += SimDuration::for_transfer(output.spill_bytes_written, disk_bw);
             task_counters.incr_fs(FileSystemCounter::FileBytesWritten, output.spill_bytes_written);
@@ -947,14 +1190,15 @@ impl MrCluster {
         r: usize,
         node: NodeId,
         start: SimTime,
+        commit: bool,
     ) -> Result<ReduceAttempt>
     where
         M: Mapper,
         R: Reducer<KIn = M::KOut, VIn = M::VOut>,
         C: Combiner<K = M::KOut, V = M::VOut>,
     {
-        let factor = self.slow(node);
-        let t0 = start + mul_dur(job.conf.task_startup, factor);
+        let profile = self.net.node_profile(node, start);
+        let t0 = start + PerfProfile::scale_dur(job.conf.task_startup, profile.cpu_mult);
         let mut task_counters = Counters::new();
 
         // Shuffle: fetch this reduce's partition from every map's node.
@@ -1003,7 +1247,10 @@ impl MrCluster {
         task_counters.merge(&scope.counters);
         task_counters.incr_task(TaskCounter::ReduceInputRecords, records);
 
-        let cpu = mul_dur(job.conf.reduce_cpu_per_record * records + scope.extra_time, factor);
+        let cpu = PerfProfile::scale_dur(
+            job.conf.reduce_cpu_per_record * records + scope.extra_time,
+            profile.cpu_mult,
+        );
         let mut t = shuffle_done + cpu;
 
         // Heap hook for reduces too.
@@ -1020,8 +1267,12 @@ impl MrCluster {
             return Err(HlError::TaskFailed(format!("tasktracker on {node} crashed (OOM)")));
         }
 
-        // Write part file to HDFS (real bytes, charged, replicated).
-        let out_path = if lines.is_empty() {
+        // Write part file to HDFS (real bytes, charged, replicated). A
+        // speculative attempt racing a live primary never commits — the
+        // primary's file is the one the job owns, and the racer's bytes
+        // are identical (same deterministic reducer over the same runs).
+        let compute_end = t;
+        let out_path = if lines.is_empty() || !commit {
             None
         } else {
             let mut text = lines.join("\n");
@@ -1033,7 +1284,7 @@ impl MrCluster {
             Some(path)
         };
 
-        Ok(ReduceAttempt { end: t, counters: task_counters, out_path })
+        Ok(ReduceAttempt { end: t, compute_end, counters: task_counters, out_path })
     }
 
     /// Read a job's full text output (all part files concatenated, charged).
@@ -1083,6 +1334,9 @@ struct MapAttempt {
 
 struct ReduceAttempt {
     end: SimTime,
+    /// When reduce compute finished, before the HDFS commit write —
+    /// what a speculative (non-committing) attempt's race is judged on.
+    compute_end: SimTime,
     counters: Counters,
     out_path: Option<String>,
 }
@@ -1106,14 +1360,6 @@ fn locality_counter(l: Locality) -> &'static str {
         Locality::NodeLocal => "Data-local map tasks",
         Locality::RackLocal => "Rack-local map tasks",
         Locality::OffRack => "Off-rack map tasks",
-    }
-}
-
-fn mul_dur(d: SimDuration, factor: f64) -> SimDuration {
-    if factor == 1.0 {
-        d
-    } else {
-        SimDuration::from_secs_f64(d.as_secs_f64() * factor)
     }
 }
 

@@ -173,6 +173,7 @@ mod tests {
             output_files: vec![],
             blacklisted_trackers: vec![],
             peak_mapper_buffer: 0,
+            spec_attempts: vec![],
         }
     }
 

@@ -26,8 +26,20 @@ pub struct JobConf {
     pub num_reduces: usize,
     /// Map-side sort buffer size in bytes (`io.sort.mb`).
     pub sort_buffer_bytes: usize,
-    /// Speculative execution of straggler maps.
+    /// Speculative execution of straggler maps (master switch: off, no
+    /// task of any kind is speculated).
     pub speculative: bool,
+    /// Speculative execution of straggler reduces (additionally gated on
+    /// `speculative`, like Hadoop's separate map/reduce switches).
+    pub speculative_reduces: bool,
+    /// Launch threshold: speculate a running task once its estimated
+    /// total duration exceeds this percent of the median completed one.
+    pub spec_slowtask_pct: u32,
+    /// Cap on speculative attempts per phase, percent of the phase's
+    /// tasks (floor 1).
+    pub spec_cap_pct: u32,
+    /// Heartbeat quantum for progress reports feeding the estimator.
+    pub spec_heartbeat: SimDuration,
     /// Attempts per task before the job fails (Hadoop default 4).
     pub max_attempts: u32,
     /// Virtual CPU charge per map input byte (parsing).
@@ -67,6 +79,10 @@ impl JobConf {
             num_reduces: 1,
             sort_buffer_bytes: 100 * 1024 * 1024,
             speculative: true,
+            speculative_reduces: true,
+            spec_slowtask_pct: 150,
+            spec_cap_pct: 10,
+            spec_heartbeat: SimDuration::from_secs(3),
             max_attempts: 4,
             map_cpu_per_byte: SimDuration::from_micros(1) / 80, // ~80 MB/s
             map_cpu_per_record: SimDuration::from_micros(2),
@@ -91,6 +107,14 @@ impl JobConf {
         let mut jc = JobConf::new(name);
         jc.num_reduces = conf.get_usize(keys::MAPRED_REDUCE_TASKS, jc.num_reduces)?.max(1);
         jc.speculative = conf.get_bool(keys::MAPRED_SPECULATIVE, jc.speculative)?;
+        jc.speculative_reduces =
+            conf.get_bool(keys::MAPRED_REDUCE_SPECULATIVE, jc.speculative_reduces)?;
+        jc.spec_slowtask_pct =
+            conf.get_u32(keys::MAPRED_SPECULATIVE_SLOWTASK_PCT, jc.spec_slowtask_pct)?.max(100);
+        jc.spec_cap_pct = conf.get_u32(keys::MAPRED_SPECULATIVE_CAP_PCT, jc.spec_cap_pct)?;
+        jc.spec_heartbeat = SimDuration::from_secs(
+            conf.get_u64(keys::MAPRED_SPECULATIVE_HEARTBEAT_SECS, 3)?.max(1),
+        );
         jc.max_attempts = conf.get_u32(keys::MAPRED_MAX_ATTEMPTS, jc.max_attempts)?;
         jc.sort_buffer_bytes = conf.get_usize(keys::IO_SORT_BYTES, jc.sort_buffer_bytes)?.max(1024);
         Ok(jc)
@@ -117,6 +141,13 @@ impl JobConf {
     /// Toggle speculative execution.
     pub fn speculative(mut self, on: bool) -> Self {
         self.speculative = on;
+        self
+    }
+
+    /// Toggle speculative execution of reduces (also gated on the master
+    /// `speculative` switch).
+    pub fn speculative_reduces(mut self, on: bool) -> Self {
+        self.speculative_reduces = on;
         self
     }
 
@@ -296,11 +327,19 @@ mod tests {
         let mut site = Configuration::with_defaults();
         site.set(keys::MAPRED_REDUCE_TASKS, 6)
             .set(keys::MAPRED_SPECULATIVE, false)
+            .set(keys::MAPRED_REDUCE_SPECULATIVE, false)
+            .set(keys::MAPRED_SPECULATIVE_SLOWTASK_PCT, 200)
+            .set(keys::MAPRED_SPECULATIVE_CAP_PCT, 25)
+            .set(keys::MAPRED_SPECULATIVE_HEARTBEAT_SECS, 5)
             .set(keys::MAPRED_MAX_ATTEMPTS, 2)
             .set(keys::IO_SORT_BYTES, 1 << 20);
         let conf = JobConf::from_configuration("wc", &site).unwrap();
         assert_eq!(conf.num_reduces, 6);
         assert!(!conf.speculative);
+        assert!(!conf.speculative_reduces);
+        assert_eq!(conf.spec_slowtask_pct, 200);
+        assert_eq!(conf.spec_cap_pct, 25);
+        assert_eq!(conf.spec_heartbeat, SimDuration::from_secs(5));
         assert_eq!(conf.max_attempts, 2);
         assert_eq!(conf.sort_buffer_bytes, 1 << 20);
         // Unset keys keep the course defaults; garbage is an error.

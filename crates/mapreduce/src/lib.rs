@@ -19,6 +19,9 @@
 //!   retries, and virtual-time accounting;
 //! * [`scheduler`] — the pluggable `Scheduler` trait with FIFO, Fair,
 //!   and Capacity policies (Hadoop's multi-tenant evolution);
+//! * [`speculate`] — LATE-style speculative execution policy: progress
+//!   rates over heartbeats, late-binding launch thresholds, and closed
+//!   won/lost/killed accounting;
 //! * [`local`] — the `LocalJobRunner` (assignment 1's "serial Java
 //!   commands without any HDFS support"), with an optional rayon-parallel
 //!   mode;
@@ -40,6 +43,7 @@ pub mod merge;
 pub mod report;
 pub mod scheduler;
 pub mod sortbuf;
+pub mod speculate;
 pub mod split;
 
 pub use api::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
@@ -50,3 +54,4 @@ pub use scheduler::{
     scheduler_from_config, Assignment, CapacityScheduler, FairScheduler, FifoScheduler, JobView,
     PoolSpec, Preemption, QueueSpec, Scheduler, SchedulerEnv, SlotState, UniformEnv,
 };
+pub use speculate::{SpecAttempt, SpecOutcome, Speculator};

@@ -12,6 +12,8 @@ use hl_common::prelude::*;
 use hl_common::topology::Locality;
 use hl_common::units::ByteSize;
 
+use crate::speculate::{SpecAttempt, SpecOutcome};
+
 /// Map or reduce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskKind {
@@ -75,6 +77,9 @@ pub struct JobReport {
     /// Largest map-side sort-buffer high-water mark across tasks (the
     /// in-mapper-combining memory metric).
     pub peak_mapper_buffer: usize,
+    /// Every speculative attempt the job launched, settled: won, lost,
+    /// or killed (launched = won + lost + killed by construction).
+    pub spec_attempts: Vec<SpecAttempt>,
 }
 
 impl JobReport {
@@ -129,6 +134,11 @@ impl JobReport {
     /// Shuffle traffic (the other axis of the combiner trade-off).
     pub fn shuffle_bytes(&self) -> u64 {
         self.counters.task(TaskCounter::ReduceShuffleBytes)
+    }
+
+    /// Speculative attempts that beat their primary.
+    pub fn spec_wins(&self) -> usize {
+        self.spec_attempts.iter().filter(|a| a.outcome == SpecOutcome::Won).count()
     }
 
     /// Render the single-line completion banner + counters, like the tail
@@ -187,6 +197,14 @@ impl fmt::Display for JobReport {
             let list: Vec<String> =
                 self.blacklisted_trackers.iter().map(|n| n.to_string()).collect();
             writeln!(f, "Blacklisted trackers: {}", list.join(", "))?;
+        }
+        if !self.spec_attempts.is_empty() {
+            writeln!(
+                f,
+                "Speculative attempts: {} launched, {} won",
+                self.spec_attempts.len(),
+                self.spec_wins()
+            )?;
         }
         for t in &self.tasks {
             writeln!(
@@ -259,6 +277,7 @@ mod tests {
             output_files: vec!["/out/part-r-00000".into()],
             blacklisted_trackers: vec![],
             peak_mapper_buffer: 1024,
+            spec_attempts: vec![],
         }
     }
 

@@ -1,0 +1,287 @@
+//! Speculative execution as a first-class subsystem.
+//!
+//! Hadoop 1.x's JobTracker watches each running attempt's *progress
+//! rate* through TaskTracker heartbeats and, once free slots appear and
+//! a task's estimated finish runs far past the pack, launches a second
+//! attempt of it on a different node — the LATE insight that on a
+//! heterogeneous cluster "slow relative to the median" beats "slow in
+//! absolute terms". This module is the policy half: the [`Speculator`]
+//! estimates and proposes; the engine validates every proposal (exactly
+//! as it validates scheduler assignments), executes it, and settles the
+//! race. Accounting is closed by construction:
+//!
+//! ```text
+//! spec.launched == spec.won + spec.lost + spec.killed
+//! ```
+//!
+//! * **won** — the speculative attempt finished first; the primary is
+//!   killed at that instant and its whole runtime is wasted work;
+//! * **killed** — the primary finished first; the speculative attempt is
+//!   killed at the primary's commit, wasting its partial runtime;
+//! * **lost** — the speculative attempt itself died (injected failure,
+//!   OOM) before either could win.
+//!
+//! The wasted side of each outcome accumulates in `spec.wasted_us` — the
+//! cost-model price of insurance that the TPCx-HS ablation (EXPERIMENTS
+//! C5) weighs against the makespan it buys.
+
+use std::collections::BTreeSet;
+
+use hl_common::prelude::*;
+use hl_common::writable::{read_vu64, write_vu64, Writable};
+
+use crate::job::JobConf;
+
+/// Completed primary attempts needed before the estimator trusts its
+/// median (Hadoop waits for a similar warm-up before speculating).
+pub const MIN_COMPLETED: usize = 3;
+
+/// How a finished speculative attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecOutcome {
+    /// Finished before the primary: the primary was killed.
+    Won,
+    /// Died on its own (failure injection, OOM) — no race to settle.
+    Lost,
+    /// The primary committed first: this attempt was killed.
+    Killed,
+}
+
+impl SpecOutcome {
+    fn tag(self) -> u64 {
+        match self {
+            SpecOutcome::Won => 0,
+            SpecOutcome::Lost => 1,
+            SpecOutcome::Killed => 2,
+        }
+    }
+}
+
+/// One settled speculative attempt — the per-task attempt record the job
+/// report carries (and traces serialize).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecAttempt {
+    /// Task index within its phase.
+    pub task: u32,
+    /// True for a reduce attempt, false for a map attempt.
+    pub reduce: bool,
+    /// Node the speculative attempt ran on.
+    pub node: u32,
+    /// When the speculative attempt launched.
+    pub start: SimTime,
+    /// When the race settled (win: this attempt's commit; killed: the
+    /// primary's commit; lost: when the failure burned out).
+    pub end: SimTime,
+    /// Who won the race.
+    pub outcome: SpecOutcome,
+}
+
+impl Writable for SpecAttempt {
+    fn write(&self, buf: &mut Vec<u8>) {
+        write_vu64(u64::from(self.task), buf);
+        write_vu64(u64::from(self.reduce), buf);
+        write_vu64(u64::from(self.node), buf);
+        write_vu64(self.start.0, buf);
+        write_vu64(self.end.0, buf);
+        write_vu64(self.outcome.tag(), buf);
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        let narrow = |v: u64, what: &str| {
+            u32::try_from(v).map_err(|_| HlError::Codec(format!("SpecAttempt {what} {v} > u32")))
+        };
+        let task = narrow(read_vu64(buf)?, "task")?;
+        let reduce = read_vu64(buf)? != 0;
+        let node = narrow(read_vu64(buf)?, "node")?;
+        let start = SimTime(read_vu64(buf)?);
+        let end = SimTime(read_vu64(buf)?);
+        let outcome = match read_vu64(buf)? {
+            0 => SpecOutcome::Won,
+            1 => SpecOutcome::Lost,
+            2 => SpecOutcome::Killed,
+            t => return Err(HlError::Codec(format!("SpecAttempt outcome tag {t}"))),
+        };
+        Ok(SpecAttempt { task, reduce, node, start, end, outcome })
+    }
+}
+
+/// One primary attempt still running at a decision instant, as the
+/// JobTracker sees it through heartbeat reports.
+#[derive(Debug, Clone, Copy)]
+pub struct RunningTask {
+    /// Task index within its phase.
+    pub task: u32,
+    /// Node the primary attempt runs on.
+    pub node: NodeId,
+    /// When the primary attempt started.
+    pub start: SimTime,
+    /// Last-reported progress in basis points (1..10 000), quantized to
+    /// the heartbeat boundary it arrived on.
+    pub progress_bp: u32,
+}
+
+/// The late-binding speculation policy: progress-rate estimation over
+/// heartbeats plus the `mapred.speculative.*` thresholds.
+#[derive(Debug, Clone)]
+pub struct Speculator {
+    threshold_pct: u32,
+    cap_pct: u32,
+    heartbeat: SimDuration,
+}
+
+impl Speculator {
+    /// A speculator tuned by a job's `mapred.speculative.*` settings.
+    pub fn from_conf(conf: &JobConf) -> Self {
+        Speculator {
+            threshold_pct: conf.spec_slowtask_pct.max(100),
+            cap_pct: conf.spec_cap_pct,
+            heartbeat: SimDuration(conf.spec_heartbeat.0.max(1)),
+        }
+    }
+
+    /// Most speculative attempts one phase of `total_tasks` may launch.
+    pub fn cap(&self, total_tasks: usize) -> usize {
+        let pct = usize::try_from(self.cap_pct).unwrap_or(usize::MAX);
+        (total_tasks.saturating_mul(pct) / 100).max(1)
+    }
+
+    /// The progress a tracker would have *reported* by `now` for an
+    /// attempt spanning `start..end`: elapsed time rounded down to the
+    /// last heartbeat boundary, as basis points of the true duration.
+    /// `None` before the first heartbeat — the JobTracker can't estimate
+    /// a rate from zero reports.
+    pub fn observed_progress(&self, start: SimTime, end: SimTime, now: SimTime) -> Option<u32> {
+        if now <= start || end <= start {
+            return None;
+        }
+        let hb = self.heartbeat.0.max(1);
+        let elapsed_q = (now.since(start).0 / hb) * hb;
+        if elapsed_q == 0 {
+            return None;
+        }
+        let total = end.since(start).0.max(1);
+        let bp = u128::from(elapsed_q) * u128::from(BP) / u128::from(total);
+        Some(u32::try_from(bp.clamp(1, u128::from(BP - 1))).unwrap_or(BP - 1))
+    }
+
+    /// Propose which running task (if any) to speculate on a slot that
+    /// freed up on `slot_node` at `now`. LATE-style: estimate each
+    /// running task's total duration from its reported progress rate,
+    /// keep those beyond `threshold_pct` of the median completed
+    /// duration whose estimated remaining time still exceeds a fresh
+    /// median-length attempt, and pick the one finishing furthest out.
+    pub fn propose(
+        &self,
+        now: SimTime,
+        slot_node: NodeId,
+        completed_us: &mut [u64],
+        running: &[RunningTask],
+        speculated: &BTreeSet<u32>,
+    ) -> Option<u32> {
+        if completed_us.len() < MIN_COMPLETED {
+            return None;
+        }
+        completed_us.sort_unstable();
+        let median = completed_us[completed_us.len() / 2].max(1);
+        let threshold = median.saturating_mul(u64::from(self.threshold_pct)) / 100;
+        // (estimated finish, task id): max finish, min id on ties.
+        let mut best: Option<(u64, u32)> = None;
+        for r in running {
+            if r.node == slot_node || speculated.contains(&r.task) || r.progress_bp == 0 {
+                continue;
+            }
+            let elapsed = now.since(r.start).0;
+            let est_total =
+                u64::try_from(u128::from(elapsed) * u128::from(BP) / u128::from(r.progress_bp))
+                    .unwrap_or(u64::MAX);
+            if est_total <= threshold {
+                continue;
+            }
+            let est_finish = r.start.0.saturating_add(est_total);
+            // Not worth it if a fresh attempt (≈ median) can't beat the
+            // primary's remaining time.
+            if est_finish.saturating_sub(now.0) <= median {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((f, t)) => est_finish > f || (est_finish == f && r.task < t),
+            };
+            if better {
+                best = Some((est_finish, r.task));
+            }
+        }
+        best.map(|(_, t)| t)
+    }
+}
+
+/// Basis points of a whole (progress and multiplier denominators).
+const BP: u32 = 10_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> Speculator {
+        Speculator::from_conf(&JobConf::new("t"))
+    }
+
+    #[test]
+    fn spec_attempt_round_trips() {
+        for outcome in [SpecOutcome::Won, SpecOutcome::Lost, SpecOutcome::Killed] {
+            let a = SpecAttempt {
+                task: 7,
+                reduce: outcome == SpecOutcome::Killed,
+                node: 3,
+                start: SimTime(1_000_000),
+                end: SimTime(9_500_000),
+                outcome,
+            };
+            assert_eq!(SpecAttempt::from_bytes(&a.to_bytes()).unwrap(), a);
+        }
+        assert!(SpecAttempt::from_bytes(&[0, 0, 0, 0, 0, 9]).is_err(), "unknown outcome tag");
+    }
+
+    #[test]
+    fn progress_is_heartbeat_quantized() {
+        let s = spec(); // 3 s heartbeat
+        let start = SimTime::ZERO;
+        let end = SimTime(30_000_000); // a 30 s task
+        assert_eq!(s.observed_progress(start, end, SimTime(2_999_999)), None, "no report yet");
+        // 4 s in, the last report was at 3 s → 10% of 30 s.
+        assert_eq!(s.observed_progress(start, end, SimTime(4_000_000)), Some(1_000));
+        // Reported progress never reaches 100% while the task runs.
+        assert_eq!(s.observed_progress(start, end, SimTime(29_999_999)), Some(9_000));
+    }
+
+    #[test]
+    fn propose_picks_the_straggler_beyond_threshold() {
+        let s = spec();
+        let now = SimTime(10_000_000);
+        let mut completed = vec![2_000_000, 2_100_000, 1_900_000];
+        // Started at 0, ~10 s elapsed with 20% progress → est 50 s total.
+        let straggler =
+            RunningTask { task: 5, node: NodeId(3), start: SimTime::ZERO, progress_bp: 2_000 };
+        // On pace with the median: not a candidate.
+        let on_pace =
+            RunningTask { task: 6, node: NodeId(2), start: SimTime(9_000_000), progress_bp: 5_000 };
+        let running = [straggler, on_pace];
+        assert_eq!(s.propose(now, NodeId(0), &mut completed, &running, &BTreeSet::new()), Some(5));
+        // Same node as the primary: refuse.
+        assert_eq!(s.propose(now, NodeId(3), &mut completed, &[straggler], &BTreeSet::new()), None);
+        // Already speculated: refuse.
+        let done: BTreeSet<u32> = [5].into_iter().collect();
+        assert_eq!(s.propose(now, NodeId(0), &mut completed, &[straggler], &done), None);
+        // Too few completed tasks to trust a median: refuse.
+        let mut thin = vec![2_000_000, 2_000_000];
+        assert_eq!(s.propose(now, NodeId(0), &mut thin, &[straggler], &BTreeSet::new()), None);
+    }
+
+    #[test]
+    fn cap_scales_with_phase_size_and_floors_at_one() {
+        let s = spec(); // 10% cap
+        assert_eq!(s.cap(1), 1);
+        assert_eq!(s.cap(9), 1);
+        assert_eq!(s.cap(50), 5);
+    }
+}

@@ -21,6 +21,9 @@
 //!   resubmissions;
 //! * [`terasort`] — total-order sort via a range partitioner (the
 //!   advanced-lecture optimization beyond combiners);
+//! * [`tpcxhs`] — a TPCx-HS-style three-phase suite (hsgen / hssort /
+//!   hsvalidate) whose validator job certifies global order and a dataset
+//!   checksum; the bench runs it 2×2 across speculation × cluster skew;
 //! * [`replay`] — the Google trace replayed as a live multi-tenant
 //!   arrival process through the pluggable `Scheduler` policies, with
 //!   inline starvation/quota/preemption oracles (`sched-replay` bin);
@@ -39,6 +42,7 @@ pub mod google;
 pub mod movielens;
 pub mod replay;
 pub mod terasort;
+pub mod tpcxhs;
 pub mod types;
 pub mod wordcount;
 pub mod yahoo;
