@@ -23,7 +23,12 @@
 //!   gated in-binary: on the skewed cluster speculation must *shorten*
 //!   the makespan, and on the homogeneous cluster its wasted work must
 //!   stay under 5% of the makespan. Every cell's validator must certify
-//!   the sort, so speculation is also re-proven output-neutral here.
+//!   the sort, so speculation is also re-proven output-neutral here;
+//! * **codec** — wordcount and TPCx-HS with `mapred.compress.map.output`
+//!   off vs on: spill bytes, shuffle bytes, and makespans per arm. Gated
+//!   in-binary: the compressed arm's wordcount output must be
+//!   byte-identical to the plain arm's, and its spill and shuffle volumes
+//!   must *shrink* on the compressible corpus.
 //!
 //! Every metric is a pure function of the engine's cost model, so a
 //! committed baseline diff is a deterministic perf regression signal, not
@@ -147,7 +152,7 @@ fn run_sched() -> Result<Snapshot> {
 /// cluster and return `(makespan_us, spec_wasted_us)`. The validator's
 /// verdict is checked against the generator's ground truth, so a cell
 /// where speculation corrupted output fails the bench outright.
-fn run_hs_cell(speculative: bool, skewed: bool) -> Result<(u64, u64)> {
+fn run_hs_cell(speculative: bool, skewed: bool, compress: bool) -> Result<(u64, u64)> {
     let mut config = Configuration::with_defaults();
     config.set(keys::DFS_BLOCK_SIZE, 128 * 1024u64);
     config.set(keys::IO_SORT_BYTES, 64 * 1024u64);
@@ -195,6 +200,7 @@ fn run_hs_cell(speculative: bool, skewed: bool) -> Result<(u64, u64)> {
         conf = conf.speculative(speculative);
         conf.spec_cap_pct = 30;
         conf.spec_heartbeat = SimDuration::from_millis(200);
+        conf.compress_map_output = compress;
         conf
     };
     let mut sort = hssort("/in/hs.txt", "/out/hssort", &corpus, 4);
@@ -230,10 +236,10 @@ fn run_hs_cell(speculative: bool, skewed: bool) -> Result<(u64, u64)> {
 /// speculation must pay for itself on the skewed cluster and stay cheap
 /// on the homogeneous one.
 fn run_tpcxhs() -> Result<Snapshot> {
-    let (homo_spec, homo_wasted) = run_hs_cell(true, false)?;
-    let (homo_off, _) = run_hs_cell(false, false)?;
-    let (skew_spec, skew_wasted) = run_hs_cell(true, true)?;
-    let (skew_off, _) = run_hs_cell(false, true)?;
+    let (homo_spec, homo_wasted) = run_hs_cell(true, false, false)?;
+    let (homo_off, _) = run_hs_cell(false, false, false)?;
+    let (skew_spec, skew_wasted) = run_hs_cell(true, true, false)?;
+    let (skew_off, _) = run_hs_cell(false, true, false)?;
     if skew_spec >= skew_off {
         return Err(HlError::Config(format!(
             "tpcxhs shape gate: speculation must shorten the skewed makespan \
@@ -255,6 +261,65 @@ fn run_tpcxhs() -> Result<Snapshot> {
             ("skew_spec_wall_us", skew_spec),
             ("skew_off_wall_us", skew_off),
             ("skew_spec_wasted_us", skew_wasted),
+        ],
+    })
+}
+
+/// The codec ablation: the same pinned wordcount and a homogeneous,
+/// speculation-off TPCx-HS cell, each run with map-output compression off
+/// and on. The in-binary shape gates hold the codec to its contract —
+/// byte-identical job output, strictly fewer spill and shuffle bytes on
+/// the compressible corpus — so the perf-gate band only has to watch for
+/// cost drift.
+fn run_codec() -> Result<Snapshot> {
+    let run_wc = |compress: bool| -> Result<(u64, u64, u64, String)> {
+        let mut cluster = pinned_cluster()?;
+        let (corpus, _) = CorpusGen::new(SEED).generate(WORDS);
+        stage(&mut cluster, "/in/corpus.txt", &corpus)?;
+        let mut job = wordcount("/in/corpus.txt", "/out/wc", 4);
+        job.conf.compress_map_output = compress;
+        let report = cluster.run_job(&job)?;
+        let snap = cluster.metrics_snapshot();
+        let text = cluster.read_output("/out/wc")?;
+        Ok((
+            report.elapsed().as_micros(),
+            snap.counter("jobtracker", "spill.bytes"),
+            snap.counter("jobtracker", "shuffle.bytes"),
+            text,
+        ))
+    };
+    let (plain_wall, plain_spill, plain_shuffle, plain_out) = run_wc(false)?;
+    let (codec_wall, codec_spill, codec_shuffle, codec_out) = run_wc(true)?;
+    if codec_out != plain_out {
+        return Err(HlError::Config(
+            "codec shape gate: compressed wordcount output differs from plain".into(),
+        ));
+    }
+    if codec_shuffle >= plain_shuffle {
+        return Err(HlError::Config(format!(
+            "codec shape gate: compressed shuffle must shrink \
+             (codec {codec_shuffle} >= plain {plain_shuffle})"
+        )));
+    }
+    if codec_spill >= plain_spill {
+        return Err(HlError::Config(format!(
+            "codec shape gate: compressed spill must shrink \
+             (codec {codec_spill} >= plain {plain_spill})"
+        )));
+    }
+    let (hs_plain, _) = run_hs_cell(false, false, false)?;
+    let (hs_codec, _) = run_hs_cell(false, false, true)?;
+    Ok(Snapshot {
+        workload: "codec",
+        metrics: vec![
+            ("wc_plain_wall_us", plain_wall),
+            ("wc_plain_spill_bytes", plain_spill),
+            ("wc_plain_shuffle_bytes", plain_shuffle),
+            ("wc_codec_wall_us", codec_wall),
+            ("wc_codec_spill_bytes", codec_spill),
+            ("wc_codec_shuffle_bytes", codec_shuffle),
+            ("hs_plain_wall_us", hs_plain),
+            ("hs_codec_wall_us", hs_codec),
         ],
     })
 }
@@ -348,10 +413,11 @@ fn main() -> ExitCode {
     }
 
     let mut snapshots = Vec::new();
-    for workload in ["wordcount", "terasort", "sched", "tpcxhs"] {
+    for workload in ["wordcount", "terasort", "sched", "tpcxhs", "codec"] {
         let result = match workload {
             "sched" => run_sched(),
             "tpcxhs" => run_tpcxhs(),
+            "codec" => run_codec(),
             other => run_workload(other),
         };
         match result {

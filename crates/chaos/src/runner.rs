@@ -32,6 +32,11 @@ use crate::scenario::{ScenarioPack, NODES};
 /// The staged input every round's job reads.
 pub const INPUT: &str = "/in/corpus.txt";
 
+/// The same corpus stored through the hl-codec frame path: blocks hold
+/// whole frames, reads decode transparently. The compressed-path pack
+/// points its rounds here; every pack's durability oracle re-reads it.
+pub const INPUT_PACKED: &str = "/in/corpus.hlz";
+
 /// Owner string for the session's own (live, legitimate) port bindings.
 pub(crate) const SESSION_OWNER: &str = "chaos-session";
 
@@ -195,11 +200,31 @@ impl ChaosRunner {
         let (corpus, expected) = CorpusGen::new(seed).generate(CORPUS_WORDS);
         let put = cluster.dfs.put(&mut cluster.net, cluster.now, INPUT, corpus.as_bytes(), None)?;
         cluster.now = put.completed_at;
-        let acked = vec![AckedWrite {
-            path: INPUT.to_string(),
-            len: corpus.len() as u64,
-            crc: Crc32::checksum(corpus.as_bytes()),
-        }];
+        // The compressed copy rides in every pack: its framed blocks sit in
+        // the manifest where bit-rot can chew them, and the durability
+        // oracle holds the *logical* bytes (reads decode transparently), so
+        // a rotted frame either fails over or trips a violation.
+        let zput = cluster.dfs.put_compressed(
+            &mut cluster.net,
+            cluster.now,
+            INPUT_PACKED,
+            corpus.as_bytes(),
+            None,
+            hl_codec::CodecId::Hlz,
+        )?;
+        cluster.now = zput.completed_at;
+        let acked = vec![
+            AckedWrite {
+                path: INPUT.to_string(),
+                len: corpus.len() as u64,
+                crc: Crc32::checksum(corpus.as_bytes()),
+            },
+            AckedWrite {
+                path: INPUT_PACKED.to_string(),
+                len: corpus.len() as u64,
+                crc: Crc32::checksum(corpus.as_bytes()),
+            },
+        ];
 
         // Ground truth from the LocalJobRunner analogue, cross-checked
         // against the generator's own tally.
@@ -262,16 +287,22 @@ impl ChaosRunner {
         self.cluster.dfs.run_protocol(&mut self.cluster.net, from, until);
         self.cluster.now = until;
         self.campus.advance_to(until);
-        // The round's workload, alternating the combiner variant.
+        // The round's workload, alternating the combiner variant. The
+        // compressed-path pack reads the framed corpus and compresses map
+        // output, driving every codec byte path under fault pressure.
         let out = format!("/out/r{round}");
         let leaking = self.pending_leak.take().is_some();
+        let packed = self.pack == ScenarioPack::CompressedPath;
+        let input = if packed { INPUT_PACKED } else { INPUT };
         if round.is_multiple_of(2) {
-            let mut job = wordcount(INPUT, &out, 2);
+            let mut job = wordcount(input, &out, 2);
             job.conf.leaks_memory = leaking;
+            job.conf.compress_map_output = packed;
             self.drive(&job);
         } else {
-            let mut job = wordcount_combiner(INPUT, &out, 2);
+            let mut job = wordcount_combiner(input, &out, 2);
             job.conf.leaks_memory = leaking;
+            job.conf.compress_map_output = packed;
             self.drive(&job);
         }
     }
@@ -725,6 +756,57 @@ mod tests {
         // and the replay fingerprint now covers the rendered report.
         assert!(report.trace.contains("Name: namenode"));
         assert!(report.trace.contains("restarts"));
+    }
+
+    #[test]
+    fn rotted_compressed_corpus_block_hits_the_crc_wall_before_decode() {
+        let mut runner = ChaosRunner::new(ScenarioPack::CompressedPath, 17).unwrap();
+        // Aim bit-rot at a block of the framed corpus specifically:
+        // corrupt_block indexes the manifest by `victim % len`.
+        let packed_blocks: Vec<hl_dfs::BlockId> = runner
+            .cluster
+            .dfs
+            .file_blocks(INPUT_PACKED)
+            .unwrap()
+            .into_iter()
+            .map(|(id, _, _)| id)
+            .collect();
+        let manifest = runner.cluster.dfs.namenode.block_manifest();
+        let idx = manifest
+            .iter()
+            .position(|(id, _, _)| packed_blocks.contains(id))
+            .expect("framed corpus staged into the block map");
+        runner.corrupt_block(idx as u64);
+        assert_eq!(runner.corruptions.len(), 1);
+        let (block, _) = runner.corruptions[0];
+        let id = hl_dfs::BlockId(block);
+        assert!(packed_blocks.contains(&id), "rot landed on a framed block");
+        // The rotted replica fails its chunk checksum — the wall stands
+        // *before* any frame reaches the decoder.
+        let bad = runner
+            .cluster
+            .dfs
+            .datanode_ids()
+            .into_iter()
+            .filter_map(|n| runner.cluster.dfs.datanode(n))
+            .filter(|d| d.has_block(id))
+            .filter(|d| matches!(d.read_block(id), Err(HlError::ChecksumMismatch { .. })))
+            .count();
+        assert_eq!(bad, 1, "exactly one replica rotted");
+        // A client read fails over to a clean replica and still decodes
+        // the exact logical corpus.
+        let now = runner.cluster.now;
+        let got =
+            runner.cluster.dfs.read(&mut runner.cluster.net, now, INPUT_PACKED, None).unwrap();
+        assert_eq!(got.value.len() as u64, runner.acked[1].len);
+        assert_eq!(Crc32::checksum(&got.value), runner.acked[1].crc);
+    }
+
+    #[test]
+    fn compressed_path_pack_runs_clean_end_to_end() {
+        let report = ChaosRunner::run(ScenarioPack::CompressedPath, 5).unwrap();
+        assert!(report.ok(), "compressed-path seed 5 violated: {:?}", report.violations);
+        assert!(!report.corruptions.is_empty() || report.injected > 0);
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //! * **degraded-ops** — nothing crashes, everything *drags*: nodes decay
 //!   progressively, noisy neighbors flare, NICs flap, and speculative
 //!   execution has to route around the slow hardware without ever
-//!   changing a byte of job output.
+//!   changing a byte of job output;
+//! * **compressed-path** — bit-rot aimed at the *compressed* byte path:
+//!   rounds read the hl-codec-framed corpus copy with compressed map
+//!   output on, so corruption must be caught by the per-block CRC before
+//!   any frame reaches the decoder.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -54,17 +58,22 @@ pub enum ScenarioPack {
     /// interference, and flaky NICs — slow hardware instead of dead
     /// hardware, exercising speculation end to end.
     DegradedOps,
+    /// Bit-rot against the compressed byte path: rounds run over the
+    /// hl-codec-framed corpus with compressed map output, so the checksum
+    /// wall has to catch corruption before any frame is decoded.
+    CompressedPath,
 }
 
 impl ScenarioPack {
     /// All packs, soak order.
-    pub const ALL: [ScenarioPack; 6] = [
+    pub const ALL: [ScenarioPack; 7] = [
         ScenarioPack::Meltdown,
         ScenarioPack::RestartDrill,
         ScenarioPack::BitRot,
         ScenarioPack::GhostPorts,
         ScenarioPack::WriteStorm,
         ScenarioPack::DegradedOps,
+        ScenarioPack::CompressedPath,
     ];
 
     /// CLI name.
@@ -76,6 +85,7 @@ impl ScenarioPack {
             ScenarioPack::GhostPorts => "ghost-ports",
             ScenarioPack::WriteStorm => "write-storm",
             ScenarioPack::DegradedOps => "degraded-ops",
+            ScenarioPack::CompressedPath => "compressed-path",
         }
     }
 
@@ -96,6 +106,7 @@ impl ScenarioPack {
             ScenarioPack::GhostPorts => 0x4750,
             ScenarioPack::WriteStorm => 0x5753,
             ScenarioPack::DegradedOps => 0x444f,
+            ScenarioPack::CompressedPath => 0x4350,
         };
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (salt << 32));
         let mut faults = Vec::new();
@@ -215,6 +226,28 @@ impl ScenarioPack {
                 // trailing block would wedge safe mode forever, and the
                 // restart drill already owns that story. The operator pass
                 // revives pipeline-kill victims so replication can quiesce.
+                faults.push(PlannedFault { at: ROUNDS - 1, fault: Fault::RestartDaemons });
+            }
+            ScenarioPack::CompressedPath => {
+                // Same rot pressure as bit-rot, but the runner points every
+                // round at the framed corpus (and compresses map output),
+                // so the corruption targets include hl-codec frames and the
+                // CRC wall is what stands between rot and the decoder.
+                for _ in 0..rng.gen_range(2..=4u32) {
+                    faults.push(PlannedFault {
+                        at: rng.gen_range(0..ROUNDS.saturating_sub(1)),
+                        fault: Fault::CorruptBlock { victim: rng.gen_range(0..u64::MAX) },
+                    });
+                }
+                if rng.gen_bool(0.4) {
+                    faults.push(PlannedFault {
+                        at: 2,
+                        fault: Fault::KillDaemon {
+                            kind: DaemonKind::DataNode,
+                            node: node(&mut rng),
+                        },
+                    });
+                }
                 faults.push(PlannedFault { at: ROUNDS - 1, fault: Fault::RestartDaemons });
             }
             ScenarioPack::DegradedOps => {
@@ -358,6 +391,13 @@ mod tests {
                     assert!(floor_pct > 0);
                 }
             }
+            // Every compressed-path plan rots at least one replica — the
+            // whole point is corruption meeting the frame CRC wall.
+            assert!(ScenarioPack::CompressedPath
+                .plan(seed)
+                .faults
+                .iter()
+                .any(|p| matches!(p.fault, Fault::CorruptBlock { .. })));
         }
     }
 }

@@ -1,0 +1,361 @@
+//! The splittable container: compressed data travels as a sequence of
+//! self-describing *frames*, each opened by an 8-byte sync marker and a
+//! [`FrameHeader`] carrying the uncompressed length and a CRC32 of the
+//! uncompressed bytes.
+//!
+//! The design copies what made LZO files splittable on the course
+//! clusters: because every frame is independently decodable and announces
+//! itself with a marker, a reader dropped at an arbitrary byte offset can
+//! scan forward to the next marker ([`find_sync`]) and decode from there —
+//! exactly what an `InputSplit` needs. The DFS writer additionally cuts
+//! HDFS blocks on frame boundaries, so every block boundary *is* a sync
+//! boundary and per-block splits decode without touching a neighbor.
+//!
+//! Integrity layering: the DataNode's 512-byte [`ChunkedChecksum`] catches
+//! bit rot on the stored (compressed) bytes before any decode runs; the
+//! frame CRC is a second, end-to-end check over the *uncompressed* bytes,
+//! so a codec bug (or rot that slipped past) can never silently hand a
+//! job corrupted records.
+//!
+//! [`ChunkedChecksum`]: hl_common::checksum::ChunkedChecksum
+
+use hl_common::checksum::Crc32;
+use hl_common::prelude::*;
+use hl_common::writable::{read_vu64, write_vu64, Writable};
+
+use crate::{codec_for, CodecId};
+
+/// Frame boundary marker. Like a SequenceFile sync marker, it is a fixed
+/// improbable byte string; candidates are verified by fully parsing (and
+/// CRC-checking) the frame they claim to open, so payload bytes that
+/// happen to collide are rejected.
+pub const SYNC_MARKER: [u8; 8] = [0x48, 0x4C, 0x5A, 0x31, 0xC3, 0xA9, 0x55, 0xE7];
+
+/// Uncompressed bytes per frame. Small enough that a frame never straddles
+/// the simulator's (tiny, teaching-scale) DFS blocks awkwardly, large
+/// enough for the matcher to find real redundancy.
+pub const FRAME_RAW_CHUNK: usize = 64 * 1024;
+
+/// Upper bound a decoder will accept for one frame's uncompressed length —
+/// an allocation guard against corrupt or hostile headers.
+pub const MAX_FRAME_RAW_LEN: u64 = 16 * 1024 * 1024;
+
+/// Everything after a frame's sync marker, before its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// How the payload is encoded: [`CodecId::Null`] means stored
+    /// verbatim (the fallback when compression would not shrink a chunk).
+    pub method: CodecId,
+    /// Uncompressed payload length.
+    pub raw_len: u64,
+    /// Stored payload length.
+    pub comp_len: u64,
+    /// CRC32 over the *uncompressed* bytes.
+    pub crc: u32,
+}
+
+impl Writable for FrameHeader {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.method.write(buf);
+        write_vu64(self.raw_len, buf);
+        write_vu64(self.comp_len, buf);
+        self.crc.write(buf);
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(FrameHeader {
+            method: CodecId::read(buf)?,
+            raw_len: read_vu64(buf)?,
+            comp_len: read_vu64(buf)?,
+            crc: u32::read(buf)?,
+        })
+    }
+}
+
+/// Encode one chunk as a complete frame (marker + header + payload).
+/// Falls back to a stored ([`CodecId::Null`]) frame when the codec fails
+/// to shrink the chunk, so incompressible data costs only header overhead.
+pub fn encode_frame(id: CodecId, chunk: &[u8]) -> Vec<u8> {
+    let packed = codec_for(id).compress_block(chunk);
+    let (method, payload) =
+        if packed.len() < chunk.len() { (id, packed) } else { (CodecId::Null, chunk.to_vec()) };
+    let header = FrameHeader {
+        method,
+        raw_len: chunk.len() as u64,
+        comp_len: payload.len() as u64,
+        crc: Crc32::checksum(chunk),
+    };
+    let mut frame = Vec::with_capacity(SYNC_MARKER.len() + 16 + payload.len());
+    frame.extend_from_slice(&SYNC_MARKER);
+    header.write(&mut frame);
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Split `data` into [`FRAME_RAW_CHUNK`]-sized chunks and encode each as
+/// its own frame. Empty input yields zero frames.
+pub fn compress_to_frames(id: CodecId, data: &[u8]) -> Vec<Vec<u8>> {
+    data.chunks(FRAME_RAW_CHUNK).map(|chunk| encode_frame(id, chunk)).collect()
+}
+
+/// Compress `data` into a single contiguous container (the frames,
+/// concatenated).
+pub fn compress_container(id: CodecId, data: &[u8]) -> Vec<u8> {
+    compress_to_frames(id, data).concat()
+}
+
+/// Parse the frame starting exactly at `at`. Returns the header, the
+/// payload slice, and the offset one past the frame. Does *not* CRC-check
+/// the payload — [`decode_frame`] does.
+pub fn parse_frame(bytes: &[u8], at: usize) -> Result<(FrameHeader, &[u8], usize)> {
+    let rest = bytes.get(at..).ok_or_else(|| HlError::Codec("frame offset past the end".into()))?;
+    if rest.len() < SYNC_MARKER.len() || rest[..SYNC_MARKER.len()] != SYNC_MARKER {
+        return Err(HlError::Codec(format!("no sync marker at offset {at}")));
+    }
+    let mut buf = &rest[SYNC_MARKER.len()..];
+    let before = buf.len();
+    let header = FrameHeader::read(&mut buf)?;
+    if header.raw_len > MAX_FRAME_RAW_LEN {
+        return Err(HlError::Codec(format!("frame claims {} raw bytes", header.raw_len)));
+    }
+    if header.method == CodecId::Null && header.comp_len != header.raw_len {
+        return Err(HlError::Codec("stored frame with comp_len != raw_len".into()));
+    }
+    let header_len = before - buf.len();
+    let comp_len = usize::try_from(header.comp_len)
+        .map_err(|_| HlError::Codec("frame comp_len overflows usize".into()))?;
+    let payload_at = SYNC_MARKER.len() + header_len;
+    let payload = rest
+        .get(payload_at..payload_at + comp_len)
+        .ok_or_else(|| HlError::Codec("frame payload truncated".into()))?;
+    Ok((header, payload, at + payload_at + comp_len))
+}
+
+/// Decode one parsed frame to its uncompressed bytes, verifying the CRC.
+pub fn decode_frame(header: &FrameHeader, payload: &[u8]) -> Result<Vec<u8>> {
+    let raw_len = usize::try_from(header.raw_len)
+        .map_err(|_| HlError::Codec("frame raw_len overflows usize".into()))?;
+    let raw = codec_for(header.method).decompress_block(payload, raw_len)?;
+    let crc = Crc32::checksum(&raw);
+    if crc != header.crc {
+        return Err(HlError::Codec(format!(
+            "frame CRC mismatch: header says {:08x}, decoded bytes hash to {crc:08x}",
+            header.crc
+        )));
+    }
+    Ok(raw)
+}
+
+/// Decode every frame from offset `at` (which must be a frame boundary)
+/// to the end of `bytes`. `decompress_container` is the `at == 0` case.
+pub fn decode_frames_from(bytes: &[u8], at: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut pos = at;
+    while pos < bytes.len() {
+        let (header, payload, next) = parse_frame(bytes, pos)?;
+        out.extend_from_slice(&decode_frame(&header, payload)?);
+        pos = next;
+    }
+    Ok(out)
+}
+
+/// Decode a whole container back to its original bytes.
+pub fn decompress_container(bytes: &[u8]) -> Result<Vec<u8>> {
+    decode_frames_from(bytes, 0)
+}
+
+/// Find the first *valid* frame boundary at or after `from`: the next
+/// sync-marker candidate whose frame fully parses and CRC-verifies.
+/// Returns `None` when no complete frame starts in the remaining bytes —
+/// a reader dropped past the last boundary owns nothing of this container
+/// (the standard splittable-container contract).
+pub fn find_sync(bytes: &[u8], from: usize) -> Option<usize> {
+    let mut pos = from;
+    while pos + SYNC_MARKER.len() <= bytes.len() {
+        if bytes[pos..pos + SYNC_MARKER.len()] == SYNC_MARKER {
+            if let Ok((header, payload, _)) = parse_frame(bytes, pos) {
+                if decode_frame(&header, payload).is_ok() {
+                    return Some(pos);
+                }
+            }
+        }
+        pos += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn frame_header_round_trips() {
+        for header in [
+            FrameHeader { method: CodecId::Null, raw_len: 0, comp_len: 0, crc: 0 },
+            FrameHeader {
+                method: CodecId::Hlz,
+                raw_len: 65_536,
+                comp_len: 1_234,
+                crc: 0xDEAD_BEEF,
+            },
+        ] {
+            assert_eq!(FrameHeader::from_bytes(&header.to_bytes()).unwrap(), header);
+        }
+        // Unknown method byte is a codec error.
+        assert!(FrameHeader::from_bytes(&[9, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn container_round_trips_and_shrinks_text() {
+        let data = b"six years of student cluster logs ".repeat(8_000);
+        let packed = compress_container(CodecId::Hlz, &data);
+        assert!(packed.len() * 4 < data.len());
+        assert_eq!(decompress_container(&packed).unwrap(), data);
+        // Null container stores verbatim (frames add only header overhead).
+        let stored = compress_container(CodecId::Null, &data);
+        assert!(stored.len() > data.len() && stored.len() < data.len() + data.len() / 100);
+        assert_eq!(decompress_container(&stored).unwrap(), data);
+        // Empty container.
+        assert!(compress_container(CodecId::Hlz, b"").is_empty());
+        assert_eq!(decompress_container(b"").unwrap(), b"");
+    }
+
+    #[test]
+    fn incompressible_chunks_fall_back_to_stored_frames() {
+        // LCG byte soup the matcher can't compress.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let data: Vec<u8> = (0..40_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let packed = compress_container(CodecId::Hlz, &data);
+        let (header, _, _) = parse_frame(&packed, 0).unwrap();
+        assert_eq!(header.method, CodecId::Null, "stored fallback must engage");
+        assert!(packed.len() < data.len() + 64);
+        assert_eq!(decompress_container(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_frames_fail_crc_before_reaching_the_caller() {
+        let data = b"block reports stream back in ".repeat(3_000);
+        let packed = compress_container(CodecId::Hlz, &data);
+        // Flip one payload byte in the middle frame: either the LZ parse
+        // fails or the CRC catches it — never silent corruption.
+        let mut rotted = packed.clone();
+        let mid = packed.len() / 2;
+        rotted[mid] ^= 0xA5;
+        assert!(decompress_container(&rotted).is_err());
+        // Truncation is caught too.
+        assert!(decompress_container(&packed[..packed.len() - 1]).is_err());
+        // A header that lies about raw_len is an allocation-guarded error.
+        let mut huge = packed;
+        huge.truncate(SYNC_MARKER.len());
+        FrameHeader { method: CodecId::Hlz, raw_len: u64::MAX, comp_len: 1, crc: 0 }
+            .write(&mut huge);
+        huge.push(0);
+        assert!(decompress_container(&huge).is_err());
+    }
+
+    #[test]
+    fn find_sync_skips_lookalike_markers_inside_payloads() {
+        // A payload that *contains* the sync marker as literal bytes.
+        let mut data = Vec::new();
+        for _ in 0..50 {
+            data.extend_from_slice(&SYNC_MARKER);
+            data.extend_from_slice(b"decoy");
+        }
+        let frames = compress_to_frames(CodecId::Null, &data);
+        let container = frames.concat();
+        // From offset 1 the scan passes every embedded decoy (their
+        // "frames" fail to parse/verify) and lands on the next real frame.
+        assert_eq!(find_sync(&container, 0), Some(0));
+        let second_frame_at = frames[0].len();
+        if frames.len() > 1 {
+            assert_eq!(find_sync(&container, 1), Some(second_frame_at));
+        } else {
+            assert_eq!(find_sync(&container, 1), None);
+        }
+    }
+
+    fn chunked_suffix(data: &[u8], frame_index: usize) -> &[u8] {
+        &data[(frame_index * FRAME_RAW_CHUNK).min(data.len())..]
+    }
+
+    #[test]
+    fn split_boundary_decode_recovers_every_suffix() {
+        let data = b"every frame is independently decodable ".repeat(12_000);
+        let frames = compress_to_frames(CodecId::Hlz, &data);
+        let container = frames.concat();
+        let mut boundary = 0usize;
+        for (k, frame) in frames.iter().enumerate() {
+            assert_eq!(find_sync(&container, boundary), Some(boundary));
+            assert_eq!(decode_frames_from(&container, boundary).unwrap(), chunked_suffix(&data, k));
+            boundary += frame.len();
+        }
+        assert_eq!(find_sync(&container, container.len().saturating_sub(7)), None);
+    }
+
+    /// Local case budget, overridable by `PROPTEST_CASES` so the CI
+    /// `codec-fuzz` job can soak the same properties much harder than a
+    /// developer `cargo test` does.
+    fn fuzz_cases(default_cases: u32) -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default_cases)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: fuzz_cases(64), ..ProptestConfig::default() })]
+
+        #[test]
+        fn prop_container_round_trips(
+            data in proptest::collection::vec(any::<u8>(), 0..(3 * FRAME_RAW_CHUNK / 2)),
+            id in prop_oneof![Just(CodecId::Null), Just(CodecId::Hlz)],
+        ) {
+            let packed = compress_container(id, &data);
+            prop_assert_eq!(decompress_container(&packed).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_container_round_trips_repetitive(
+            unit in proptest::collection::vec(any::<u8>(), 1..24),
+            reps in 1usize..8_000,
+        ) {
+            let data = unit.repeat(reps);
+            let packed = compress_container(CodecId::Hlz, &data);
+            prop_assert_eq!(decompress_container(&packed).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_find_sync_from_any_cut_decodes_a_true_suffix(
+            unit in proptest::collection::vec(any::<u8>(), 1..16),
+            reps in 1usize..20_000,
+            cut_fraction in 0.0f64..1.0,
+        ) {
+            let data = unit.repeat(reps);
+            let container = compress_container(CodecId::Hlz, &data);
+            let cut = (container.len() as f64 * cut_fraction) as usize;
+            match find_sync(&container, cut) {
+                None => {
+                    // No frame boundary at/after the cut: the cut sits
+                    // inside the final frame (or past the end).
+                    let frames = compress_to_frames(CodecId::Hlz, &data);
+                    let last_boundary = container.len() - frames.last().map_or(0, |f| f.len());
+                    prop_assert!(cut > last_boundary);
+                }
+                Some(at) => {
+                    let decoded = decode_frames_from(&container, at).unwrap();
+                    // The recovered bytes are exactly one of the chunk
+                    // suffixes of the original data.
+                    let n_frames = data.len().div_ceil(FRAME_RAW_CHUNK);
+                    let matched = (0..=n_frames)
+                        .any(|k| decoded.as_slice() == chunked_suffix(&data, k));
+                    prop_assert!(matched, "decode from sync is not a chunk suffix");
+                }
+            }
+        }
+    }
+}

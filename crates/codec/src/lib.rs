@@ -1,0 +1,181 @@
+//! `hl-codec`: a pure-Rust, zero-dependency, LZO-class splittable block
+//! codec for HadoopLab's byte paths.
+//!
+//! The paper's clusters taught compression as a CPU-vs-I/O tradeoff: LZO
+//! on the wordcount corpus traded a little CPU for a lot of disk and
+//! network (the arXiv:1307.1517 study HadoopLab's ROADMAP item 3 cites).
+//! This crate supplies the mechanism: [`lz`] is the raw LZ4-family block
+//! format, [`frame`] wraps blocks in a sync-marked, CRC-protected,
+//! *splittable* container, and [`Codec`]/[`CodecId`] are what the DFS
+//! client, the map-output spill path, and `JobConf` plumb around.
+//!
+//! Costs are charged by the DES, not measured: [`COMPRESS_BYTES_PER_SEC`]
+//! and [`DECOMPRESS_BYTES_PER_SEC`] are the nominal single-core codec
+//! throughputs (LZO-class: decode much faster than encode), scaled per
+//! node by `PerfProfile` at the charge sites.
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod lz;
+
+pub use frame::{
+    compress_container, compress_to_frames, decode_frame, decode_frames_from, decompress_container,
+    encode_frame, find_sync, parse_frame, FrameHeader, FRAME_RAW_CHUNK, SYNC_MARKER,
+};
+
+use hl_common::prelude::*;
+use hl_common::writable::Writable;
+
+/// Nominal single-core compression throughput the DES charges (bytes of
+/// *input* per simulated second), before `PerfProfile` scaling.
+pub const COMPRESS_BYTES_PER_SEC: u64 = 150 * 1024 * 1024;
+
+/// Nominal single-core decompression throughput (bytes of *output* per
+/// simulated second) — LZO-class codecs decode several times faster than
+/// they encode.
+pub const DECOMPRESS_BYTES_PER_SEC: u64 = 500 * 1024 * 1024;
+
+/// Which codec encoded a payload. Serialized into frame headers, the
+/// per-file flag in the NameNode's namespace, and the edit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum CodecId {
+    /// Passthrough: bytes stored verbatim.
+    #[default]
+    Null = 0,
+    /// The LZ77 greedy matcher in [`lz`].
+    Hlz = 1,
+}
+
+impl CodecId {
+    /// Configuration-file name (`mapred.output.compression.codec` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecId::Null => "none",
+            CodecId::Hlz => "hlz",
+        }
+    }
+
+    /// Parse a configuration-file name.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name {
+            "none" | "null" => Ok(CodecId::Null),
+            "hlz" => Ok(CodecId::Hlz),
+            other => Err(HlError::Config(format!("unknown compression codec {other:?}"))),
+        }
+    }
+}
+
+impl std::fmt::Display for CodecId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Writable for CodecId {
+    fn write(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        match u8::read(buf)? {
+            0 => Ok(CodecId::Null),
+            1 => Ok(CodecId::Hlz),
+            t => Err(HlError::Codec(format!("unknown codec id {t}"))),
+        }
+    }
+}
+
+/// A block compressor/decompressor. Implementations are stateless; the
+/// framing layer ([`frame`]) adds lengths, CRCs, and sync markers.
+pub trait Codec {
+    /// Which [`CodecId`] this codec answers to.
+    fn id(&self) -> CodecId;
+
+    /// Compress one block. Infallible; callers compare lengths and keep
+    /// the raw bytes when compression does not pay (stored frames).
+    fn compress_block(&self, src: &[u8]) -> Vec<u8>;
+
+    /// Decompress one block that must expand to exactly `raw_len` bytes.
+    fn decompress_block(&self, src: &[u8], raw_len: usize) -> Result<Vec<u8>>;
+}
+
+/// The passthrough codec: compress and decompress are both the identity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCodec;
+
+impl Codec for NullCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Null
+    }
+
+    fn compress_block(&self, src: &[u8]) -> Vec<u8> {
+        src.to_vec()
+    }
+
+    fn decompress_block(&self, src: &[u8], raw_len: usize) -> Result<Vec<u8>> {
+        if src.len() != raw_len {
+            return Err(HlError::Codec(format!(
+                "stored payload is {} bytes, frame declared {raw_len}",
+                src.len()
+            )));
+        }
+        Ok(src.to_vec())
+    }
+}
+
+/// The LZ77 greedy-matcher codec (see [`lz`] for the format).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HlzCodec;
+
+impl Codec for HlzCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Hlz
+    }
+
+    fn compress_block(&self, src: &[u8]) -> Vec<u8> {
+        lz::compress_block(src)
+    }
+
+    fn decompress_block(&self, src: &[u8], raw_len: usize) -> Result<Vec<u8>> {
+        lz::decompress_block(src, raw_len)
+    }
+}
+
+/// Look a codec up by id (both are zero-sized, so statics suffice).
+pub fn codec_for(id: CodecId) -> &'static dyn Codec {
+    match id {
+        CodecId::Null => &NullCodec,
+        CodecId::Hlz => &HlzCodec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_id_round_trips() {
+        for id in [CodecId::Null, CodecId::Hlz] {
+            assert_eq!(CodecId::from_bytes(&id.to_bytes()).unwrap(), id);
+            assert_eq!(CodecId::parse(id.name()).unwrap(), id);
+        }
+        assert!(CodecId::from_bytes(&[7]).is_err());
+        assert!(CodecId::parse("lzo2").is_err());
+        assert_eq!(CodecId::parse("null").unwrap(), CodecId::Null);
+        assert_eq!(CodecId::default(), CodecId::Null);
+    }
+
+    #[test]
+    fn trait_objects_round_trip_via_either_codec() {
+        let data = b"JobTracker assigns map tasks near their blocks ".repeat(100);
+        for id in [CodecId::Null, CodecId::Hlz] {
+            let codec = codec_for(id);
+            assert_eq!(codec.id(), id);
+            let packed = codec.compress_block(&data);
+            assert_eq!(codec.decompress_block(&packed, data.len()).unwrap(), data);
+        }
+        // The null codec refuses a length mismatch.
+        assert!(NullCodec.decompress_block(b"abc", 2).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! The raw LZ77 block format: a greedy hash-chain matcher in the LZ4
+//! family, chosen for the same reason the course clusters ran LZO — the
+//! decode side is a straight byte-copy loop, so the CPU spent per saved
+//! disk/NIC byte is small enough for compression to win on I/O-bound jobs
+//! (the tradeoff the paper's wordcount study measures).
+//!
+//! Block layout is a sequence of *sequences*:
+//!
+//! ```text
+//! sequence := token | [literal-length ext] | literals
+//!             | match-offset (2 bytes LE) | [match-length ext]
+//! token    := (literal_len nibble << 4) | (match_len - 4) nibble
+//! ```
+//!
+//! A nibble of 15 spills into extension bytes (add each byte, stop at the
+//! first byte != 255). The final sequence is literals-only: the block ends
+//! after its literals, with no offset. Matches are at least [`MIN_MATCH`]
+//! bytes and reach back at most [`MAX_OFFSET`] bytes; overlapping copies
+//! are legal (that is how runs compress).
+
+use hl_common::prelude::*;
+
+/// Shortest match worth encoding (below this a literal is cheaper).
+pub const MIN_MATCH: usize = 4;
+
+/// Farthest a match may reach back (2-byte offset).
+pub const MAX_OFFSET: usize = 0xFFFF;
+
+/// Hash-table size: 2^13 slots of last-seen positions.
+const HASH_BITS: u32 = 13;
+
+#[inline]
+fn hash4(v: u32) -> usize {
+    // Knuth multiplicative hash over the 4-byte window.
+    (v.wrapping_mul(2_654_435_761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Append a length value that overflowed its 4-bit token nibble.
+fn write_len_ext(mut v: usize, out: &mut Vec<u8>) {
+    debug_assert!(v >= 15);
+    v -= 15;
+    while v >= 255 {
+        out.push(255);
+        v -= 255;
+    }
+    out.push(v as u8);
+}
+
+/// Emit one sequence: `literals` then a match of `mlen` at `offset` back.
+fn emit_match(literals: &[u8], offset: u16, mlen: usize, out: &mut Vec<u8>) {
+    debug_assert!(mlen >= MIN_MATCH && offset >= 1);
+    let lit_nibble = literals.len().min(15) as u8;
+    let match_nibble = (mlen - MIN_MATCH).min(15) as u8;
+    out.push((lit_nibble << 4) | match_nibble);
+    if literals.len() >= 15 {
+        write_len_ext(literals.len(), out);
+    }
+    out.extend_from_slice(literals);
+    out.extend_from_slice(&offset.to_le_bytes());
+    if mlen - MIN_MATCH >= 15 {
+        write_len_ext(mlen - MIN_MATCH, out);
+    }
+}
+
+/// Emit the final, literals-only sequence (always present, possibly empty,
+/// so the decoder has an unambiguous end-of-block).
+fn emit_final(literals: &[u8], out: &mut Vec<u8>) {
+    let lit_nibble = literals.len().min(15) as u8;
+    out.push(lit_nibble << 4);
+    if literals.len() >= 15 {
+        write_len_ext(literals.len(), out);
+    }
+    out.extend_from_slice(literals);
+}
+
+/// Compress one block. Never fails; worst case the output is the input
+/// plus sequence overhead (the framing layer falls back to stored frames
+/// when that happens).
+pub fn compress_block(src: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(src.len() / 2 + 16);
+    // Slot holds position + 1; 0 means empty.
+    let mut table = vec![0u32; 1 << HASH_BITS];
+    let mut anchor = 0usize;
+    let mut i = 0usize;
+    while i + MIN_MATCH <= src.len() {
+        let v = u32::from_le_bytes([src[i], src[i + 1], src[i + 2], src[i + 3]]);
+        let slot = hash4(v);
+        let candidate = table[slot] as usize;
+        table[slot] = (i + 1) as u32;
+        if candidate > 0 {
+            let c = candidate - 1;
+            if i - c <= MAX_OFFSET && src[c..c + MIN_MATCH] == src[i..i + MIN_MATCH] {
+                let mut mlen = MIN_MATCH;
+                while i + mlen < src.len() && src[c + mlen] == src[i + mlen] {
+                    mlen += 1;
+                }
+                emit_match(&src[anchor..i], (i - c) as u16, mlen, &mut out);
+                i += mlen;
+                anchor = i;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    emit_final(&src[anchor..], &mut out);
+    out
+}
+
+fn eof(what: &str) -> HlError {
+    HlError::Codec(format!("lz block truncated reading {what}"))
+}
+
+/// Read a nibble-overflow length extension.
+fn read_len_ext(src: &[u8], i: &mut usize) -> Result<usize> {
+    let mut v = 15usize;
+    loop {
+        let b = *src.get(*i).ok_or_else(|| eof("length extension"))?;
+        *i += 1;
+        v += b as usize;
+        if b != 255 {
+            return Ok(v);
+        }
+    }
+}
+
+/// Decompress one block that must expand to exactly `raw_len` bytes.
+pub fn decompress_block(src: &[u8], raw_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut i = 0usize;
+    if src.is_empty() {
+        return Err(eof("token"));
+    }
+    loop {
+        let token = *src.get(i).ok_or_else(|| eof("token"))?;
+        i += 1;
+        let mut lit = (token >> 4) as usize;
+        if lit == 15 {
+            lit = read_len_ext(src, &mut i)?;
+        }
+        let lit_end =
+            i.checked_add(lit).filter(|&e| e <= src.len()).ok_or_else(|| eof("literals"))?;
+        out.extend_from_slice(&src[i..lit_end]);
+        i = lit_end;
+        if out.len() > raw_len {
+            return Err(HlError::Codec("lz block expands past its declared length".into()));
+        }
+        if i == src.len() {
+            break; // final, literals-only sequence
+        }
+        if i + 2 > src.len() {
+            return Err(eof("match offset"));
+        }
+        let offset = u16::from_le_bytes([src[i], src[i + 1]]) as usize;
+        i += 2;
+        let mut mlen = (token & 0x0F) as usize;
+        if mlen == 15 {
+            mlen = read_len_ext(src, &mut i)?;
+        }
+        mlen += MIN_MATCH;
+        if offset == 0 || offset > out.len() {
+            return Err(HlError::Codec(format!(
+                "lz match offset {offset} outside the {} bytes decoded so far",
+                out.len()
+            )));
+        }
+        if out.len() + mlen > raw_len {
+            return Err(HlError::Codec("lz block expands past its declared length".into()));
+        }
+        // Byte-wise copy: offsets shorter than the match length are legal
+        // overlapping copies (run-length encoding in LZ77 clothing).
+        for _ in 0..mlen {
+            let b = out[out.len() - offset];
+            out.push(b);
+        }
+    }
+    if out.len() != raw_len {
+        return Err(HlError::Codec(format!(
+            "lz block decoded to {} bytes, frame declared {raw_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(src: &[u8]) {
+        let packed = compress_block(src);
+        let unpacked = decompress_block(&packed, src.len()).unwrap();
+        assert_eq!(unpacked, src);
+    }
+
+    #[test]
+    fn block_round_trips_on_edge_shapes() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abcd");
+        round_trip(b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+        round_trip("the quick brown fox jumps over the lazy dog ".repeat(40).as_bytes());
+        // Exactly-min-match repeats and a long literal tail.
+        let mut v = b"wxyzwxyz".to_vec();
+        v.extend((0u16..400).flat_map(|n| n.to_be_bytes()));
+        round_trip(&v);
+    }
+
+    #[test]
+    fn repetitive_input_compresses_hard() {
+        let src = b"hadoop ".repeat(10_000);
+        let packed = compress_block(&src);
+        assert!(
+            packed.len() * 10 < src.len(),
+            "{} bytes only packed to {}",
+            src.len(),
+            packed.len()
+        );
+        assert_eq!(decompress_block(&packed, src.len()).unwrap(), src);
+    }
+
+    #[test]
+    fn corrupt_blocks_are_errors_not_panics() {
+        let src = b"mapreduce shuffles sorted runs ".repeat(64);
+        let packed = compress_block(&src);
+        // Truncations anywhere must error (never panic, never OOM).
+        for cut in 0..packed.len() {
+            assert!(decompress_block(&packed[..cut], src.len()).is_err());
+        }
+        // Wrong declared length is caught.
+        assert!(decompress_block(&packed, src.len() - 1).is_err());
+        assert!(decompress_block(&packed, src.len() + 1).is_err());
+        // A zero offset is invalid.
+        assert!(decompress_block(&[0x01, b'x', 0x00, 0x00], 10).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_block_round_trips_arbitrary(src in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            round_trip(&src);
+        }
+
+        #[test]
+        fn prop_block_round_trips_repetitive(
+            unit in proptest::collection::vec(0u8..4, 1..12),
+            reps in 1usize..600,
+        ) {
+            round_trip(&unit.repeat(reps));
+        }
+
+        #[test]
+        fn prop_decoder_rejects_garbage_without_panicking(
+            junk in proptest::collection::vec(any::<u8>(), 0..512),
+            raw_len in 0usize..2048,
+        ) {
+            // Any byte soup either decodes to exactly raw_len bytes or errors.
+            if let Ok(out) = decompress_block(&junk, raw_len) {
+                prop_assert_eq!(out.len(), raw_len);
+            }
+        }
+    }
+}

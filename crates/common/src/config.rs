@@ -79,6 +79,11 @@ pub mod keys {
     /// Capacity scheduler: per-user share of one queue, in percent of the
     /// queue's slots (`minimum-user-limit-percent`).
     pub const MAPRED_CAPACITY_USER_LIMIT_PCT: &str = "mapred.capacity.user-limit-percent";
+    /// Whether map outputs (spills + shuffle transfers) are compressed.
+    pub const MAPRED_COMPRESS_MAP_OUTPUT: &str = "mapred.compress.map.output";
+    /// Which codec compresses map outputs and job-output files when
+    /// compression is on (`none` or `hlz`; the LZO-class analog).
+    pub const MAPRED_OUTPUT_COMPRESSION_CODEC: &str = "mapred.output.compression.codec";
 }
 
 /// An ordered string key/value configuration with typed accessors.
@@ -121,6 +126,8 @@ impl Configuration {
         c.set(keys::MAPRED_FAIR_PREEMPTION_TIMEOUT_SECS, "30");
         c.set(keys::MAPRED_CAPACITY_MAX_PCT, "100");
         c.set(keys::MAPRED_CAPACITY_USER_LIMIT_PCT, "100");
+        c.set(keys::MAPRED_COMPRESS_MAP_OUTPUT, "false");
+        c.set(keys::MAPRED_OUTPUT_COMPRESSION_CODEC, "hlz");
         c
     }
 

@@ -20,7 +20,8 @@ use std::collections::BTreeMap;
 use bytes::Bytes;
 
 use hl_cluster::network::ClusterNet;
-use hl_cluster::node::ClusterSpec;
+use hl_cluster::node::{ClusterSpec, PerfProfile};
+use hl_codec::CodecId;
 use hl_common::prelude::*;
 use hl_metrics::{MetricsRegistry, MetricsSnapshot};
 
@@ -422,6 +423,71 @@ impl Dfs {
         self.write_payloads(net, now, path, payloads, writer, Some(replication))
     }
 
+    /// Write `data` codec-framed: compress into `hl-codec` frames, pack
+    /// *whole* frames into each block (cutting a block early rather than
+    /// letting a frame straddle), pipeline the stored bytes, and journal
+    /// the per-file codec flag. Because no frame crosses a block boundary,
+    /// every block boundary is a sync-marker boundary — one `InputSplit`
+    /// per block decodes independently, preserving locality.
+    ///
+    /// The DES charges the compression CPU on the writer (scaled by its
+    /// [`PerfProfile`]) before the first byte enters the pipeline, and the
+    /// pipeline/disk then move only the *stored* bytes — the CPU-vs-I/O
+    /// tradeoff the codec exists to teach.
+    pub fn put_compressed(
+        &mut self,
+        net: &mut ClusterNet,
+        now: SimTime,
+        path: &str,
+        data: &[u8],
+        writer: Option<NodeId>,
+        codec: CodecId,
+    ) -> Result<Timed<()>> {
+        if codec == CodecId::Null {
+            return self.put(net, now, path, data, writer);
+        }
+        let frames = hl_codec::compress_to_frames(codec, data);
+        let block_size = self.namenode.default_block_size();
+        let mut payloads = Vec::new();
+        let mut current: Vec<u8> = Vec::new();
+        for frame in &frames {
+            if !current.is_empty() && (current.len() + frame.len()) as u64 > block_size {
+                payloads.push(BlockPayload::real(std::mem::take(&mut current)));
+            }
+            current.extend_from_slice(frame);
+        }
+        if !current.is_empty() {
+            payloads.push(BlockPayload::real(current));
+        }
+        let stored: u64 = payloads.iter().map(|p| p.len()).sum();
+        let mut cost =
+            SimDuration::for_transfer(data.len() as u64, hl_codec::COMPRESS_BYTES_PER_SEC);
+        if let Some(w) = writer {
+            cost = PerfProfile::scale_dur(cost, net.node_profile(w, now).cpu_mult);
+        }
+        self.record_codec_write(data.len() as u64, stored);
+        let done = self.write_payloads(net, now + cost, path, payloads, writer, None)?;
+        self.namenode.set_file_codec(path, codec)?;
+        Ok(done)
+    }
+
+    /// The codec a file was stored with ([`CodecId::Null`] = plain bytes).
+    pub fn file_codec(&self, path: &str) -> Result<CodecId> {
+        Ok(self.namenode.namespace().file(path)?.codec)
+    }
+
+    /// Count a compressed write into the `dfs.client` codec instruments:
+    /// logical bytes in, stored bytes out, and the running ratio gauge in
+    /// basis points (10_000 = stored as many bytes as it was given).
+    fn record_codec_write(&mut self, raw: u64, stored: u64) {
+        self.metrics.incr("dfs.client", "codec.in_bytes", raw);
+        self.metrics.incr("dfs.client", "codec.out_bytes", stored);
+        if let Some(q) = stored.saturating_mul(10_000).checked_div(raw) {
+            let bp = i64::try_from(q).unwrap_or(i64::MAX);
+            self.metrics.set_gauge("dfs.client", "codec.ratio", bp);
+        }
+    }
+
     // -------------------------------------------------------------- reads
 
     /// Read one block from the best live replica, charging disk + network.
@@ -499,6 +565,9 @@ impl Dfs {
     }
 
     /// `hadoop fs -cat` / `-copyToLocal`: read a whole file's bytes.
+    /// Codec-framed files decode transparently — the caller always gets
+    /// the logical (uncompressed) bytes, with the decode CPU charged on
+    /// the reader after only the *stored* bytes crossed disk and NIC.
     pub fn read(
         &mut self,
         net: &mut ClusterNet,
@@ -513,6 +582,16 @@ impl Dfs {
             let block = self.read_block(net, t, *id, reader, path)?;
             out.extend_from_slice(&block.value);
             t = block.completed_at;
+        }
+        if file.codec != CodecId::Null {
+            let raw = hl_codec::decompress_container(&out)?;
+            let mut cost =
+                SimDuration::for_transfer(raw.len() as u64, hl_codec::DECOMPRESS_BYTES_PER_SEC);
+            if let Some(r) = reader {
+                cost = PerfProfile::scale_dur(cost, net.node_profile(r, t).cpu_mult);
+            }
+            t += cost;
+            out = raw;
         }
         Ok(Timed { value: out, completed_at: t })
     }
@@ -761,6 +840,78 @@ mod tests {
         let blocks = dfs.file_blocks("/data/f").unwrap();
         assert_eq!(blocks.len(), 5);
         assert!(blocks.iter().all(|(_, _, holders)| holders.len() == 3));
+    }
+
+    #[test]
+    fn compressed_put_stores_fewer_bytes_and_reads_back_identical() {
+        let (mut dfs, mut net, _) = setup(4);
+        dfs.namenode.mkdirs("/data").unwrap();
+        let data = b"six nodes, three racks, one very repetitive corpus\n".repeat(200);
+        let put = dfs
+            .put_compressed(&mut net, SimTime::ZERO, "/data/f.hlz", &data, None, CodecId::Hlz)
+            .unwrap();
+        assert_eq!(dfs.file_codec("/data/f.hlz").unwrap(), CodecId::Hlz);
+        // Stored bytes (file len counts stored bytes) shrink hard.
+        let stored = dfs.namenode.namespace().file("/data/f.hlz").unwrap().len;
+        assert!(stored * 4 < data.len() as u64, "{} logical bytes stored as {stored}", data.len());
+        // Every block holds whole frames: each starts on a sync marker.
+        for (id, _, _) in dfs.file_blocks("/data/f.hlz").unwrap() {
+            let bytes = dfs.peek_block_bytes(id).unwrap();
+            assert_eq!(hl_codec::find_sync(&bytes, 0), Some(0));
+            assert!(hl_codec::decode_frames_from(&bytes, 0).is_ok());
+        }
+        // Transparent decode returns the logical bytes.
+        let got = dfs.read(&mut net, put.completed_at, "/data/f.hlz", None).unwrap();
+        assert_eq!(got.value, data);
+        // The codec instruments saw the write.
+        let snap = dfs.metrics_snapshot(put.completed_at);
+        assert_eq!(snap.counter("dfs.client", "codec.in_bytes"), data.len() as u64);
+        assert_eq!(snap.counter("dfs.client", "codec.out_bytes"), stored);
+    }
+
+    #[test]
+    fn compressed_codec_flag_survives_namenode_restart() {
+        let (mut dfs, mut net, _) = setup(4);
+        dfs.namenode.mkdirs("/data").unwrap();
+        let data = b"the edit log must remember the decode instruction ".repeat(100);
+        let put = dfs
+            .put_compressed(&mut net, SimTime::ZERO, "/data/f.hlz", &data, None, CodecId::Hlz)
+            .unwrap();
+        // Restart straight off the journal tail...
+        let up = dfs.restart_all(&mut net, put.completed_at).unwrap();
+        assert_eq!(dfs.file_codec("/data/f.hlz").unwrap(), CodecId::Hlz);
+        let got = dfs.read(&mut net, up.completed_at, "/data/f.hlz", None).unwrap();
+        assert_eq!(got.value, data);
+        // ...and again from a checkpointed fsimage (SetCodec folded in).
+        dfs.namenode.checkpoint();
+        let up = dfs.restart_all(&mut net, got.completed_at).unwrap();
+        assert_eq!(dfs.file_codec("/data/f.hlz").unwrap(), CodecId::Hlz);
+        assert_eq!(dfs.read(&mut net, up.completed_at, "/data/f.hlz", None).unwrap().value, data);
+    }
+
+    #[test]
+    fn rotted_compressed_block_is_caught_by_crc_before_decode() {
+        let (mut dfs, mut net, _) = setup(4);
+        dfs.namenode.mkdirs("/data").unwrap();
+        let data = b"bit rot on stored bytes must never reach the decoder ".repeat(120);
+        let put = dfs
+            .put_compressed(&mut net, SimTime::ZERO, "/data/f.hlz", &data, None, CodecId::Hlz)
+            .unwrap();
+        let (id, _, holders) = dfs.file_blocks("/data/f.hlz").unwrap()[0].clone();
+        // Rot one replica: the DataNode-level chunk CRC catches it on read
+        // and the client fails over before any frame decode runs.
+        dfs.datanode_mut(holders[0]).unwrap().corrupt_block(id, 17);
+        let got = dfs.read(&mut net, put.completed_at, "/data/f.hlz", Some(holders[0])).unwrap();
+        assert_eq!(got.value, data);
+        let snap = dfs.metrics_snapshot(got.completed_at);
+        assert_eq!(snap.counter("dfs.client", "read.corrupt_replicas"), 1);
+        // Rot *every* replica: the read must fail loudly, not hand back
+        // corrupt bytes (CRC wall ahead of the codec).
+        let (id2, _, holders2) = dfs.file_blocks("/data/f.hlz").unwrap()[0].clone();
+        for h in holders2 {
+            dfs.datanode_mut(h).unwrap().corrupt_block(id2, 23);
+        }
+        assert!(dfs.read(&mut net, got.completed_at, "/data/f.hlz", None).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! story depends on this existing, so we implement the journal + replay
 //! (fsimage is simply a cloned `Namespace`).
 
+use hl_codec::CodecId;
 use hl_common::prelude::*;
 use hl_common::writable::{read_vu64, write_vu64, Writable};
 
@@ -38,6 +39,9 @@ pub enum EditOp {
     /// Lease recovery dropped a trailing block no DataNode ever confirmed
     /// (`len` journaled so replay can shrink the file without guessing).
     AbandonBlock { path: String, block: BlockId, len: u64 },
+    /// The file's stored bytes are codec-framed; journaled so a restarted
+    /// NameNode still knows which files need transparent decode.
+    SetCodec { path: String, codec: CodecId },
 }
 
 impl EditOp {
@@ -52,6 +56,7 @@ impl EditOp {
             EditOp::SetReplication { .. } => 6,
             EditOp::BumpGenStamp { .. } => 7,
             EditOp::AbandonBlock { .. } => 8,
+            EditOp::SetCodec { .. } => 9,
         }
     }
 }
@@ -95,6 +100,10 @@ impl Writable for EditOp {
                 write_vu64(block.0, buf);
                 write_vu64(*len, buf);
             }
+            EditOp::SetCodec { path, codec } => {
+                path.write(buf);
+                codec.write(buf);
+            }
         }
     }
 
@@ -127,6 +136,7 @@ impl Writable for EditOp {
                 block: BlockId(read_vu64(buf)?),
                 len: read_vu64(buf)?,
             },
+            9 => EditOp::SetCodec { path: String::read(buf)?, codec: CodecId::read(buf)? },
             t => return Err(HlError::Codec(format!("unknown edit op tag {t}"))),
         })
     }
@@ -214,6 +224,9 @@ impl EditLog {
                 EditOp::AbandonBlock { path, block, len } => {
                     ns.abandon_block(path, *block, *len)?
                 }
+                EditOp::SetCodec { path, codec } => {
+                    ns.file_mut(path)?.codec = *codec;
+                }
             }
         }
         Ok(())
@@ -272,9 +285,22 @@ mod tests {
             block: BlockId(9),
             len: 10,
         });
+        log.append(EditOp::SetCodec { path: "/user/alice/final.txt".into(), codec: CodecId::Hlz });
         let bytes = log.serialize();
         let restored = EditLog::deserialize(&bytes).unwrap();
         assert_eq!(restored, log);
+    }
+
+    #[test]
+    fn replay_of_set_codec_flags_the_file() {
+        let mut log = EditLog::new();
+        for op in sample_ops() {
+            log.append(op);
+        }
+        log.append(EditOp::SetCodec { path: "/user/alice/final.txt".into(), codec: CodecId::Hlz });
+        let mut ns = Namespace::new();
+        log.replay(&mut ns).unwrap();
+        assert_eq!(ns.file("/user/alice/final.txt").unwrap().codec, CodecId::Hlz);
     }
 
     #[test]

@@ -758,6 +758,17 @@ impl NameNode {
         Ok(blocks)
     }
 
+    /// Flag `path`'s stored bytes as codec-framed (set by the DFS client
+    /// right after it finishes a compressed write). Journaled, so restarts
+    /// and fsimage checkpoints preserve the decode instruction.
+    pub fn set_file_codec(&mut self, path: &str, codec: hl_codec::CodecId) -> Result<()> {
+        self.metrics.incr("namenode", "rpc.set_codec", 1);
+        self.guard_safemode()?;
+        self.namespace.file_mut(path)?.codec = codec;
+        self.journal(EditOp::SetCodec { path: path.to_string(), codec });
+        Ok(())
+    }
+
     /// Rename a path (an open file's lease follows it).
     pub fn rename(&mut self, src: &str, dst: &str) -> Result<()> {
         self.metrics.incr("namenode", "rpc.rename", 1);
@@ -1218,6 +1229,9 @@ impl NameNode {
                     if let Some(m) = rebuilt.as_mut() {
                         m.remove(block);
                     }
+                }
+                EditOp::SetCodec { path, codec } => {
+                    ns.file_mut(path)?.codec = *codec;
                 }
             }
         }

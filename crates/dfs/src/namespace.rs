@@ -6,6 +6,7 @@
 
 use std::collections::BTreeMap;
 
+use hl_codec::CodecId;
 use hl_common::prelude::*;
 use hl_common::writable::{read_vu64, write_vu64, Writable};
 
@@ -56,6 +57,11 @@ pub struct FileNode {
     pub complete: bool,
     /// Creation time.
     pub created_at: SimTime,
+    /// How the file's stored bytes are encoded. [`CodecId::Null`] (the
+    /// default) means plain bytes; anything else means every block holds
+    /// whole `hl-codec` frames and `len` counts *stored* (compressed)
+    /// bytes — readers consult this flag to decode transparently.
+    pub codec: CodecId,
 }
 
 /// A namespace node.
@@ -168,6 +174,7 @@ impl Namespace {
                 block_size,
                 complete: false,
                 created_at: now,
+                codec: CodecId::Null,
             }),
         );
         Ok(())
@@ -374,6 +381,7 @@ impl Writable for FileNode {
         write_vu64(self.block_size, buf);
         self.complete.write(buf);
         write_vu64(self.created_at.0, buf);
+        self.codec.write(buf);
     }
 
     fn read(buf: &mut &[u8]) -> Result<Self> {
@@ -388,7 +396,8 @@ impl Writable for FileNode {
         let block_size = read_vu64(buf)?;
         let complete = bool::read(buf)?;
         let created_at = SimTime(read_vu64(buf)?);
-        Ok(FileNode { blocks, len, replication, block_size, complete, created_at })
+        let codec = CodecId::read(buf)?;
+        Ok(FileNode { blocks, len, replication, block_size, complete, created_at, codec })
     }
 }
 
@@ -607,6 +616,9 @@ mod tests {
         ns.complete_file("/data/f").unwrap();
         ns.mkdirs("/data/empty").unwrap();
         ns.create_file("/data/open", 2, 128, SimTime(55)).unwrap();
+        // A compressed file: the per-file codec flag must survive the trip.
+        ns.create_file("/data/packed", 3, 64, SimTime(60)).unwrap();
+        ns.file_mut("/data/packed").unwrap().codec = CodecId::Hlz;
         let bytes = ns.to_bytes();
         assert_eq!(Namespace::from_bytes(&bytes).unwrap(), ns);
         // INode and FileNode round-trip through the same encoding.

@@ -65,6 +65,13 @@ pub struct JobConf {
     /// Scheduling priority; larger runs earlier within a policy's
     /// tie-breaks (Hadoop's `mapred.job.priority`).
     pub priority: u32,
+    /// Compress map output before it hits the spill disk and the shuffle
+    /// wire (`mapred.compress.map.output`). Sorted runs themselves are
+    /// untouched, so job output is byte-identical either way.
+    pub compress_map_output: bool,
+    /// Codec for compressed map output
+    /// (`mapred.output.compression.codec`).
+    pub map_output_codec: hl_codec::CodecId,
 }
 
 impl JobConf {
@@ -94,6 +101,8 @@ impl JobConf {
             user: "student".to_string(),
             pool: "default".to_string(),
             priority: 0,
+            compress_map_output: false,
+            map_output_codec: hl_codec::CodecId::Hlz,
         }
     }
 
@@ -117,6 +126,10 @@ impl JobConf {
         );
         jc.max_attempts = conf.get_u32(keys::MAPRED_MAX_ATTEMPTS, jc.max_attempts)?;
         jc.sort_buffer_bytes = conf.get_usize(keys::IO_SORT_BYTES, jc.sort_buffer_bytes)?.max(1024);
+        jc.compress_map_output =
+            conf.get_bool(keys::MAPRED_COMPRESS_MAP_OUTPUT, jc.compress_map_output)?;
+        jc.map_output_codec =
+            hl_codec::CodecId::parse(conf.get_or(keys::MAPRED_OUTPUT_COMPRESSION_CODEC, "hlz"))?;
         Ok(jc)
     }
 
@@ -190,6 +203,18 @@ impl JobConf {
     /// Set the scheduling priority (larger runs earlier).
     pub fn priority(mut self, p: u32) -> Self {
         self.priority = p;
+        self
+    }
+
+    /// Toggle map-output compression (spill files and shuffle transfer).
+    pub fn compress_map_output(mut self, on: bool) -> Self {
+        self.compress_map_output = on;
+        self
+    }
+
+    /// Set the map-output codec (only consulted when compression is on).
+    pub fn map_output_codec(mut self, codec: hl_codec::CodecId) -> Self {
+        self.map_output_codec = codec;
         self
     }
 
@@ -332,7 +357,8 @@ mod tests {
             .set(keys::MAPRED_SPECULATIVE_CAP_PCT, 25)
             .set(keys::MAPRED_SPECULATIVE_HEARTBEAT_SECS, 5)
             .set(keys::MAPRED_MAX_ATTEMPTS, 2)
-            .set(keys::IO_SORT_BYTES, 1 << 20);
+            .set(keys::IO_SORT_BYTES, 1 << 20)
+            .set(keys::MAPRED_COMPRESS_MAP_OUTPUT, true);
         let conf = JobConf::from_configuration("wc", &site).unwrap();
         assert_eq!(conf.num_reduces, 6);
         assert!(!conf.speculative);
@@ -342,12 +368,18 @@ mod tests {
         assert_eq!(conf.spec_heartbeat, SimDuration::from_secs(5));
         assert_eq!(conf.max_attempts, 2);
         assert_eq!(conf.sort_buffer_bytes, 1 << 20);
+        assert!(conf.compress_map_output);
+        assert_eq!(conf.map_output_codec, hl_codec::CodecId::Hlz);
         // Unset keys keep the course defaults; garbage is an error.
         let empty = JobConf::from_configuration("wc", &Configuration::new()).unwrap();
         assert_eq!(empty.num_reduces, 1);
+        assert!(!empty.compress_map_output);
         let mut bad = Configuration::new();
         bad.set(keys::MAPRED_REDUCE_TASKS, "lots");
         assert!(JobConf::from_configuration("wc", &bad).is_err());
+        let mut badcodec = Configuration::new();
+        badcodec.set(keys::MAPRED_OUTPUT_COMPRESSION_CODEC, "snappy");
+        assert!(JobConf::from_configuration("wc", &badcodec).is_err());
     }
 
     #[test]

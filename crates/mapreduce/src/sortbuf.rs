@@ -187,12 +187,27 @@ pub struct MapOutput {
     pub spill_bytes_read: u64,
     /// Number of spill passes.
     pub num_spills: u32,
+    /// Per-partition on-disk/on-wire sizes after map-output compression
+    /// (`mapred.compress.map.output`): the engine packs each partition's
+    /// run into hl-codec frames and records the framed size here. `None`
+    /// means the output travels uncompressed.
+    pub wire_bytes: Option<Vec<u64>>,
 }
 
 impl MapOutput {
     /// Serialized size of one partition's run.
     pub fn partition_bytes(&self, p: usize) -> u64 {
         self.partitions[p].bytes()
+    }
+
+    /// Bytes partition `p` actually occupies on the shuffle wire: the
+    /// framed size when map output is compressed, the serialized size
+    /// otherwise.
+    pub fn wire_partition_bytes(&self, p: usize) -> u64 {
+        match &self.wire_bytes {
+            Some(w) => w[p],
+            None => self.partition_bytes(p),
+        }
     }
 
     /// Serialized size across all partitions.
@@ -428,6 +443,7 @@ impl<K: SortableKey, V: Writable> SortBuffer<K, V> {
             spill_bytes_written: self.spill_bytes_written + merge_written,
             spill_bytes_read: merge_read,
             num_spills,
+            wire_bytes: None,
         }
     }
 }

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench-guard: keep perf-baseline moves auditable.
+#
+# Every commit that touches a BENCH_*.json snapshot must carry the
+# "[bench-baseline]" marker in its subject — baselines are regenerated in
+# their own commit, never smuggled in with code changes, so the perf-gate
+# history stays a readable record of deliberate cost-model moves.
+#
+# Usage: scripts/bench_guard.sh [<rev-range>]
+#   With no range: origin/$GITHUB_BASE_REF...HEAD on pull requests,
+#   HEAD~1..HEAD otherwise (push to main lands one commit at a time).
+set -euo pipefail
+
+range="${1:-}"
+if [ -z "$range" ]; then
+  if [ -n "${GITHUB_BASE_REF:-}" ]; then
+    git fetch -q origin "$GITHUB_BASE_REF"
+    range="origin/${GITHUB_BASE_REF}...HEAD"
+  else
+    range="HEAD~1..HEAD"
+  fi
+fi
+
+bad=0
+for commit in $(git rev-list "$range" 2>/dev/null); do
+  files=$(git diff-tree --no-commit-id --name-only -r "$commit" \
+    | grep -E '^BENCH_[A-Za-z0-9_]+\.json$' || true)
+  [ -z "$files" ] && continue
+  subject=$(git log -1 --format=%s "$commit")
+  case "$subject" in
+    *"[bench-baseline]"*) ;;
+    *)
+      echo "::error::commit ${commit:0:12} touches $(echo "$files" | tr '\n' ' ')without [bench-baseline] in its subject: $subject"
+      bad=1
+      ;;
+  esac
+done
+
+if [ "$bad" -ne 0 ]; then
+  echo "bench-guard: regenerate BENCH_*.json in a dedicated commit whose subject contains [bench-baseline]"
+  exit 1
+fi
+echo "bench-guard: all BENCH_*.json changes in $range carry the [bench-baseline] marker"
